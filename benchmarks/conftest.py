@@ -1,0 +1,31 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark writes the table it regenerates (the paper has no tables
+or figures, so these are the claim-by-claim comparisons of DESIGN.md §2)
+to ``benchmarks/results/<experiment>.txt`` so that EXPERIMENTS.md can be
+cross-checked against a fresh run.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Sequence
+
+import pytest
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def write_result_table(experiment: str, text: str) -> str:
+    """Persist a result table for the given experiment id; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text.rstrip() + "\n")
+    return path
+
+
+@pytest.fixture
+def record_table():
+    """Fixture returning the table writer."""
+    return write_result_table

@@ -1,0 +1,49 @@
+"""Device pairing via maximal matching (the Section 1 reduction).
+
+Edge coloring is one of the four classic symmetry-breaking problems the
+paper's introduction discusses; a C-edge coloring immediately gives a
+maximal matching after C more rounds.  This example uses that reduction
+for a practical task: pairing devices in a proximity network so that
+paired devices can exchange work, with every device in at most one pair
+and no two unpaired neighbors left over.
+
+Run with::
+
+    python examples/pairing_via_matching.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.classic.matching import maximal_matching
+from repro.distributed.rounds import RoundTracker
+from repro.graphs import generators
+from repro.verification.checkers import is_maximal_matching
+
+
+def main() -> None:
+    network = generators.erdos_renyi_graph(n=120, p=0.06, seed=8)
+    print(
+        f"proximity network: {network.num_nodes} devices, {network.num_edges} links, "
+        f"max degree Δ = {network.max_degree}"
+    )
+
+    tracker = RoundTracker()
+    matching, edge_colors = maximal_matching(network, tracker=tracker)
+
+    paired = 2 * len(matching)
+    isolated = sum(1 for v in network.nodes() if network.degree(v) == 0)
+    print(f"\npairs formed          : {len(matching)}")
+    print(f"devices paired        : {paired} / {network.num_nodes - isolated} pairable")
+    print(f"maximal matching      : {is_maximal_matching(network, matching)}")
+    print(f"edge-coloring colors C: {len(set(edge_colors.values()))}")
+    print(f"total rounds charged  : {tracker.total} "
+          f"(coloring + C rounds of class scanning)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Crossbar switch scheduling via bipartite edge coloring (Lemma 6.1).
+
+A classic application of bipartite edge coloring: an input-queued switch
+has ``n`` input ports and ``n`` output ports; a traffic demand asks for a
+set of (input, output) transfers, each taking one timeslot, and a port
+can serve at most one transfer per slot.  A proper edge coloring of the
+demand graph is exactly a conflict-free slot schedule, and the number of
+colors is the schedule length (the optimum is the maximum port load Δ).
+
+This example builds a demand matrix, schedules it with the paper's
+(2+ε)Δ bipartite algorithm, and reports the schedule length against the
+Δ lower bound and against a sequential greedy schedule.
+
+Run with::
+
+    python examples/switch_scheduling.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import api
+from repro.baselines.sequential import sequential_greedy_edge_coloring
+from repro.graphs import generators
+
+
+def build_demand(ports: int, load: int, seed: int):
+    """A demand graph where every port sends/receives exactly ``load`` transfers."""
+    graph, bipartition = generators.regular_bipartite_graph(ports, load, seed=seed)
+    return graph, bipartition
+
+
+def schedule_length(colors) -> int:
+    return len(set(colors.values()))
+
+
+def main() -> None:
+    ports, load = 48, 12
+    graph, bipartition = build_demand(ports, load, seed=7)
+    print(f"switch: {ports} input ports, {ports} output ports")
+    print(f"demand: {graph.num_edges} transfers, per-port load Δ = {load}")
+
+    outcome = api.color_edges_bipartite(graph, bipartition, epsilon=0.5)
+    greedy = sequential_greedy_edge_coloring(graph)
+
+    print("\nschedules (number of timeslots):")
+    print(f"  lower bound (Δ)            : {load}")
+    print(f"  paper, Lemma 6.1           : {outcome.num_colors}  "
+          f"(palette bound (2+ε)Δ = {outcome.bound:.0f}, rounds = {outcome.rounds})")
+    print(f"  centralized greedy         : {schedule_length(greedy)}")
+    print(f"  proper / conflict-free     : {outcome.is_proper}")
+
+    # Per-slot utilization of the distributed schedule.
+    slots = {}
+    for edge, slot in outcome.colors.items():
+        slots.setdefault(slot, 0)
+        slots[slot] += 1
+    best = max(slots.values())
+    average = sum(slots.values()) / len(slots)
+    print(f"\nslot utilization: peak {best}/{ports} ports busy, average {average:.1f}")
+
+
+if __name__ == "__main__":
+    main()

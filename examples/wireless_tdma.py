@@ -1,0 +1,68 @@
+"""TDMA link scheduling in a wireless mesh via (8+ε)Δ edge coloring.
+
+In a wireless mesh network, two links that share an endpoint cannot be
+active in the same TDMA slot (the radio is half-duplex).  A proper edge
+coloring of the connectivity graph therefore gives a feasible TDMA frame,
+and the frame length is the number of colors.  The degree of a node is
+the number of links it participates in, so Δ slots are always necessary.
+
+This example builds a mesh (a random power-law topology — a few gateways
+with many links, many leaf routers), schedules it with the CONGEST
+algorithm of Theorem 1.2 — the relevant model, since wireless control
+messages are small — and compares the frame length and round count with
+the classic distributed baselines.
+
+Run with::
+
+    python examples/wireless_tdma.py
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro import api
+from repro.baselines.greedy_by_classes import greedy_baseline_edge_coloring
+from repro.baselines.randomized import randomized_edge_coloring
+from repro.graphs import generators
+
+
+def main() -> None:
+    mesh = generators.power_law_graph(n=150, attachment=4, seed=11)
+    delta = mesh.max_degree
+    print(f"mesh: {mesh.num_nodes} routers, {mesh.num_edges} links, max degree Δ = {delta}")
+
+    congest = api.color_edges_congest(mesh, epsilon=0.5)
+    greedy = greedy_baseline_edge_coloring(mesh)
+    randomized = randomized_edge_coloring(mesh, seed=3)
+
+    print("\nTDMA frame length (slots) and distributed round cost:")
+    print(f"  lower bound (Δ)                 : {delta}")
+    print(
+        f"  paper, Theorem 1.2 (CONGEST)    : {congest.num_colors} slots, "
+        f"{congest.rounds} rounds, bound (8+ε)Δ = {congest.bound:.0f}"
+    )
+    print(
+        f"  greedy via O(Δ̄²) schedule       : {greedy.num_colors} slots, {greedy.rounds} rounds"
+    )
+    print(
+        f"  randomized (needs shared coins) : {randomized.num_colors} slots, {randomized.rounds} rounds"
+    )
+    print(f"  conflict-free                   : {congest.is_proper}")
+
+    # How much of the frame does a typical router actually use?
+    per_node_slots = []
+    for v in mesh.nodes():
+        used = {congest.colors[e] for e in mesh.incident_edges(v)}
+        per_node_slots.append(len(used))
+    print(
+        f"\nper-router active slots: max {max(per_node_slots)}, "
+        f"median {sorted(per_node_slots)[len(per_node_slots) // 2]}"
+    )
+
+
+if __name__ == "__main__":
+    main()

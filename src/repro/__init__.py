@@ -1,0 +1,34 @@
+"""Reproduction of *Distributed Edge Coloring in Time Polylogarithmic in Δ*.
+
+Balliu, Brandt, Kuhn, Olivetti — PODC 2022 (arXiv:2206.00976).
+
+The package provides:
+
+* ``repro.graphs`` — graph substrate and workload generators.
+* ``repro.distributed`` — synchronous LOCAL/CONGEST simulation substrate,
+  round tracking and message-size auditing.
+* ``repro.coloring`` — classical building blocks (Linial coloring, greedy
+  list coloring by color classes, defective vertex coloring, palettes).
+* ``repro.core`` — the paper's contribution: the generalized token
+  dropping game, generalized balanced edge orientations, generalized
+  defective 2-edge coloring, the CONGEST (8+ε)Δ-edge coloring and the
+  LOCAL (degree+1)-list edge coloring.
+* ``repro.baselines`` — the algorithms the paper compares against.
+* ``repro.verification`` — checkers for every output type.
+* ``repro.analysis`` — experiment runner and result tables.
+
+Quickstart::
+
+    from repro import api
+    from repro.graphs import generators
+
+    graph = generators.random_regular_graph(n=64, degree=8, seed=1)
+    result = api.color_edges_local(graph)
+    assert result.is_proper
+    print(result.num_colors, "colors in", result.rounds, "rounds")
+"""
+
+from repro import api
+from repro._version import __version__
+
+__all__ = ["api", "__version__"]

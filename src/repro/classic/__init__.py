@@ -1,0 +1,27 @@
+"""The four classic symmetry-breaking problems of the paper's introduction.
+
+Section 1 motivates edge coloring as one of the four prototypical
+distributed symmetry-breaking problems — MIS, (Δ+1)-vertex coloring,
+maximal matching and (2Δ−1)-edge coloring — and notes that given a
+C-coloring (of the vertices or edges), all four can be solved in C
+additional rounds by iterating over the color classes.  This subpackage
+implements those reductions on top of the repository's coloring
+algorithms, so the paper's edge-coloring improvements translate directly
+into maximal-matching algorithms.
+"""
+
+from repro.classic.matching import maximal_matching, maximal_matching_from_edge_coloring
+from repro.classic.mis import maximal_independent_set, mis_from_vertex_coloring
+from repro.classic.vertex_coloring import (
+    delta_plus_one_vertex_coloring,
+    kuhn_wattenhofer_vertex_reduction,
+)
+
+__all__ = [
+    "maximal_matching",
+    "maximal_matching_from_edge_coloring",
+    "maximal_independent_set",
+    "mis_from_vertex_coloring",
+    "delta_plus_one_vertex_coloring",
+    "kuhn_wattenhofer_vertex_reduction",
+]

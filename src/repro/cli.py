@@ -1,0 +1,83 @@
+"""Command line interface.
+
+Run one of the edge-coloring algorithms on a generated graph and print a
+summary, e.g.::
+
+    repro-edge-coloring --algorithm local --family random-regular --n 64 --degree 8
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional
+
+from repro import api
+from repro.analysis.experiments import run_algorithm_suite
+from repro.analysis.tables import format_records
+from repro.graphs import generators
+from repro.graphs.core import Graph
+
+
+def build_graph(family: str, n: int, degree: int, probability: float, seed: int) -> Graph:
+    """Build the requested workload graph."""
+    if family == "random-regular":
+        return generators.random_regular_graph(n, degree, seed=seed)
+    if family == "regular-bipartite":
+        graph, _sides = generators.regular_bipartite_graph(n // 2, degree, seed=seed)
+        return graph
+    if family == "erdos-renyi":
+        return generators.erdos_renyi_graph(n, probability, seed=seed)
+    if family == "cycle":
+        return generators.cycle_graph(n)
+    if family == "hypercube":
+        return generators.hypercube_graph(max(1, degree))
+    if family == "grid":
+        side = max(2, int(round(n ** 0.5)))
+        return generators.grid_graph(side, side)
+    raise ValueError(f"unknown graph family {family}")
+
+
+def main(argv: Optional[list] = None) -> int:
+    """CLI entry point."""
+    parser = argparse.ArgumentParser(description="Distributed edge coloring reproduction")
+    parser.add_argument(
+        "--algorithm",
+        choices=["local", "congest", "bipartite", "compare"],
+        default="local",
+        help="which algorithm to run ('compare' runs the full suite)",
+    )
+    parser.add_argument(
+        "--family",
+        choices=["random-regular", "regular-bipartite", "erdos-renyi", "cycle", "hypercube", "grid"],
+        default="random-regular",
+    )
+    parser.add_argument("--n", type=int, default=64, help="number of nodes")
+    parser.add_argument("--degree", type=int, default=8, help="degree parameter Δ")
+    parser.add_argument("--probability", type=float, default=0.1, help="edge probability for Erdős–Rényi")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--epsilon", type=float, default=0.5)
+    args = parser.parse_args(argv)
+
+    graph = build_graph(args.family, args.n, args.degree, args.probability, args.seed)
+    print(f"graph: {args.family} n={graph.num_nodes} m={graph.num_edges} Δ={graph.max_degree}")
+
+    if args.algorithm == "compare":
+        records = run_algorithm_suite(graph, experiment="cli", seed=args.seed)
+        print(format_records(records))
+        return 0
+
+    if args.algorithm == "local":
+        outcome = api.color_edges_local(graph)
+    elif args.algorithm == "congest":
+        outcome = api.color_edges_congest(graph, epsilon=args.epsilon)
+    else:
+        outcome = api.color_edges_bipartite(graph, epsilon=args.epsilon)
+    print(
+        f"{outcome.algorithm}: colors={outcome.num_colors} bound={outcome.bound:.1f} "
+        f"rounds={outcome.rounds} proper={outcome.is_proper}"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

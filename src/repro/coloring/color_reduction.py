@@ -1,0 +1,151 @@
+"""Polynomial color-reduction machinery (Linial [41], Kuhn [38]).
+
+One reduction step maps a proper ``m``-coloring of a graph with maximum
+degree ``Δ`` to a proper ``q²``-coloring in a single communication round,
+where ``q`` is a prime with ``q > Δ·d`` and ``q^(d+1) >= m``:
+
+* a color ``c < q^(d+1)`` is interpreted as the coefficient vector (base
+  ``q``) of a polynomial ``f_c`` of degree at most ``d`` over GF(q);
+* distinct colors give distinct polynomials, and two distinct polynomials
+  of degree ≤ d agree on at most ``d`` points;
+* a node with color ``c`` therefore has at most ``Δ·d < q`` "blocked"
+  evaluation points and can pick a point ``x`` where its value differs
+  from all neighbors'; the new color is the pair ``(x, f_c(x))``.
+
+Iterating the step O(log* m) times reaches O(Δ²) colors.  The same
+machinery, with the *minimum-conflict* point choice instead of a
+conflict-free one, yields the one-round defective color reduction used in
+:mod:`repro.coloring.defective_vertex`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+
+def is_prime(value: int) -> bool:
+    """Deterministic primality test for the small values used here."""
+    if value < 2:
+        return False
+    if value < 4:
+        return True
+    if value % 2 == 0:
+        return False
+    divisor = 3
+    while divisor * divisor <= value:
+        if value % divisor == 0:
+            return False
+        divisor += 2
+    return True
+
+
+def next_prime(value: int) -> int:
+    """The smallest prime ``>= value``."""
+    candidate = max(2, value)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def polynomial_value(color: int, x: int, q: int, degree: int) -> int:
+    """Evaluate the polynomial encoded by ``color`` (base-q digits) at ``x`` mod q."""
+    value = 0
+    power = 1
+    remaining = color
+    for _ in range(degree + 1):
+        coefficient = remaining % q
+        remaining //= q
+        value = (value + coefficient * power) % q
+        power = (power * x) % q
+    return value
+
+
+def step_parameters(num_colors: int, degree_bound: int) -> Tuple[int, int]:
+    """The ``(q, d)`` pair minimizing the resulting color count ``q²``.
+
+    Requires ``q > degree_bound * d`` (a free point exists) and
+    ``q^(d+1) >= num_colors`` (distinct colors map to distinct
+    polynomials).
+    """
+    if num_colors < 1:
+        raise ValueError("num_colors must be positive")
+    best: Tuple[int, int] | None = None
+    max_degree_choice = max(1, math.ceil(math.log2(max(2, num_colors))))
+    for d in range(1, max_degree_choice + 1):
+        lower = max(degree_bound * d + 1, math.ceil(num_colors ** (1.0 / (d + 1))))
+        q = next_prime(max(2, lower))
+        while q ** (d + 1) < num_colors:
+            q = next_prime(q + 1)
+        if best is None or q * q < best[0] * best[0]:
+            best = (q, d)
+    assert best is not None
+    return best
+
+
+def reduction_schedule(initial_colors: int, degree_bound: int) -> List[Tuple[int, int]]:
+    """The deterministic sequence of ``(q, d)`` steps Linial's algorithm runs.
+
+    Every node can compute the schedule locally from the identifier-space
+    size and Δ, so all nodes agree on the number of rounds.  The schedule
+    stops when one more step would not reduce the number of colors.
+    """
+    schedule: List[Tuple[int, int]] = []
+    current = initial_colors
+    while True:
+        q, d = step_parameters(current, degree_bound)
+        new_colors = q * q
+        if new_colors >= current:
+            break
+        schedule.append((q, d))
+        current = new_colors
+    return schedule
+
+
+def polynomial_step(
+    color: int,
+    neighbor_colors: Sequence[int],
+    q: int,
+    degree: int,
+) -> int:
+    """One conflict-free reduction step for a single node.
+
+    Returns the new color in ``[0, q²)``.  Requires the current coloring
+    to be proper (no neighbor shares ``color``) and ``q > len(neighbor_colors) * degree``.
+    """
+    distinct_neighbors = [c for c in set(neighbor_colors) if c != color]
+    for x in range(q):
+        own = polynomial_value(color, x, q, degree)
+        if all(polynomial_value(c, x, q, degree) != own for c in distinct_neighbors):
+            return x * q + own
+    raise ValueError(
+        "no conflict-free point found; the input coloring was not proper "
+        "or q <= degree_bound * d"
+    )
+
+
+def minimum_conflict_step(
+    color: int,
+    neighbor_colors: Sequence[int],
+    q: int,
+    degree: int,
+) -> Tuple[int, int]:
+    """One defective reduction step: pick the evaluation point with fewest conflicts.
+
+    Returns ``(new_color, conflicts)`` where ``conflicts`` is the number of
+    neighbors choosing a polynomial that agrees at the chosen point.  If the
+    input coloring is proper, ``conflicts <= len(neighbor_colors) * degree / q``.
+    """
+    best_x = 0
+    best_conflicts = None
+    for x in range(q):
+        own = polynomial_value(color, x, q, degree)
+        conflicts = sum(
+            1 for c in neighbor_colors if c != color and polynomial_value(c, x, q, degree) == own
+        )
+        if best_conflicts is None or conflicts < best_conflicts:
+            best_conflicts = conflicts
+            best_x = x
+    assert best_conflicts is not None
+    own = polynomial_value(color, best_x, q, degree)
+    return best_x * q + own, best_conflicts

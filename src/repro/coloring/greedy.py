@@ -1,0 +1,154 @@
+"""Greedy (list) coloring scheduled by color classes.
+
+Given a proper ``c``-coloring of the conflict graph, the classic greedy
+schedule iterates over the ``c`` classes; in iteration ``i`` every vertex
+(or edge) of class ``i`` simultaneously picks the smallest color of its
+list that no already-colored neighbor uses.  Nodes of the same class are
+never adjacent, so the step is conflict-free; each class costs one
+communication round.
+
+This is the final step of every recursion in the paper (coloring the
+constant-degree or ``β/ε``-degree leftover graphs) and, combined with
+Linial's O(Δ̄²)-edge coloring, it is also the classic
+O(Δ² + log* n)-round baseline for (2Δ−1)-edge coloring.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.coloring.linial import linial_vertex_coloring
+from repro.distributed.rounds import RoundTracker
+from repro.graphs.core import Graph
+
+
+def greedy_vertex_coloring_by_classes(
+    graph: Graph,
+    schedule: Sequence[int],
+    lists: Optional[Sequence[Sequence[int]]] = None,
+    palette_size: Optional[int] = None,
+    tracker: Optional[RoundTracker] = None,
+) -> List[int]:
+    """Greedy vertex coloring scheduled by the classes of ``schedule``.
+
+    Args:
+        graph: the graph to color.
+        schedule: a proper coloring of ``graph`` used as the schedule.
+        lists: optional per-node color lists; defaults to
+            ``{0, ..., palette_size - 1}``.
+        palette_size: size of the default palette; defaults to Δ + 1.
+        tracker: one round is charged per non-empty schedule class.
+
+    Returns the chosen colors, indexed by node.
+    """
+    if palette_size is None:
+        palette_size = graph.max_degree + 1
+    colors: List[Optional[int]] = [None] * graph.num_nodes
+    classes = sorted(set(schedule))
+    for cls in classes:
+        members = [v for v in graph.nodes() if schedule[v] == cls]
+        if not members:
+            continue
+        for v in members:
+            used = {colors[w] for w in graph.neighbors(v) if colors[w] is not None}
+            candidates: Iterable[int] = lists[v] if lists is not None else range(palette_size)
+            choice = next((c for c in candidates if c not in used), None)
+            if choice is None:
+                raise ValueError(f"node {v} has no available color; its list/palette is too small")
+            colors[v] = choice
+        if tracker is not None:
+            tracker.charge(1, "greedy-classes")
+    return [c if c is not None else 0 for c in colors]
+
+
+def greedy_edge_coloring_by_classes(
+    graph: Graph,
+    schedule: Dict[int, int],
+    lists: Optional[Dict[int, Sequence[int]]] = None,
+    palette_size: Optional[int] = None,
+    edge_set: Optional[Set[int]] = None,
+    existing_colors: Optional[Dict[int, int]] = None,
+    tracker: Optional[RoundTracker] = None,
+) -> Dict[int, int]:
+    """Greedy list edge coloring scheduled by the classes of ``schedule``.
+
+    Only the edges in ``edge_set`` (default: all edges present in
+    ``schedule``) are colored.  ``existing_colors`` are colors of adjacent
+    edges colored by earlier stages; they are treated as occupied but are
+    not modified.
+
+    Args:
+        graph: the host graph (edges are referenced by index).
+        schedule: a proper edge coloring of the edges to color (no two
+            adjacent edges of ``edge_set`` may share a schedule class).
+        lists: optional per-edge color lists; default palette is
+            ``{0, ..., palette_size - 1}`` with ``palette_size`` defaulting
+            to ``2Δ − 1``.
+        tracker: one round is charged per non-empty schedule class.
+
+    Returns the new colors, keyed by edge index.
+    """
+    targets = set(schedule.keys()) if edge_set is None else set(edge_set)
+    if palette_size is None:
+        palette_size = max(1, 2 * graph.max_degree - 1)
+    colored: Dict[int, int] = dict(existing_colors) if existing_colors else {}
+    result: Dict[int, int] = {}
+    classes = sorted({schedule[e] for e in targets})
+    for cls in classes:
+        members = [e for e in targets if schedule[e] == cls]
+        if not members:
+            continue
+        round_choices: Dict[int, int] = {}
+        for e in members:
+            used = {colored[f] for f in graph.adjacent_edges(e) if f in colored}
+            candidates: Iterable[int] = lists[e] if lists is not None else range(palette_size)
+            choice = next((c for c in candidates if c not in used), None)
+            if choice is None:
+                raise ValueError(f"edge {e} has no available color; its list/palette is too small")
+            round_choices[e] = choice
+        for e, c in round_choices.items():
+            colored[e] = c
+            result[e] = c
+        if tracker is not None:
+            tracker.charge(1, "greedy-edge-classes")
+    return result
+
+
+def proper_edge_schedule(
+    graph: Graph,
+    edge_set: Iterable[int],
+    tracker: Optional[RoundTracker] = None,
+) -> Dict[int, int]:
+    """A proper O(d̄²)-coloring of the edges in ``edge_set``, usable as a greedy schedule.
+
+    ``d̄`` is the maximum edge degree *within* ``edge_set``.  The schedule
+    is computed by running Linial's algorithm on the line graph of the
+    subgraph induced by ``edge_set`` (O(log* n) charged rounds).
+    """
+    edge_list = sorted(set(edge_set))
+    if not edge_list:
+        return {}
+    endpoints = [graph.edge_endpoints(e) for e in edge_list]
+    nodes_used = sorted({v for pair in endpoints for v in pair})
+    node_map = {v: i for i, v in enumerate(nodes_used)}
+    subgraph = Graph(
+        len(nodes_used),
+        [(node_map[u], node_map[v]) for u, v in endpoints],
+        node_ids=[graph.node_id(v) for v in nodes_used],
+    )
+    sub_colors, _num = _edge_schedule_colors(subgraph, tracker)
+    # Sub-edge i corresponds to edge_list position: map through endpoints.
+    schedule: Dict[int, int] = {}
+    for original, (u, v) in zip(edge_list, endpoints):
+        sub_edge = subgraph.edge_index(node_map[u], node_map[v])
+        schedule[original] = sub_colors[sub_edge]
+    return schedule
+
+
+def _edge_schedule_colors(subgraph: Graph, tracker: Optional[RoundTracker]) -> Dict[int, int]:
+    """Linial edge coloring of a subgraph, tolerant of edgeless inputs."""
+    if subgraph.num_edges == 0:
+        return {}, 1
+    line = subgraph.line_graph()
+    colors, num_colors = linial_vertex_coloring(line, tracker=tracker)
+    return {e: colors[e] for e in subgraph.edges()}, num_colors

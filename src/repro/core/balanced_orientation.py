@@ -1,0 +1,285 @@
+"""Generalized balanced edge orientations (Section 5).
+
+Given a 2-colored bipartite (sub)graph and per-edge thresholds ``η_e``,
+the algorithm orients every edge such that, up to a slack of
+``(ε/2)·deg(e) + β``, the in-degree difference across every edge respects
+``η_e`` (Definition 5.2).  The orientation is computed in phases: in each
+phase the still-unoriented high-degree edges propose an orientation based
+on the current in-degrees, every node accepts at most ``k_φ`` proposals,
+and one instance of the generalized token dropping game (Section 4)
+repairs the edges whose constraint became violated — moving a token over
+an edge corresponds to flipping its orientation.
+
+The implementation follows the seven numbered steps of Section 5
+verbatim; all parameters (ν, k_φ, δ_φ, α_v(φ)) come from
+:mod:`repro.core.parameters`.  The algorithm operates on an explicit
+``edge_set`` so that the recursive color-space-splitting algorithms can
+run it on subgraphs without re-indexing edges.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core import parameters
+from repro.core.token_dropping import TokenDroppingGame, run_token_dropping
+from repro.distributed.rounds import RoundTracker
+from repro.graphs.bipartite import Bipartition
+from repro.graphs.core import DirectedGraph, Graph
+
+
+@dataclass
+class BalancedOrientationResult:
+    """Outcome of the Section 5 orientation algorithm.
+
+    Attributes:
+        orientation: per edge, the pair ``(tail, head)`` the edge is
+            oriented as (``tail -> head``).
+        in_degrees: ``x_w`` — the number of instance edges oriented
+            towards each node.
+        phases: number of orientation phases executed.
+        rounds: communication rounds charged.
+        nu: the ν the run used.
+        bar_delta: the Δ̄ upper bound of the instance.
+        edge_degrees: static edge degrees within the instance (used by
+            the Definition 5.2 checks).
+    """
+
+    orientation: Dict[int, Tuple[int, int]]
+    in_degrees: List[int]
+    phases: int
+    rounds: int
+    nu: float
+    bar_delta: int
+    edge_degrees: Dict[int, int] = field(default_factory=dict)
+
+    def definition_52_violations(
+        self,
+        graph: Graph,
+        bipartition: Bipartition,
+        eta: Dict[int, float],
+        epsilon: float,
+        beta: float,
+    ) -> List[Tuple[int, float, float]]:
+        """Edges violating the (ε, β)-balanced orientation conditions (I)/(II).
+
+        Returns tuples ``(edge, lhs, rhs)`` for every violated inequality;
+        an empty list means the orientation is (ε, β)-balanced w.r.t. η.
+        """
+        violations = []
+        for e, (tail, head) in self.orientation.items():
+            u, v = bipartition.orient_edge(graph, e)
+            slack = (epsilon / 2.0) * self.edge_degrees.get(e, 0) + beta
+            x_u = self.in_degrees[u]
+            x_v = self.in_degrees[v]
+            if tail == u and head == v:
+                lhs = x_v - x_u
+                rhs = eta[e] + 1 + slack
+            else:
+                lhs = x_u - x_v
+                rhs = -eta[e] + 1 + slack
+            if lhs > rhs + 1e-9:
+                violations.append((e, float(lhs), float(rhs)))
+        return violations
+
+
+def compute_balanced_orientation(
+    graph: Graph,
+    bipartition: Bipartition,
+    eta: Dict[int, float],
+    epsilon: float,
+    edge_set: Optional[Iterable[int]] = None,
+    nu: Optional[float] = None,
+    tracker: Optional[RoundTracker] = None,
+    max_phases: Optional[int] = None,
+) -> BalancedOrientationResult:
+    """Compute a generalized balanced edge orientation (Theorem 5.6).
+
+    Args:
+        graph: the host graph.
+        bipartition: 2-coloring of the nodes; every edge of the instance
+            must be bichromatic.
+        eta: per-edge thresholds η_e (Definition 5.2), keyed by edge index.
+        epsilon: target slack ε of the orientation; ν defaults to ε/8.
+        edge_set: the instance's edges (defaults to all edges of ``graph``).
+        nu: optional override of the phase parameter ν (clamped to (0, 1/8]).
+        tracker: optional round tracker.
+        max_phases: optional cap on the number of orientation phases
+            (defaults to the analytic O(log Δ̄ / ν) phase count).
+
+    Returns a :class:`BalancedOrientationResult` covering every edge of
+    the instance.
+    """
+    edges: List[int] = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
+    local_tracker = RoundTracker()
+    n = graph.num_nodes
+
+    # Static degrees within the instance.
+    static_deg = [0] * n
+    for e in edges:
+        u, v = graph.edge_endpoints(e)
+        static_deg[u] += 1
+        static_deg[v] += 1
+
+    def static_edge_degree(e: int) -> int:
+        u, v = graph.edge_endpoints(e)
+        return static_deg[u] + static_deg[v] - 2
+
+    edge_degrees = {e: static_edge_degree(e) for e in edges}
+    bar_delta = max([edge_degrees[e] for e in edges], default=0)
+    if bar_delta <= 0:
+        # Trivial instance: orient everything U -> V.
+        orientation = {}
+        x = [0] * n
+        for e in edges:
+            u, v = bipartition.orient_edge(graph, e)
+            orientation[e] = (u, v)
+            x[v] += 1
+        return BalancedOrientationResult(
+            orientation=orientation,
+            in_degrees=x,
+            phases=0,
+            rounds=0,
+            nu=0.0,
+            bar_delta=0,
+            edge_degrees=edge_degrees,
+        )
+
+    resolved_nu = nu if nu is not None else parameters.nu_from_epsilon(epsilon)
+    resolved_nu = min(parameters.NU_UPPER_BOUND, max(1e-6, resolved_nu))
+    phase_budget = (
+        max_phases
+        if max_phases is not None
+        else parameters.orientation_phase_count(resolved_nu, bar_delta) + 1
+    )
+
+    unoriented: Set[int] = set(edges)
+    orientation: Dict[int, Tuple[int, int]] = {}
+    x = [0] * n  # in-degrees
+    unor_deg = list(static_deg)  # node degrees among unoriented instance edges
+    d_minus: List[Optional[int]] = [None] * n  # min static edge degree among oriented edges
+    phases_run = 0
+
+    for phase in range(1, phase_budget + 1):
+        if not unoriented:
+            break
+        phases_run = phase
+        threshold = (1.0 - resolved_nu) ** phase * bar_delta
+        x_old = list(x)
+        d_minus_old = list(d_minus)
+
+        # Step 1: high-degree unoriented edges participate.
+        participating = [
+            e
+            for e in unoriented
+            if (unor_deg[graph.edge_endpoints(e)[0]] + unor_deg[graph.edge_endpoints(e)[1]] - 2)
+            > threshold
+        ]
+        # Step 2: proposals.
+        proposals: Dict[int, List[int]] = {}
+        proposal_direction: Dict[int, Tuple[int, int]] = {}
+        for e in sorted(participating):
+            u, v = bipartition.orient_edge(graph, e)
+            if x_old[v] - x_old[u] <= eta[e]:
+                target, direction = v, (u, v)
+            else:
+                target, direction = u, (v, u)
+            proposals.setdefault(target, []).append(e)
+            proposal_direction[e] = direction
+        # Step 3: every node accepts at most k_φ proposals.
+        k_phi = parameters.k_phase(resolved_nu, bar_delta, phase)
+        accepted: List[int] = []
+        accepted_count = [0] * n
+        for node in sorted(proposals):
+            chosen = sorted(proposals[node])[:k_phi]
+            accepted.extend(chosen)
+            accepted_count[node] = len(chosen)
+        # Step 4: orient the accepted edges.
+        for e in accepted:
+            tail, head = proposal_direction[e]
+            orientation[e] = (tail, head)
+            x[head] += 1
+            unoriented.discard(e)
+            u, v = graph.edge_endpoints(e)
+            unor_deg[u] -= 1
+            unor_deg[v] -= 1
+            deg_e = edge_degrees[e]
+            for endpoint in (u, v):
+                if d_minus[endpoint] is None or deg_e < d_minus[endpoint]:
+                    d_minus[endpoint] = deg_e
+        local_tracker.charge(2, "orientation-proposals")
+
+        # Step 5: previously oriented edges whose constraint is violated.
+        accepted_set = set(accepted)
+        violated: List[int] = []
+        for e, (tail, head) in orientation.items():
+            if e in accepted_set:
+                continue
+            u, v = bipartition.orient_edge(graph, e)
+            if tail == u and head == v:
+                if x_old[v] - x_old[u] > eta[e]:
+                    violated.append(e)
+            else:
+                if x_old[u] - x_old[v] > -eta[e]:
+                    violated.append(e)
+
+        if not violated:
+            continue
+
+        # Step 6: one token dropping instance on the violated edges,
+        # directed opposite to their current orientation.
+        delta_phi = parameters.delta_phase(resolved_nu, bar_delta, phase)
+        arcs: List[Tuple[int, int]] = []
+        arc_edges: List[int] = []
+        for e in violated:
+            tail, head = orientation[e]
+            arcs.append((head, tail))
+            arc_edges.append(e)
+        alpha = [
+            parameters.alpha_node(
+                resolved_nu,
+                bar_delta,
+                d_minus_old[v] if d_minus_old[v] is not None else bar_delta,
+            )
+            for v in range(n)
+        ]
+        initial_tokens = [min(k_phi, accepted_count[v]) for v in range(n)]
+        game = TokenDroppingGame(
+            graph=DirectedGraph(n, arcs),
+            k=k_phi,
+            initial_tokens=initial_tokens,
+            alpha=alpha,
+            delta=min(delta_phi, k_phi),
+        )
+        game_result = run_token_dropping(game, tracker=None)
+        local_tracker.charge(max(1, game_result.rounds), "orientation-token-dropping")
+
+        # Step 7: flip the orientation of every edge over which a token moved.
+        for arc_index in game_result.moved_arcs:
+            e = arc_edges[arc_index]
+            tail, head = orientation[e]
+            orientation[e] = (head, tail)
+            x[head] -= 1
+            x[tail] += 1
+
+    # Remaining unoriented edges (constant per node): orient from U to V.
+    if unoriented:
+        for e in sorted(unoriented):
+            u, v = bipartition.orient_edge(graph, e)
+            orientation[e] = (u, v)
+            x[v] += 1
+        local_tracker.charge(1, "orientation-final")
+
+    if tracker is not None:
+        tracker.merge(local_tracker)
+    return BalancedOrientationResult(
+        orientation=orientation,
+        in_degrees=x,
+        phases=phases_run,
+        rounds=local_tracker.total,
+        nu=resolved_nu,
+        bar_delta=bar_delta,
+        edge_degrees=edge_degrees,
+    )

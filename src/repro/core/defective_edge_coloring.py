@@ -1,0 +1,232 @@
+"""Generalized defective 2-edge coloring (Section 5).
+
+Definition 5.1: given per-edge parameters λ_e ∈ [0, 1], color every edge
+red or blue such that a red edge has at most ``(1+ε)·λ_e·deg(e) + λ_e·β``
+red neighbors and a blue edge at most ``(1+ε)·(1−λ_e)·deg(e) + (1−λ_e)·β``
+blue neighbors.
+
+Lemma 5.3 reduces the problem (on 2-colored bipartite graphs) to a
+generalized balanced edge orientation with thresholds ``η_e`` given by
+Equation (3); edges oriented U→V become red and edges oriented V→U become
+blue.  Corollary 5.7 plugs in the orientation algorithm of Theorem 5.6.
+
+The implementation exposes both the reduction (:func:`eta_from_lambda`)
+and the end-to-end coloring
+(:func:`generalized_defective_two_edge_coloring`), operating on an
+explicit ``edge_set`` so the recursive algorithms of Sections 6 and 7 can
+apply it to subgraphs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core import parameters
+from repro.core.balanced_orientation import BalancedOrientationResult, compute_balanced_orientation
+from repro.distributed.rounds import RoundTracker
+from repro.graphs.bipartite import Bipartition
+from repro.graphs.core import Graph
+
+RED = 0
+BLUE = 1
+
+
+def eta_from_lambda(
+    lambda_e: float,
+    deg_u: int,
+    deg_v: int,
+    deg_e: int,
+    epsilon: float,
+    beta: float,
+) -> float:
+    """The threshold η_e of Equation (3).
+
+    ``deg_u`` / ``deg_v`` are the degrees of the U-side / V-side endpoint
+    within the instance, ``deg_e = deg_u + deg_v − 2`` the edge degree.
+    """
+    return (
+        1.0
+        - 2.0 * lambda_e
+        - (1.0 - lambda_e) * deg_u
+        + lambda_e * deg_v
+        + epsilon * (lambda_e - 0.5) * deg_e
+        + (2.0 * lambda_e - 1.0) * beta
+    )
+
+
+@dataclass
+class DefectiveTwoColoringResult:
+    """Outcome of a generalized defective 2-edge coloring.
+
+    Attributes:
+        colors: per edge, ``RED`` (0) or ``BLUE`` (1).
+        red_edges / blue_edges: the two color classes.
+        defects: measured number of same-colored neighboring edges, per edge.
+        orientation: the underlying balanced orientation.
+        epsilon / beta: the parameters the run used (β is the additive
+            slack used when computing η; the *guarantee* of Lemma 5.3 is
+            with 2β).
+        rounds: communication rounds charged.
+    """
+
+    colors: Dict[int, int]
+    red_edges: Set[int]
+    blue_edges: Set[int]
+    defects: Dict[int, int]
+    orientation: BalancedOrientationResult
+    epsilon: float
+    beta: float
+    rounds: int
+    lambdas: Dict[int, float] = field(default_factory=dict)
+    edge_degrees: Dict[int, int] = field(default_factory=dict)
+
+    def defect_bound(self, e: int, beta: Optional[float] = None) -> float:
+        """The Definition 5.1 bound for edge ``e`` (with slack 2β as in Lemma 5.3)."""
+        bound_beta = 2.0 * self.beta if beta is None else beta
+        lam = self.lambdas[e]
+        deg = self.edge_degrees[e]
+        if self.colors[e] == RED:
+            return (1.0 + self.epsilon) * lam * deg + lam * bound_beta
+        return (1.0 + self.epsilon) * (1.0 - lam) * deg + (1.0 - lam) * bound_beta
+
+    def violations(self, beta: Optional[float] = None) -> List[Tuple[int, int, float]]:
+        """Edges whose measured defect exceeds the Definition 5.1 bound."""
+        result = []
+        for e, defect in self.defects.items():
+            bound = self.defect_bound(e, beta=beta)
+            if defect > bound + 1e-9:
+                result.append((e, defect, bound))
+        return result
+
+    def max_defect(self) -> int:
+        """The largest measured defect."""
+        return max(self.defects.values(), default=0)
+
+
+def generalized_defective_two_edge_coloring(
+    graph: Graph,
+    bipartition: Bipartition,
+    lambdas: Dict[int, float],
+    epsilon: float,
+    edge_set: Optional[Iterable[int]] = None,
+    beta: Optional[float] = None,
+    nu: Optional[float] = None,
+    tracker: Optional[RoundTracker] = None,
+) -> DefectiveTwoColoringResult:
+    """Solve the generalized (1+ε, 2β)-relaxed defective 2-edge coloring (Corollary 5.7).
+
+    Args:
+        graph: the host graph.
+        bipartition: 2-coloring of the nodes; all instance edges must cross it.
+        lambdas: per-edge λ_e ∈ [0, 1].
+        epsilon: the ε of Definition 5.1.
+        edge_set: the instance's edges (defaults to all edges).
+        beta: additive slack used in Equation (3); defaults to 0 (the
+            practical override — see ``repro.core.parameters``); the
+            analytic value is ``beta_theoretical(ε, Δ̄)``.
+        nu: optional override of the orientation's phase parameter.
+        tracker: optional round tracker.
+    """
+    edges: List[int] = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
+    local_tracker = RoundTracker()
+
+    # Degrees within the instance.
+    node_deg = [0] * graph.num_nodes
+    for e in edges:
+        u, v = graph.edge_endpoints(e)
+        node_deg[u] += 1
+        node_deg[v] += 1
+    edge_degrees = {}
+    for e in edges:
+        u, v = graph.edge_endpoints(e)
+        edge_degrees[e] = node_deg[u] + node_deg[v] - 2
+    bar_delta = max(edge_degrees.values(), default=0)
+    resolved_beta = 0.0 if beta is None else float(beta)
+
+    eta: Dict[int, float] = {}
+    for e in edges:
+        u, v = bipartition.orient_edge(graph, e)
+        eta[e] = eta_from_lambda(
+            lambda_e=lambdas[e],
+            deg_u=node_deg[u],
+            deg_v=node_deg[v],
+            deg_e=edge_degrees[e],
+            epsilon=epsilon,
+            beta=resolved_beta,
+        )
+
+    orientation = compute_balanced_orientation(
+        graph,
+        bipartition,
+        eta,
+        epsilon=epsilon,
+        edge_set=edges,
+        nu=nu,
+        tracker=local_tracker,
+    )
+
+    colors: Dict[int, int] = {}
+    for e in edges:
+        u, v = bipartition.orient_edge(graph, e)
+        tail, head = orientation.orientation[e]
+        colors[e] = RED if (tail, head) == (u, v) else BLUE
+
+    defects = measure_defects(graph, colors, edges)
+    local_tracker.charge(1, "defective-2-coloring-output")
+    if tracker is not None:
+        tracker.merge(local_tracker)
+
+    return DefectiveTwoColoringResult(
+        colors=colors,
+        red_edges={e for e, c in colors.items() if c == RED},
+        blue_edges={e for e, c in colors.items() if c == BLUE},
+        defects=defects,
+        orientation=orientation,
+        epsilon=epsilon,
+        beta=resolved_beta,
+        rounds=local_tracker.total,
+        lambdas=dict(lambdas),
+        edge_degrees=edge_degrees,
+    )
+
+
+def measure_defects(graph: Graph, colors: Dict[int, int], edges: Iterable[int]) -> Dict[int, int]:
+    """Number of same-colored neighboring edges for every edge of the instance."""
+    edge_list = list(edges)
+    edge_set = set(edge_list)
+    # Count per (node, color) to avoid quadratic scans.
+    per_node_color: Dict[Tuple[int, int], int] = {}
+    for e in edge_list:
+        u, v = graph.edge_endpoints(e)
+        c = colors[e]
+        per_node_color[(u, c)] = per_node_color.get((u, c), 0) + 1
+        per_node_color[(v, c)] = per_node_color.get((v, c), 0) + 1
+    defects: Dict[int, int] = {}
+    for e in edge_list:
+        u, v = graph.edge_endpoints(e)
+        c = colors[e]
+        defects[e] = per_node_color.get((u, c), 0) + per_node_color.get((v, c), 0) - 2
+    return defects
+
+
+def half_split_lambdas(edges: Iterable[int]) -> Dict[int, float]:
+    """λ_e = 1/2 for every edge (the plain degree-splitting case of Section 6)."""
+    return {e: 0.5 for e in edges}
+
+
+def list_driven_lambdas(
+    lists: Dict[int, Sequence[int]],
+    left_colors: Set[int],
+    edges: Iterable[int],
+) -> Dict[int, float]:
+    """λ_e = |L_e ∩ left| / |L_e| as in Section 7 / Lemma D.1."""
+    lambdas = {}
+    for e in edges:
+        colors = lists[e]
+        if not colors:
+            lambdas[e] = 0.5
+            continue
+        in_left = sum(1 for c in colors if c in left_colors)
+        lambdas[e] = in_left / len(colors)
+    return lambdas

@@ -1,0 +1,465 @@
+"""(degree+1)-list edge coloring in the LOCAL model (Section 7 / Appendix D).
+
+Three layers, mirroring the paper:
+
+* :func:`solve_relaxed_instance` — the Lemma D.2 solver.  On a 2-colored
+  bipartite (sub)graph whose edges satisfy ``|L_e| ≥ deg(e) + 1`` it
+  recursively halves the color space, using the generalized defective
+  2-edge coloring of Section 5 with λ_e = |L_e ∩ left half| / |L_e| to
+  split the edges, sends low-degree / low-slack edges to per-level
+  *passive* sets, and finally colors the passive sets greedily from the
+  deepest level upwards.  An additional post-split check (see DESIGN.md
+  §3) re-passivates any edge whose list would become smaller than its new
+  degree + 1, so the output is a correct list coloring for *every* input
+  satisfying the (degree+1) condition, independent of how well the
+  defective splits performed.
+
+* :func:`partially_color_bipartite` — the Lemma D.3 substitute (DESIGN.md
+  §3.3).  It splits the uncolored bipartite graph into
+  ``params.list_reduction_parts`` edge-disjoint parts with λ = 1/2
+  defective splits and colors the parts sequentially with the Lemma D.2
+  solver, where an edge participates only while its available list is at
+  least ``params.list_slack`` times its uncolored within-part degree.
+  Edges that stay uncolored were skipped, and an edge is only skipped
+  when its uncolored degree is already small — which is exactly the
+  degree-reduction guarantee Lemma D.3 provides.
+
+* :func:`list_edge_coloring` — Theorem D.4.  A defective 4-coloring of
+  the nodes splits the uncolored graph into bipartite class pairs; each
+  pair is partially colored with :func:`partially_color_bipartite`; the
+  uncolored degree shrinks by a constant factor per outer iteration, and
+  the constant-degree leftover is colored greedily.  The (degree+1)
+  invariant — every uncolored edge always has more available colors than
+  uncolored neighbors — is maintained throughout, so the final greedy
+  step (and hence the whole algorithm) always succeeds.
+
+The standard (2Δ−1)-edge coloring of Theorem 1.1 is the special case in
+which every list is ``{0, …, 2Δ−2}``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.coloring.defective_vertex import defective_split_coloring
+from repro.coloring.greedy import greedy_edge_coloring_by_classes, proper_edge_schedule
+from repro.coloring.linial import linial_vertex_coloring
+from repro.core import parameters
+from repro.core.defective_edge_coloring import (
+    generalized_defective_two_edge_coloring,
+    half_split_lambdas,
+    list_driven_lambdas,
+)
+from repro.core.slack import ListEdgeColoringInstance, uniform_instance
+from repro.distributed.rounds import RoundTracker
+from repro.graphs.bipartite import Bipartition
+from repro.graphs.core import Graph
+
+
+@dataclass
+class ListColoringResult:
+    """Outcome of the Theorem D.4 list edge coloring.
+
+    Attributes:
+        colors: proper list edge coloring, keyed by edge index.
+        num_colors: number of distinct colors used.
+        color_space: size of the instance's color space C.
+        bound: 2Δ − 1 (the Theorem 1.1 bound; meaningful for the uniform
+            instance, informational for arbitrary lists).
+        rounds: communication rounds charged.
+        outer_iterations: number of Theorem D.4 outer recursion levels.
+        level_degrees: maximum uncolored degree at the start of each level.
+    """
+
+    colors: Dict[int, int]
+    num_colors: int
+    color_space: int
+    bound: int
+    rounds: int
+    outer_iterations: int
+    level_degrees: List[int] = field(default_factory=list)
+
+
+# ---------------------------------------------------------------------------- helpers
+def _edge_degrees_within(graph: Graph, edges: Iterable[int]) -> Dict[int, int]:
+    """Edge degrees restricted to the given edge set."""
+    edge_list = list(edges)
+    node_deg = [0] * graph.num_nodes
+    for e in edge_list:
+        u, v = graph.edge_endpoints(e)
+        node_deg[u] += 1
+        node_deg[v] += 1
+    result = {}
+    for e in edge_list:
+        u, v = graph.edge_endpoints(e)
+        result[e] = node_deg[u] + node_deg[v] - 2
+    return result
+
+
+def _available(
+    graph: Graph, lists: Dict[int, Sequence[int]], e: int, coloring: Dict[int, int]
+) -> List[int]:
+    """Colors of ``lists[e]`` not used by already-colored adjacent edges."""
+    used = {coloring[f] for f in graph.adjacent_edges(e) if f in coloring}
+    return [c for c in lists[e] if c not in used]
+
+
+# ---------------------------------------------------------------------------- Lemma D.2
+def solve_relaxed_instance(
+    graph: Graph,
+    bipartition: Bipartition,
+    lists: Dict[int, Sequence[int]],
+    edge_set: Optional[Iterable[int]] = None,
+    existing_colors: Optional[Dict[int, int]] = None,
+    params: Optional[parameters.PracticalParameters] = None,
+    tracker: Optional[RoundTracker] = None,
+) -> Dict[int, int]:
+    """Color every edge of a bipartite list instance from its list (Lemma D.2).
+
+    Requirements: every instance edge is bichromatic w.r.t. ``bipartition``
+    and its (already pruned) list has at least ``deg(e) + 1`` colors,
+    where the degree counts adjacent instance edges.  The paper requires
+    slack ``S ≥ e²``; this implementation stays correct for slack 1 — the
+    slack only influences how early edges turn passive and therefore the
+    round count.
+
+    Args:
+        graph: the host graph.
+        bipartition: node sides.
+        lists: per-edge available color lists (already excluding the
+            colors of adjacent edges colored before this call).
+        edge_set: instance edges (defaults to the keys of ``lists``).
+        existing_colors: colors of edges outside the instance (only used
+            to seed the greedy passes; the lists must already exclude them).
+        params: practical parameter overrides.
+        tracker: optional round tracker.
+
+    Returns the colors chosen for the instance edges.
+    """
+    params = params or parameters.DEFAULT_PARAMETERS
+    own = RoundTracker()
+    edges: List[int] = sorted(set(edge_set)) if edge_set is not None else sorted(lists.keys())
+    if not edges:
+        return {}
+
+    degrees = _edge_degrees_within(graph, edges)
+    for e in edges:
+        if len(lists[e]) < degrees[e] + 1:
+            raise ValueError(
+                f"edge {e} has {len(lists[e])} available colors but degree {degrees[e]}; "
+                "the (degree+1) condition is violated"
+            )
+
+    color_values = {c for e in edges for c in lists[e]}
+    max_levels = max(1, math.ceil(math.log2(max(2, len(color_values)))) + 1)
+
+    @dataclass
+    class _Part:
+        edges: List[int]
+        lists: Dict[int, List[int]]
+
+    parts: List[_Part] = [_Part(edges=list(edges), lists={e: list(lists[e]) for e in edges})]
+    passive_levels: List[List[Tuple[int, List[int]]]] = []
+
+    for _level in range(max_levels):
+        if not parts:
+            break
+        new_parts: List[_Part] = []
+        level_passive: List[Tuple[int, List[int]]] = []
+        # The parts at one level are edge-disjoint and use disjoint color
+        # spaces: their defective splits run in parallel, so the level costs
+        # the maximum over the parts.
+        level_rounds = 0
+        for part in parts:
+            part_degrees = _edge_degrees_within(graph, part.edges)
+            active: List[int] = []
+            for e in part.edges:
+                degree = part_degrees[e]
+                list_size = len(part.lists[e])
+                if degree <= params.leaf_degree or list_size < params.passive_slack_threshold * max(1, degree):
+                    level_passive.append((e, part.lists[e]))
+                else:
+                    active.append(e)
+            if not active:
+                continue
+            # Split the part's color space in half by value (Section 7).
+            union = sorted({c for e in active for c in part.lists[e]})
+            if len(union) <= 1:
+                level_passive.extend((e, part.lists[e]) for e in active)
+                continue
+            left_colors = set(union[: len(union) // 2])
+            lambdas = list_driven_lambdas({e: part.lists[e] for e in active}, left_colors, active)
+            part_tracker = RoundTracker()
+            split = generalized_defective_two_edge_coloring(
+                graph,
+                bipartition,
+                lambdas,
+                epsilon=max(params.epsilon, 0.5),
+                edge_set=active,
+                beta=params.beta(max(part_degrees.values(), default=0)),
+                nu=params.resolved_nu(),
+                tracker=part_tracker,
+            )
+            level_rounds = max(level_rounds, part_tracker.total)
+            for side_edges in (sorted(split.red_edges), sorted(split.blue_edges)):
+                if not side_edges:
+                    continue
+                keep_left = side_edges is not None and split.colors[side_edges[0]] == 0
+                side_lists = {
+                    e: [c for c in part.lists[e] if (c in left_colors) == keep_left]
+                    for e in side_edges
+                }
+                side_degrees = _edge_degrees_within(graph, side_edges)
+                survivors: List[int] = []
+                for e in side_edges:
+                    if len(side_lists[e]) >= side_degrees[e] + 1:
+                        survivors.append(e)
+                    else:
+                        # Correctness net: the split left this edge with too few
+                        # colors; keep it at the parent level instead.
+                        level_passive.append((e, part.lists[e]))
+                if survivors:
+                    new_parts.append(
+                        _Part(edges=survivors, lists={e: side_lists[e] for e in survivors})
+                    )
+        own.charge(level_rounds, "list-solver-split-level")
+        passive_levels.append(level_passive)
+        parts = new_parts
+
+    # Any still-active leaves are colored first (deepest batch).
+    if parts:
+        leftover: List[Tuple[int, List[int]]] = []
+        for part in parts:
+            leftover.extend((e, part.lists[e]) for e in part.edges)
+        passive_levels.append(leftover)
+
+    assigned: Dict[int, int] = dict(existing_colors) if existing_colors else {}
+    result: Dict[int, int] = {}
+    for batch in reversed(passive_levels):
+        if not batch:
+            continue
+        batch_edges = [e for e, _lst in batch]
+        batch_lists = {e: lst for e, lst in batch}
+        schedule = proper_edge_schedule(graph, batch_edges, tracker=own)
+        new = greedy_edge_coloring_by_classes(
+            graph,
+            schedule,
+            lists=batch_lists,
+            edge_set=set(batch_edges),
+            existing_colors=assigned,
+            tracker=own,
+        )
+        assigned.update(new)
+        result.update(new)
+
+    if tracker is not None:
+        tracker.merge(own)
+    return result
+
+
+# ---------------------------------------------------------------------------- Lemma D.3 substitute
+def partially_color_bipartite(
+    graph: Graph,
+    bipartition: Bipartition,
+    instance: ListEdgeColoringInstance,
+    edge_set: Iterable[int],
+    coloring: Dict[int, int],
+    params: Optional[parameters.PracticalParameters] = None,
+    tracker: Optional[RoundTracker] = None,
+) -> Dict[int, int]:
+    """Partially color a bipartite piece so that its uncolored degree drops (Lemma D.3).
+
+    The uncolored edges are split into ``params.list_reduction_parts``
+    edge-disjoint parts (repeated λ = 1/2 defective splits); the parts are
+    colored sequentially with :func:`solve_relaxed_instance`, where an
+    edge participates only if its currently available list is at least
+    ``params.list_slack`` times its uncolored within-part degree (and at
+    least that degree + 1).  Edges skipped this way already have a small
+    uncolored degree, which is the degree-reduction guarantee.
+
+    Returns the newly assigned colors (``coloring`` itself is not modified).
+    """
+    params = params or parameters.DEFAULT_PARAMETERS
+    own = RoundTracker()
+    edges = [e for e in edge_set if e not in coloring]
+    newly: Dict[int, int] = {}
+    if not edges:
+        return newly
+
+    split_levels = max(1, math.ceil(math.log2(max(2, params.list_reduction_parts))))
+    parts: List[List[int]] = [edges]
+    for _ in range(split_levels):
+        next_parts: List[List[int]] = []
+        # Parts are edge-disjoint: the splits of one level run in parallel.
+        level_rounds = 0
+        for part in parts:
+            part_degrees = _edge_degrees_within(graph, part)
+            if len(part) <= 1 or max(part_degrees.values(), default=0) <= 1:
+                next_parts.append(part)
+                continue
+            part_tracker = RoundTracker()
+            split = generalized_defective_two_edge_coloring(
+                graph,
+                bipartition,
+                half_split_lambdas(part),
+                epsilon=max(params.epsilon, 0.5),
+                edge_set=part,
+                beta=params.beta(max(part_degrees.values(), default=0)),
+                nu=params.resolved_nu(),
+                tracker=part_tracker,
+            )
+            level_rounds = max(level_rounds, part_tracker.total)
+            next_parts.append(sorted(split.red_edges))
+            next_parts.append(sorted(split.blue_edges))
+        own.charge(level_rounds, "degree-reduction-split-level")
+        parts = [p for p in next_parts if p]
+
+    working = dict(coloring)
+    for part in parts:
+        uncolored_part = [e for e in part if e not in working]
+        if not uncolored_part:
+            continue
+        part_degrees = _edge_degrees_within(graph, uncolored_part)
+        participant_lists: Dict[int, List[int]] = {}
+        for e in uncolored_part:
+            available = _available(graph, instance.lists, e, working)
+            degree = part_degrees[e]
+            threshold = max(degree + 1, math.ceil(params.list_slack * degree))
+            if len(available) >= threshold:
+                participant_lists[e] = available
+        if not participant_lists:
+            continue
+        new = solve_relaxed_instance(
+            graph,
+            bipartition,
+            participant_lists,
+            edge_set=list(participant_lists.keys()),
+            existing_colors=working,
+            params=params,
+            tracker=own,
+        )
+        working.update(new)
+        newly.update(new)
+
+    if tracker is not None:
+        tracker.merge(own)
+    return newly
+
+
+# ---------------------------------------------------------------------------- Theorem D.4
+def list_edge_coloring(
+    graph: Graph,
+    instance: Optional[ListEdgeColoringInstance] = None,
+    params: Optional[parameters.PracticalParameters] = None,
+    tracker: Optional[RoundTracker] = None,
+) -> ListColoringResult:
+    """Solve the (degree+1)-list edge coloring problem (Theorems 1.1 / D.4).
+
+    Args:
+        graph: the input graph.
+        instance: the list instance; defaults to the uniform (2Δ−1)-list
+            instance, in which case the output is a (2Δ−1)-edge coloring.
+        params: practical parameter overrides.
+        tracker: optional round tracker.
+
+    Raises ``ValueError`` if the instance violates the (degree+1) condition.
+    """
+    params = params or parameters.DEFAULT_PARAMETERS
+    own = RoundTracker()
+    if instance is None:
+        instance = uniform_instance(graph)
+    if not instance.is_degree_plus_one():
+        raise ValueError("the instance violates the (degree+1)-list condition")
+
+    bound = max(1, 2 * graph.max_degree - 1)
+    if graph.num_edges == 0:
+        return ListColoringResult(
+            colors={},
+            num_colors=0,
+            color_space=instance.color_space,
+            bound=bound,
+            rounds=0,
+            outer_iterations=0,
+        )
+
+    vertex_colors, vertex_color_count = linial_vertex_coloring(graph, tracker=own)
+    coloring: Dict[int, int] = {}
+    level_degrees: List[int] = []
+    max_outer = 2 * math.ceil(math.log2(max(2, graph.max_degree))) + 4
+    outer = 0
+
+    while True:
+        uncolored = [e for e in graph.edges() if e not in coloring]
+        if not uncolored:
+            break
+        node_deg = graph.edge_subgraph_degrees(set(uncolored))
+        current_delta = max(node_deg)
+        level_degrees.append(current_delta)
+        if current_delta <= params.final_degree or outer >= max_outer:
+            break
+        outer += 1
+
+        subgraph = graph.subgraph_from_edges(uncolored)
+        classes, _defect = defective_split_coloring(
+            subgraph,
+            num_classes=4,
+            epsilon=0.125,
+            proper_coloring=vertex_colors,
+            proper_num_colors=vertex_color_count,
+            tracker=own,
+        )
+        for class_a in range(4):
+            for class_b in range(class_a + 1, 4):
+                pair_edges = []
+                for e in uncolored:
+                    if e in coloring:
+                        continue
+                    u, v = graph.edge_endpoints(e)
+                    if {classes[u], classes[v]} == {class_a, class_b}:
+                        pair_edges.append(e)
+                if not pair_edges:
+                    continue
+                bipartition = Bipartition(
+                    [0 if classes[v] == class_a else 1 for v in graph.nodes()]
+                )
+                new = partially_color_bipartite(
+                    graph,
+                    bipartition,
+                    instance,
+                    pair_edges,
+                    coloring,
+                    params=params,
+                    tracker=own,
+                )
+                coloring.update(new)
+
+    # Final stage: the uncolored graph has small degree; greedy from the lists.
+    uncolored = [e for e in graph.edges() if e not in coloring]
+    if uncolored:
+        available_lists = {
+            e: _available(graph, instance.lists, e, coloring) for e in uncolored
+        }
+        schedule = proper_edge_schedule(graph, uncolored, tracker=own)
+        new = greedy_edge_coloring_by_classes(
+            graph,
+            schedule,
+            lists=available_lists,
+            edge_set=set(uncolored),
+            existing_colors=coloring,
+            tracker=own,
+        )
+        coloring.update(new)
+
+    if tracker is not None:
+        tracker.merge(own)
+    return ListColoringResult(
+        colors=coloring,
+        num_colors=len(set(coloring.values())),
+        color_space=instance.color_space,
+        bound=bound,
+        rounds=own.total,
+        outer_iterations=outer,
+        level_degrees=level_degrees,
+    )

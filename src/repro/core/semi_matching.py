@@ -1,0 +1,151 @@
+"""Stable edge orientations and perfect defective 2-colorings (Section 3).
+
+Section 3 explains the origin of the token dropping machinery: Brandt et
+al. [14] use the token dropping game to compute *stable edge
+orientations* — orientations in which, for every edge oriented from ``u``
+to ``v``, the in-degrees satisfy ``x_v − x_u ≤ 1`` — and observe that on a
+Δ-regular 2-colored bipartite graph a stable orientation immediately
+gives a *perfect* defective 2-edge coloring: color U→V edges red and V→U
+edges blue, and every edge has at most Δ−1 same-colored neighbors (half
+of its 2Δ−2 neighbors).
+
+This module reproduces that special case.  The stabilization is computed
+by conflict-free local flipping: in every round, a maximal set of
+pairwise non-adjacent violating edges (chosen by identifier) flips its
+orientation.  Every flip decreases the potential Σ_v x_v², so the process
+terminates with a stable orientation; the paper's/[14]'s algorithm
+achieves the same end state through the token dropping game (the
+generalized, ε-relaxed version of which is in
+:mod:`repro.core.balanced_orientation`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.distributed.rounds import RoundTracker
+from repro.graphs.bipartite import Bipartition
+from repro.graphs.core import Graph
+
+
+@dataclass
+class StableOrientationResult:
+    """A stable edge orientation.
+
+    Attributes:
+        orientation: per edge, the pair ``(tail, head)``.
+        in_degrees: number of edges oriented towards each node.
+        rounds: flip rounds used.
+        flips: total number of orientation flips performed.
+    """
+
+    orientation: Dict[int, Tuple[int, int]]
+    in_degrees: List[int]
+    rounds: int
+    flips: int
+
+    def violations(self, graph: Graph) -> List[int]:
+        """Edges violating stability (x_head − x_tail ≥ 2)."""
+        return [
+            e
+            for e, (tail, head) in self.orientation.items()
+            if self.in_degrees[head] - self.in_degrees[tail] >= 2
+        ]
+
+
+def stable_edge_orientation(
+    graph: Graph,
+    tracker: Optional[RoundTracker] = None,
+    max_rounds: Optional[int] = None,
+) -> StableOrientationResult:
+    """Compute a stable edge orientation by conflict-free local flipping.
+
+    Starting from the orientation "towards the higher-identifier
+    endpoint", every round flips a set of pairwise non-adjacent violating
+    edges (an edge is violating when the head's in-degree exceeds the
+    tail's by at least 2; flipping it reduces Σ x_v² by at least 2).  The
+    result satisfies ``x_head − x_tail ≤ 1`` for every edge.
+    """
+    orientation: Dict[int, Tuple[int, int]] = {}
+    x = [0] * graph.num_nodes
+    for e in graph.edges():
+        u, v = graph.edge_endpoints(e)
+        tail, head = (u, v) if graph.node_id(v) > graph.node_id(u) else (v, u)
+        orientation[e] = (tail, head)
+        x[head] += 1
+
+    if max_rounds is None:
+        # The potential Σ x_v² ≤ Δ·m drops by at least 2 per round with a
+        # violation, so Δ·m/2 rounds always suffice.
+        max_rounds = max(4, graph.max_degree) * max(1, graph.num_edges) + 8
+    rounds = 0
+    flips = 0
+    for _ in range(max_rounds):
+        violating = [
+            e
+            for e, (tail, head) in orientation.items()
+            if x[head] - x[tail] >= 2
+        ]
+        rounds += 1
+        if tracker is not None:
+            tracker.charge(1, "stable-orientation-flips")
+        if not violating:
+            break
+        # Pick a maximal set of pairwise non-adjacent violating edges: an
+        # edge flips when it has the smallest index among violating edges
+        # touching either of its endpoints.
+        violating_set = set(violating)
+        chosen = []
+        for e in sorted(violating):
+            u, v = graph.edge_endpoints(e)
+            competitors = [
+                f
+                for f in graph.adjacent_edges(e)
+                if f in violating_set
+            ]
+            if all(e < f for f in competitors):
+                chosen.append(e)
+        if not chosen:
+            chosen = [min(violating)]
+        for e in chosen:
+            tail, head = orientation[e]
+            # Re-check against the current counts: adjacent flips are
+            # excluded by construction, so the violation still holds.
+            if x[head] - x[tail] < 2:
+                continue
+            orientation[e] = (head, tail)
+            x[head] -= 1
+            x[tail] += 1
+            flips += 1
+    return StableOrientationResult(
+        orientation=orientation, in_degrees=x, rounds=rounds, flips=flips
+    )
+
+
+def perfect_defective_two_coloring_regular(
+    graph: Graph,
+    bipartition: Bipartition,
+    tracker: Optional[RoundTracker] = None,
+) -> Tuple[Dict[int, int], StableOrientationResult]:
+    """The Section 3 special case: a perfect defective 2-edge coloring.
+
+    Requires a Δ-regular 2-colored bipartite graph.  Edges oriented from U
+    to V by a stable orientation are colored red (0), the others blue (1);
+    every edge then has at most Δ−1 neighbors of its own color.
+
+    Returns ``(colors, orientation_result)``.
+    """
+    delta = graph.max_degree
+    for v in graph.nodes():
+        if graph.degree(v) != delta:
+            raise ValueError("the perfect defective 2-coloring of Section 3 needs a regular graph")
+    if not bipartition.validates(graph):
+        raise ValueError("every edge must cross the bipartition")
+    result = stable_edge_orientation(graph, tracker=tracker)
+    colors: Dict[int, int] = {}
+    for e in graph.edges():
+        u, v = bipartition.orient_edge(graph, e)
+        tail, head = result.orientation[e]
+        colors[e] = 0 if (tail, head) == (u, v) else 1
+    return colors, result

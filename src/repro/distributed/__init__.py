@@ -1,0 +1,19 @@
+"""Synchronous distributed-computing substrate (LOCAL / CONGEST simulation)."""
+
+from repro.distributed.model import Model, congest_bit_budget
+from repro.distributed.rounds import RoundTracker
+from repro.distributed.messages import CongestAuditor, message_size_bits
+from repro.distributed.metrics import ExecutionMetrics
+from repro.distributed.network import SynchronousNetwork
+from repro.distributed.algorithms import NodeAlgorithm
+
+__all__ = [
+    "Model",
+    "congest_bit_budget",
+    "RoundTracker",
+    "CongestAuditor",
+    "message_size_bits",
+    "ExecutionMetrics",
+    "SynchronousNetwork",
+    "NodeAlgorithm",
+]

@@ -1,0 +1,74 @@
+"""Base class for algorithms executed on the message-passing simulator.
+
+A :class:`NodeAlgorithm` describes the behaviour of a single node: what
+local state it starts with, what messages it sends to each neighbor in a
+round, how it updates its state when the neighbors' messages arrive, and
+when it has terminated.  The simulator (:class:`repro.distributed.network.
+SynchronousNetwork`) instantiates one state object per node and drives
+all of them in lock-step synchronous rounds, exactly like the LOCAL /
+CONGEST models of Section 2.
+
+Nodes only ever see:
+
+* their own node index, identifier, degree and incident ports,
+* global problem parameters handed to every node (n, Δ, the color space),
+* the messages received from their neighbors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+
+@dataclass
+class NodeContext:
+    """Read-only local information available to a node.
+
+    Attributes:
+        node: the node index (used only as a simulator handle).
+        node_id: the unique O(log n)-bit identifier of the node.
+        degree: the node's degree.
+        neighbor_ids: identifiers of the neighbors, indexed by port.
+        globals: problem parameters known to all nodes (n, Δ, ...).
+    """
+
+    node: int
+    node_id: int
+    degree: int
+    neighbor_ids: List[int]
+    globals: Dict[str, Any] = field(default_factory=dict)
+
+
+class NodeAlgorithm:
+    """Behaviour of a node in a synchronous distributed algorithm.
+
+    Subclasses override :meth:`initialize`, :meth:`send`, :meth:`receive`
+    and :meth:`finished`.  Messages are addressed by *port*: the position
+    of the neighbor in ``NodeContext.neighbor_ids``.
+    """
+
+    def initialize(self, ctx: NodeContext) -> Dict[str, Any]:
+        """Initial local state of the node."""
+        return {}
+
+    def send(self, ctx: NodeContext, state: Dict[str, Any], round_index: int) -> Dict[int, Any]:
+        """Messages to send this round, keyed by port.  Missing ports send nothing."""
+        return {}
+
+    def receive(
+        self,
+        ctx: NodeContext,
+        state: Dict[str, Any],
+        inbox: Dict[int, Any],
+        round_index: int,
+    ) -> None:
+        """Update the local state given the messages received this round."""
+
+    def finished(self, ctx: NodeContext, state: Dict[str, Any]) -> bool:
+        """Whether this node has produced its final output."""
+        return True
+
+    def output(self, ctx: NodeContext, state: Dict[str, Any]) -> Any:
+        """The node's final output (read by the caller after termination)."""
+        return state.get("output")

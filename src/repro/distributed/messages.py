@@ -1,0 +1,97 @@
+"""Message-size accounting for the CONGEST model.
+
+Messages exchanged by the simulated algorithms are plain Python values
+(integers, booleans, tuples/lists of such, small dicts).  For CONGEST
+auditing we estimate how many bits an honest binary encoding of the value
+would take:
+
+* an integer ``x`` costs ``bit_length(|x|) + 1`` bits (sign/zero bit),
+* a boolean or ``None`` costs 1 bit,
+* a float costs 64 bits,
+* a sequence costs the sum of its elements plus a small length header,
+* a mapping costs the sum over keys and values plus a header.
+
+The estimates only need to be accurate up to constant factors — the
+CONGEST bound itself is O(log n) bits.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.distributed.model import congest_bit_budget
+
+_LENGTH_HEADER_BITS = 8
+
+
+def message_size_bits(payload: Any) -> int:
+    """Estimated size of ``payload`` in bits under a straightforward encoding."""
+    if payload is None or isinstance(payload, bool):
+        return 1
+    if isinstance(payload, int):
+        return max(1, abs(payload).bit_length()) + 1
+    if isinstance(payload, float):
+        return 64
+    if isinstance(payload, str):
+        return _LENGTH_HEADER_BITS + 8 * len(payload)
+    if isinstance(payload, (list, tuple, set, frozenset)):
+        return _LENGTH_HEADER_BITS + sum(message_size_bits(item) for item in payload)
+    if isinstance(payload, dict):
+        return _LENGTH_HEADER_BITS + sum(
+            message_size_bits(key) + message_size_bits(value) for key, value in payload.items()
+        )
+    raise TypeError(f"cannot estimate the size of a {type(payload).__name__} message")
+
+
+@dataclass
+class CongestAuditor:
+    """Records message sizes and checks them against the CONGEST budget.
+
+    Args:
+        num_nodes: size of the network (defines the O(log n) budget).
+        factor: constant factor allowed in the budget.
+        strict: when true, :meth:`record` raises on violation instead of
+            only recording it.
+    """
+
+    num_nodes: int
+    factor: int = 8
+    strict: bool = False
+    messages_recorded: int = 0
+    total_bits: int = 0
+    max_bits: int = 0
+    violations: List[int] = field(default_factory=list)
+
+    @property
+    def budget_bits(self) -> int:
+        """The per-message budget in bits."""
+        return congest_bit_budget(self.num_nodes, self.factor)
+
+    def record(self, payload: Any) -> int:
+        """Record one message; returns its estimated size in bits."""
+        bits = message_size_bits(payload)
+        self.messages_recorded += 1
+        self.total_bits += bits
+        self.max_bits = max(self.max_bits, bits)
+        if bits > self.budget_bits:
+            self.violations.append(bits)
+            if self.strict:
+                raise ValueError(
+                    f"CONGEST violation: message of {bits} bits exceeds budget of {self.budget_bits} bits"
+                )
+        return bits
+
+    @property
+    def compliant(self) -> bool:
+        """Whether every recorded message respected the budget."""
+        return not self.violations
+
+    def summary(self) -> Dict[str, Optional[int]]:
+        """A compact summary used by the benchmarks."""
+        return {
+            "messages": self.messages_recorded,
+            "max_bits": self.max_bits,
+            "budget_bits": self.budget_bits,
+            "violations": len(self.violations),
+        }

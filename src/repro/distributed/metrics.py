@@ -1,0 +1,43 @@
+"""Execution metrics shared by simulator runs and phase-charged algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+
+@dataclass
+class ExecutionMetrics:
+    """What a simulated execution cost.
+
+    Attributes:
+        rounds: synchronous communication rounds.
+        messages: number of (non-empty) messages delivered, when the
+            execution went through the message-passing simulator.
+        max_message_bits: size of the largest message, when audited.
+        congest_budget_bits: the CONGEST budget the run was audited against
+            (``None`` for LOCAL runs).
+        congest_violations: number of messages that exceeded the budget.
+        round_breakdown: rounds per algorithm phase label.
+    """
+
+    rounds: int = 0
+    messages: int = 0
+    max_message_bits: int = 0
+    congest_budget_bits: Optional[int] = None
+    congest_violations: int = 0
+    round_breakdown: Dict[str, int] = field(default_factory=dict)
+
+    def merge(self, other: "ExecutionMetrics") -> "ExecutionMetrics":
+        """Combine two executions run one after the other."""
+        breakdown = dict(self.round_breakdown)
+        for key, value in other.round_breakdown.items():
+            breakdown[key] = breakdown.get(key, 0) + value
+        return ExecutionMetrics(
+            rounds=self.rounds + other.rounds,
+            messages=self.messages + other.messages,
+            max_message_bits=max(self.max_message_bits, other.max_message_bits),
+            congest_budget_bits=self.congest_budget_bits or other.congest_budget_bits,
+            congest_violations=self.congest_violations + other.congest_violations,
+            round_breakdown=breakdown,
+        )

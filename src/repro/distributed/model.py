@@ -1,0 +1,33 @@
+"""The LOCAL and CONGEST models (Section 2 of the paper).
+
+Both models are synchronous message-passing models on the communication
+graph.  LOCAL places no bound on message sizes; CONGEST restricts every
+message to O(log n) bits.  The simulator treats the model as metadata:
+algorithms run identically, but in CONGEST mode every message is audited
+against the bit budget returned by :func:`congest_bit_budget`.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+
+
+class Model(enum.Enum):
+    """The distributed computing model an algorithm claims to run in."""
+
+    LOCAL = "LOCAL"
+    CONGEST = "CONGEST"
+
+
+#: Constant factor allowed in the O(log n) CONGEST message bound.  A
+#: message may carry a constant number of identifiers/counters, each of
+#: O(log n) bits; the auditors use ``factor * ceil(log2 n)`` bits.
+DEFAULT_CONGEST_FACTOR = 8
+
+
+def congest_bit_budget(num_nodes: int, factor: int = DEFAULT_CONGEST_FACTOR) -> int:
+    """The per-message bit budget of the CONGEST model for an n-node network."""
+    if num_nodes <= 1:
+        return factor
+    return factor * max(1, math.ceil(math.log2(num_nodes)))

@@ -1,0 +1,124 @@
+"""Synchronous message-passing simulator.
+
+Implements the execution environment of the LOCAL and CONGEST models
+(Section 2 of the paper): computation proceeds in synchronous rounds; in
+every round each node sends (possibly different) messages to its
+neighbors, receives the neighbors' messages, and updates its state.  The
+simulator drives a :class:`repro.distributed.algorithms.NodeAlgorithm`
+on every node of a :class:`repro.graphs.core.Graph` and reports the
+number of rounds, the number of messages and — in CONGEST mode — the
+maximum message size observed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.distributed.algorithms import NodeAlgorithm, NodeContext
+from repro.distributed.messages import CongestAuditor
+from repro.distributed.metrics import ExecutionMetrics
+from repro.distributed.model import Model
+from repro.graphs.core import Graph
+
+
+class SynchronousNetwork:
+    """A network of nodes executing one algorithm in synchronous rounds."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        model: Model = Model.LOCAL,
+        congest_factor: int = 8,
+        global_knowledge: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self._graph = graph
+        self._model = model
+        self._auditor = (
+            CongestAuditor(num_nodes=graph.num_nodes, factor=congest_factor)
+            if model is Model.CONGEST
+            else None
+        )
+        base_globals: Dict[str, Any] = {
+            "num_nodes": graph.num_nodes,
+            "max_degree": graph.max_degree,
+        }
+        if global_knowledge:
+            base_globals.update(global_knowledge)
+        self._contexts: List[NodeContext] = []
+        for v in graph.nodes():
+            neighbors = graph.neighbors(v)
+            self._contexts.append(
+                NodeContext(
+                    node=v,
+                    node_id=graph.node_id(v),
+                    degree=len(neighbors),
+                    neighbor_ids=[graph.node_id(w) for w in neighbors],
+                    globals=dict(base_globals),
+                )
+            )
+        # Port maps: port p of node v leads to neighbor graph.neighbors(v)[p].
+        self._ports: List[List[int]] = [graph.neighbors(v) for v in graph.nodes()]
+        self._reverse_port: Dict[Tuple[int, int], int] = {}
+        for v in graph.nodes():
+            for p, w in enumerate(self._ports[v]):
+                self._reverse_port[(v, w)] = p
+
+    @property
+    def graph(self) -> Graph:
+        """The communication graph."""
+        return self._graph
+
+    @property
+    def model(self) -> Model:
+        """The model the network simulates."""
+        return self._model
+
+    def run(
+        self,
+        algorithm: NodeAlgorithm,
+        max_rounds: int = 10_000,
+    ) -> Tuple[List[Any], ExecutionMetrics]:
+        """Run ``algorithm`` on every node until all nodes are finished.
+
+        Returns the per-node outputs and the execution metrics.  Raises
+        ``RuntimeError`` if the algorithm does not terminate within
+        ``max_rounds`` rounds.
+        """
+        states = [algorithm.initialize(ctx) for ctx in self._contexts]
+        metrics = ExecutionMetrics(
+            congest_budget_bits=self._auditor.budget_bits if self._auditor else None
+        )
+        rounds = 0
+        while not all(
+            algorithm.finished(ctx, state) for ctx, state in zip(self._contexts, states)
+        ):
+            if rounds >= max_rounds:
+                raise RuntimeError(f"algorithm did not terminate within {max_rounds} rounds")
+            outboxes = [
+                algorithm.send(ctx, state, rounds)
+                for ctx, state in zip(self._contexts, states)
+            ]
+            inboxes: List[Dict[int, Any]] = [dict() for _ in self._contexts]
+            for v, outbox in enumerate(outboxes):
+                for port, payload in outbox.items():
+                    if not (0 <= port < len(self._ports[v])):
+                        raise ValueError(f"node {v} sent on invalid port {port}")
+                    if payload is None:
+                        continue
+                    target = self._ports[v][port]
+                    back_port = self._reverse_port[(target, v)]
+                    inboxes[target][back_port] = payload
+                    metrics.messages += 1
+                    if self._auditor is not None:
+                        bits = self._auditor.record(payload)
+                        metrics.max_message_bits = max(metrics.max_message_bits, bits)
+            for ctx, state, inbox in zip(self._contexts, states, inboxes):
+                algorithm.receive(ctx, state, inbox, rounds)
+            rounds += 1
+        metrics.rounds = rounds
+        if self._auditor is not None:
+            metrics.congest_violations = len(self._auditor.violations)
+        outputs = [
+            algorithm.output(ctx, state) for ctx, state in zip(self._contexts, states)
+        ]
+        return outputs, metrics

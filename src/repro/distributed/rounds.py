@@ -1,0 +1,75 @@
+"""Round accounting.
+
+The higher-level algorithms of the paper are specified as sequences of
+*phases* (e.g. the ⌊k/δ⌋−1 phases of the token dropping algorithm, or the
+O(log Δ / ν) orientation phases of Section 5), where each phase consists
+of a constant number of communication rounds among neighbors.  Rather
+than serializing every phase through the message-passing simulator, those
+algorithms charge their rounds to a :class:`RoundTracker`: each charge
+records how many synchronous rounds the phase would take in the LOCAL or
+CONGEST model and a label identifying which part of the algorithm it
+belongs to.
+
+The low-level primitives that genuinely need identifier-driven symmetry
+breaking (Linial coloring, greedy coloring by color classes) are in
+addition implemented on the real message-passing simulator
+(:mod:`repro.distributed.network`) and their measured round counts agree
+with what they charge here; integration tests assert that.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from contextlib import contextmanager
+from typing import Dict, Iterator, Optional
+
+
+class RoundTracker:
+    """Accumulates synchronous communication rounds, with per-label breakdown."""
+
+    def __init__(self) -> None:
+        self._total = 0
+        self._breakdown: "OrderedDict[str, int]" = OrderedDict()
+        self._scope: Optional[str] = None
+
+    @property
+    def total(self) -> int:
+        """Total number of rounds charged so far."""
+        return self._total
+
+    @property
+    def breakdown(self) -> Dict[str, int]:
+        """Rounds per label, in charge order."""
+        return dict(self._breakdown)
+
+    def charge(self, rounds: int, label: str = "unlabelled") -> None:
+        """Charge ``rounds`` synchronous rounds under ``label``.
+
+        Zero-round charges are allowed (they record that a phase ran but
+        needed no communication); negative charges are rejected.
+        """
+        if rounds < 0:
+            raise ValueError("cannot charge a negative number of rounds")
+        if self._scope is not None:
+            label = f"{self._scope}/{label}"
+        self._total += rounds
+        self._breakdown[label] = self._breakdown.get(label, 0) + rounds
+
+    @contextmanager
+    def scope(self, label: str) -> Iterator["RoundTracker"]:
+        """Prefix all charges inside the context with ``label/``."""
+        previous = self._scope
+        self._scope = label if previous is None else f"{previous}/{label}"
+        try:
+            yield self
+        finally:
+            self._scope = previous
+
+    def merge(self, other: "RoundTracker", label: Optional[str] = None) -> None:
+        """Add another tracker's rounds (optionally under a prefix label)."""
+        for key, value in other.breakdown.items():
+            merged = key if label is None else f"{label}/{key}"
+            self.charge(value, merged)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"RoundTracker(total={self._total})"

@@ -1,0 +1,15 @@
+"""Graph substrate: static graphs, directed graphs, generators, bipartitions."""
+
+from repro.graphs.core import DirectedGraph, Graph
+from repro.graphs.bipartite import Bipartition, bipartition_from_sides, find_bipartition
+from repro.graphs import generators, identifiers
+
+__all__ = [
+    "Graph",
+    "DirectedGraph",
+    "Bipartition",
+    "bipartition_from_sides",
+    "find_bipartition",
+    "generators",
+    "identifiers",
+]

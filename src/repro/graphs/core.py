@@ -1,0 +1,376 @@
+"""Core graph data structures.
+
+The simulator and the coloring algorithms need a compact, deterministic
+graph representation with fast access to
+
+* the neighbors of a node,
+* the edges incident to a node,
+* the endpoints and the *edge degree* of an edge (its degree in the line
+  graph, ``deg(u) + deg(v) - 2`` as defined in Section 2 of the paper).
+
+Nodes are integers ``0 .. n-1``.  Edges are integers ``0 .. m-1`` and are
+stored with their endpoints normalized so that ``u < v``.  The class is
+immutable after construction; subgraphs are expressed as edge subsets
+(sets of edge indices) so that edge identities — and therefore colors,
+lists and orientations keyed by edge index — survive any decomposition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+
+class Graph:
+    """An undirected simple graph with indexed nodes and edges."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        edges: Iterable[Tuple[int, int]],
+        node_ids: Optional[Sequence[int]] = None,
+    ) -> None:
+        """Build a graph.
+
+        Args:
+            num_nodes: number of nodes; nodes are ``0 .. num_nodes - 1``.
+            edges: iterable of ``(u, v)`` pairs with ``u != v``; duplicates
+                (in either orientation) are rejected.
+            node_ids: optional unique identifiers (the ``poly(n)`` IDs of
+                the LOCAL model).  Defaults to ``0 .. num_nodes - 1``.
+        """
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        self._num_nodes = num_nodes
+        normalized: List[Tuple[int, int]] = []
+        seen: Set[Tuple[int, int]] = set()
+        for u, v in edges:
+            if u == v:
+                raise ValueError(f"self-loop at node {u} is not allowed")
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ValueError(f"edge ({u}, {v}) out of range for {num_nodes} nodes")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise ValueError(f"duplicate edge {key}")
+            seen.add(key)
+            normalized.append(key)
+        self._edges: List[Tuple[int, int]] = normalized
+        self._adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+        self._incident: List[List[int]] = [[] for _ in range(num_nodes)]
+        for index, (u, v) in enumerate(self._edges):
+            self._adjacency[u].append(v)
+            self._adjacency[v].append(u)
+            self._incident[u].append(index)
+            self._incident[v].append(index)
+        for v in range(num_nodes):
+            order = sorted(range(len(self._adjacency[v])), key=lambda i: self._adjacency[v][i])
+            self._adjacency[v] = [self._adjacency[v][i] for i in order]
+            self._incident[v] = [self._incident[v][i] for i in order]
+        if node_ids is None:
+            self._node_ids = list(range(num_nodes))
+        else:
+            ids = list(node_ids)
+            if len(ids) != num_nodes:
+                raise ValueError("node_ids must have one entry per node")
+            if len(set(ids)) != num_nodes:
+                raise ValueError("node_ids must be unique")
+            self._node_ids = ids
+        self._edge_index: Dict[Tuple[int, int], int] = {
+            key: index for index, key in enumerate(self._edges)
+        }
+
+    # ------------------------------------------------------------------ nodes
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._num_nodes
+
+    def nodes(self) -> range:
+        """Iterate node indices."""
+        return range(self._num_nodes)
+
+    def node_id(self, v: int) -> int:
+        """The unique identifier of node ``v`` (LOCAL model identifier)."""
+        return self._node_ids[v]
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All node identifiers, indexed by node."""
+        return list(self._node_ids)
+
+    def degree(self, v: int) -> int:
+        """Degree of node ``v``."""
+        return len(self._adjacency[v])
+
+    def neighbors(self, v: int) -> List[int]:
+        """Sorted neighbors of node ``v``."""
+        return list(self._adjacency[v])
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum node degree Δ (0 for an empty graph)."""
+        if self._num_nodes == 0:
+            return 0
+        return max(len(adj) for adj in self._adjacency)
+
+    # ------------------------------------------------------------------ edges
+    @property
+    def num_edges(self) -> int:
+        """Number of edges."""
+        return len(self._edges)
+
+    def edges(self) -> range:
+        """Iterate edge indices."""
+        return range(len(self._edges))
+
+    def edge_endpoints(self, e: int) -> Tuple[int, int]:
+        """Endpoints ``(u, v)`` of edge ``e`` with ``u < v``."""
+        return self._edges[e]
+
+    def edge_index(self, u: int, v: int) -> int:
+        """Edge index of the edge between ``u`` and ``v``.
+
+        Raises ``KeyError`` if the edge does not exist.
+        """
+        key = (u, v) if u < v else (v, u)
+        return self._edge_index[key]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether an edge between ``u`` and ``v`` exists."""
+        key = (u, v) if u < v else (v, u)
+        return key in self._edge_index
+
+    def incident_edges(self, v: int) -> List[int]:
+        """Edge indices incident to node ``v`` (sorted by neighbor)."""
+        return list(self._incident[v])
+
+    def other_endpoint(self, e: int, v: int) -> int:
+        """The endpoint of edge ``e`` that is not ``v``."""
+        u, w = self._edges[e]
+        if v == u:
+            return w
+        if v == w:
+            return u
+        raise ValueError(f"node {v} is not an endpoint of edge {e}")
+
+    def edge_degree(self, e: int) -> int:
+        """Degree of edge ``e`` in the line graph: deg(u) + deg(v) - 2."""
+        u, v = self._edges[e]
+        return self.degree(u) + self.degree(v) - 2
+
+    @property
+    def max_edge_degree(self) -> int:
+        """Maximum edge degree (0 for an edgeless graph)."""
+        if not self._edges:
+            return 0
+        return max(self.edge_degree(e) for e in self.edges())
+
+    def adjacent_edges(self, e: int) -> List[int]:
+        """Edge indices sharing an endpoint with ``e`` (excluding ``e``)."""
+        u, v = self._edges[e]
+        result = [f for f in self._incident[u] if f != e]
+        result.extend(f for f in self._incident[v] if f != e)
+        return result
+
+    def edge_id(self, e: int) -> int:
+        """A unique identifier for edge ``e`` derived from its endpoint ids.
+
+        The identifier is ``min_id * P + max_id`` where ``P`` is one more
+        than the largest node identifier, so it fits in O(log n) bits and
+        both endpoints can compute it locally.
+        """
+        u, v = self._edges[e]
+        base = max(self._node_ids) + 1 if self._node_ids else 1
+        a, b = sorted((self._node_ids[u], self._node_ids[v]))
+        return a * base + b
+
+    # -------------------------------------------------------------- subgraphs
+    def edge_subgraph_degrees(self, edge_set: Set[int]) -> List[int]:
+        """Node degrees restricted to the edges in ``edge_set``."""
+        degrees = [0] * self._num_nodes
+        for e in edge_set:
+            u, v = self._edges[e]
+            degrees[u] += 1
+            degrees[v] += 1
+        return degrees
+
+    def edge_degree_within(self, e: int, edge_set: Set[int], degrees: Optional[List[int]] = None) -> int:
+        """Edge degree of ``e`` counting only adjacent edges in ``edge_set``.
+
+        ``e`` itself does not need to be in ``edge_set``.  If ``degrees``
+        (node degrees within ``edge_set``) is supplied it is used instead
+        of recomputing.
+        """
+        u, v = self._edges[e]
+        if degrees is not None:
+            count = degrees[u] + degrees[v]
+            if e in edge_set:
+                count -= 2
+            return count
+        count = 0
+        for f in self._incident[u]:
+            if f != e and f in edge_set:
+                count += 1
+        for f in self._incident[v]:
+            if f != e and f in edge_set:
+                count += 1
+        return count
+
+    def subgraph_from_edges(self, edge_set: Iterable[int]) -> "Graph":
+        """A new :class:`Graph` over the same node set with only the given edges."""
+        return Graph(
+            self._num_nodes,
+            [self._edges[e] for e in sorted(set(edge_set))],
+            node_ids=self._node_ids,
+        )
+
+    def line_graph(self) -> "Graph":
+        """The line graph: one node per edge, edges between adjacent edges.
+
+        The node identifiers of the line graph are the edge identifiers of
+        this graph (unique, O(log n)-bit values).
+        """
+        line_edges: List[Tuple[int, int]] = []
+        for v in range(self._num_nodes):
+            incident = self._incident[v]
+            for i in range(len(incident)):
+                for j in range(i + 1, len(incident)):
+                    a, b = incident[i], incident[j]
+                    line_edges.append((a, b) if a < b else (b, a))
+        # Two edges can share at most one endpoint in a simple graph, so no duplicates.
+        return Graph(len(self._edges), line_edges, node_ids=[self.edge_id(e) for e in self.edges()])
+
+    # ------------------------------------------------------------------ misc
+    def connected_components(self) -> List[List[int]]:
+        """Connected components as lists of node indices."""
+        seen = [False] * self._num_nodes
+        components: List[List[int]] = []
+        for start in range(self._num_nodes):
+            if seen[start]:
+                continue
+            stack = [start]
+            seen[start] = True
+            component = []
+            while stack:
+                v = stack.pop()
+                component.append(v)
+                for w in self._adjacency[v]:
+                    if not seen[w]:
+                        seen[w] = True
+                        stack.append(w)
+            components.append(sorted(component))
+        return components
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"Graph(n={self._num_nodes}, m={len(self._edges)}, max_degree={self.max_degree})"
+
+
+@dataclass(frozen=True)
+class Arc:
+    """A directed edge ``tail -> head`` of a :class:`DirectedGraph`."""
+
+    tail: int
+    head: int
+
+
+class DirectedGraph:
+    """A directed multigraph used by the generalized token dropping game.
+
+    Arcs are indexed ``0 .. m-1``.  Parallel arcs and opposite arcs are
+    allowed (the token dropping game of Section 4 is defined on general
+    directed graphs); self-loops are not.
+    """
+
+    def __init__(self, num_nodes: int, arcs: Iterable[Tuple[int, int]]) -> None:
+        if num_nodes < 0:
+            raise ValueError("num_nodes must be non-negative")
+        self._num_nodes = num_nodes
+        self._arcs: List[Arc] = []
+        self._out: List[List[int]] = [[] for _ in range(num_nodes)]
+        self._in: List[List[int]] = [[] for _ in range(num_nodes)]
+        for tail, head in arcs:
+            if tail == head:
+                raise ValueError(f"self-loop at node {tail} is not allowed")
+            if not (0 <= tail < num_nodes and 0 <= head < num_nodes):
+                raise ValueError(f"arc ({tail}, {head}) out of range")
+            index = len(self._arcs)
+            self._arcs.append(Arc(tail, head))
+            self._out[tail].append(index)
+            self._in[head].append(index)
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes."""
+        return self._num_nodes
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs."""
+        return len(self._arcs)
+
+    def nodes(self) -> range:
+        """Iterate node indices."""
+        return range(self._num_nodes)
+
+    def arcs(self) -> range:
+        """Iterate arc indices."""
+        return range(len(self._arcs))
+
+    def arc(self, index: int) -> Arc:
+        """The arc with the given index."""
+        return self._arcs[index]
+
+    def out_arcs(self, v: int) -> List[int]:
+        """Indices of arcs leaving ``v``."""
+        return list(self._out[v])
+
+    def in_arcs(self, v: int) -> List[int]:
+        """Indices of arcs entering ``v``."""
+        return list(self._in[v])
+
+    def out_degree(self, v: int) -> int:
+        """Out-degree of ``v``."""
+        return len(self._out[v])
+
+    def in_degree(self, v: int) -> int:
+        """In-degree of ``v``."""
+        return len(self._in[v])
+
+    def degree(self, v: int) -> int:
+        """Total (undirected) degree of ``v``."""
+        return len(self._out[v]) + len(self._in[v])
+
+    def undirected_edge_degree(self, index: int) -> int:
+        """Degree of the arc in the underlying undirected (multi)graph.
+
+        This matches the paper's ``deg_G(e)`` convention for directed
+        graphs: degrees are taken in the undirected version of the graph.
+        """
+        arc = self._arcs[index]
+        return self.degree(arc.tail) + self.degree(arc.head) - 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"DirectedGraph(n={self._num_nodes}, m={len(self._arcs)})"
+
+
+def graph_from_networkx(nx_graph) -> Graph:
+    """Convert a :mod:`networkx` graph to a :class:`Graph`.
+
+    Node labels are relabelled to ``0 .. n-1`` in sorted label order; the
+    original labels are hashed into the node-id space only when they are
+    integers, otherwise consecutive identifiers are used.
+    """
+    labels = sorted(nx_graph.nodes())
+    index_of = {label: i for i, label in enumerate(labels)}
+    edges = [(index_of[u], index_of[v]) for u, v in nx_graph.edges()]
+    node_ids: Optional[List[int]] = None
+    if labels and all(isinstance(label, int) for label in labels):
+        node_ids = list(labels)
+    return Graph(len(labels), edges, node_ids=node_ids)
+
+
+def iter_edge_pairs(graph: Graph) -> Iterator[Tuple[int, int, int]]:
+    """Yield ``(e, u, v)`` for every edge of ``graph`` with ``u < v``."""
+    for e in graph.edges():
+        u, v = graph.edge_endpoints(e)
+        yield e, u, v

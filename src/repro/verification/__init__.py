@@ -1,0 +1,29 @@
+"""Checkers and invariant verifiers for every output type."""
+
+from repro.verification.checkers import (
+    defective_edge_coloring_violations,
+    defective_vertex_coloring_violations,
+    is_maximal_independent_set,
+    is_maximal_matching,
+    is_proper_edge_coloring,
+    is_proper_vertex_coloring,
+    list_coloring_violations,
+    orientation_in_degrees,
+)
+from repro.verification.invariants import (
+    check_token_game_validity,
+    slack_invariant_violations,
+)
+
+__all__ = [
+    "is_proper_edge_coloring",
+    "is_proper_vertex_coloring",
+    "is_maximal_matching",
+    "is_maximal_independent_set",
+    "list_coloring_violations",
+    "defective_edge_coloring_violations",
+    "defective_vertex_coloring_violations",
+    "orientation_in_degrees",
+    "check_token_game_validity",
+    "slack_invariant_violations",
+]

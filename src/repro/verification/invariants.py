@@ -1,0 +1,71 @@
+"""Invariant checks for the token dropping game and the list-coloring machinery."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.slack import ListEdgeColoringInstance
+from repro.core.token_dropping import TokenDroppingGame, TokenDroppingResult
+from repro.graphs.core import Graph
+
+
+def check_token_game_validity(
+    game: TokenDroppingGame, result: TokenDroppingResult
+) -> List[str]:
+    """Structural validity of a token dropping execution.
+
+    Checks (returns human-readable failures, empty list when valid):
+
+    * token conservation: the total number of tokens never changes;
+    * every node ends with at most ``k`` tokens and at least 0;
+    * passive arcs are exactly the arcs a token moved over;
+    * the final token vector equals the initial one plus (in-moves − out-moves).
+    """
+    failures: List[str] = []
+    graph = game.graph
+    if sum(result.tokens) != sum(game.initial_tokens):
+        failures.append(
+            f"token count changed: {sum(game.initial_tokens)} -> {sum(result.tokens)}"
+        )
+    for v in graph.nodes():
+        if result.tokens[v] < 0 or result.tokens[v] > game.k:
+            failures.append(f"node {v} ends with {result.tokens[v]} tokens outside [0, k]")
+    delta = [0] * graph.num_nodes
+    for arc_index in result.moved_arcs:
+        arc = graph.arc(arc_index)
+        delta[arc.tail] -= 1
+        delta[arc.head] += 1
+    for v in graph.nodes():
+        expected = game.initial_tokens[v] + delta[v]
+        if expected != result.tokens[v]:
+            failures.append(
+                f"node {v}: initial {game.initial_tokens[v]} plus moves {delta[v]} != final {result.tokens[v]}"
+            )
+    for arc_index in result.moved_arcs:
+        if arc_index not in result.arc_moves:
+            failures.append(f"arc {arc_index} moved but has no recorded phase")
+    return failures
+
+
+def slack_invariant_violations(
+    instance: ListEdgeColoringInstance,
+    coloring: Dict[int, int],
+) -> List[Tuple[int, int, int]]:
+    """Edges violating the (degree+1) availability invariant.
+
+    For every *uncolored* instance edge, the number of available colors
+    must exceed the number of uncolored adjacent instance edges.  This is
+    the invariant Theorem D.4 maintains and the reason the final greedy
+    pass always succeeds; it should hold after any partial run.
+
+    Returns tuples ``(edge, available, uncolored_degree)`` for violations.
+    """
+    violations = []
+    for e in instance.edge_set:
+        if e in coloring:
+            continue
+        available = len(instance.available_colors(e, coloring))
+        uncolored_degree = instance.uncolored_degree(e, coloring)
+        if available < uncolored_degree + 1:
+            violations.append((e, available, uncolored_degree))
+    return violations

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.bipartite import Bipartition
+from repro.graphs.core import Graph
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The triangle K3."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def small_cycle() -> Graph:
+    """A 12-cycle (Δ = 2)."""
+    return generators.cycle_graph(12)
+
+
+@pytest.fixture
+def small_regular() -> Graph:
+    """A small random 4-regular graph."""
+    return generators.random_regular_graph(24, 4, seed=7)
+
+
+@pytest.fixture
+def medium_regular() -> Graph:
+    """A medium random 8-regular graph (used by integration tests)."""
+    return generators.random_regular_graph(60, 8, seed=11)
+
+
+@pytest.fixture
+def small_bipartite() -> tuple[Graph, Bipartition]:
+    """A small 4-regular 2-colored bipartite graph."""
+    return generators.regular_bipartite_graph(16, 4, seed=5)
+
+
+@pytest.fixture
+def medium_bipartite() -> tuple[Graph, Bipartition]:
+    """A medium 8-regular 2-colored bipartite graph."""
+    return generators.regular_bipartite_graph(32, 8, seed=9)

@@ -1,0 +1,53 @@
+"""Unit tests for the high-level API."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.core.slack import ListEdgeColoringInstance
+from repro.graphs import generators
+from repro.verification.checkers import list_coloring_violations
+
+
+class TestLocalApi:
+    def test_default_two_delta_minus_one(self, small_regular):
+        outcome = api.color_edges_local(small_regular)
+        assert outcome.is_proper
+        assert outcome.algorithm == "local-list-coloring"
+        assert outcome.num_colors <= outcome.bound
+        assert "round_breakdown" in outcome.details
+
+    def test_list_instance(self):
+        graph = generators.random_regular_graph(24, 4, seed=5)
+        lists, space = generators.list_edge_coloring_lists(graph, seed=6)
+        instance = ListEdgeColoringInstance(graph, {e: lists[e] for e in graph.edges()}, space)
+        outcome = api.color_edges_local(graph, instance=instance)
+        assert outcome.is_proper
+        assert list_coloring_violations(graph, outcome.colors, instance.lists) == []
+
+
+class TestCongestApi:
+    def test_outcome_fields(self, small_regular):
+        outcome = api.color_edges_congest(small_regular, epsilon=1.0)
+        assert outcome.is_proper
+        assert outcome.algorithm == "congest-8eps"
+        assert outcome.details["palette_size"] <= outcome.bound
+
+
+class TestBipartiteApi:
+    def test_with_explicit_bipartition(self, small_bipartite):
+        graph, bipartition = small_bipartite
+        outcome = api.color_edges_bipartite(graph, bipartition)
+        assert outcome.is_proper
+        assert outcome.num_colors <= outcome.details["palette_size"]
+
+    def test_bipartition_detected_automatically(self):
+        graph = generators.grid_graph(5, 5)
+        outcome = api.color_edges_bipartite(graph)
+        assert outcome.is_proper
+
+    def test_non_bipartite_rejected(self):
+        graph = generators.complete_graph(5)
+        with pytest.raises(ValueError, match="not bipartite"):
+            api.color_edges_bipartite(graph)

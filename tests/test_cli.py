@@ -1,0 +1,55 @@
+"""Unit tests for the command line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_graph, main
+
+
+class TestBuildGraph:
+    def test_families(self):
+        assert build_graph("random-regular", 20, 4, 0.1, 0).max_degree == 4
+        assert build_graph("regular-bipartite", 20, 3, 0.1, 0).num_nodes == 20
+        assert build_graph("cycle", 12, 2, 0.1, 0).num_edges == 12
+        assert build_graph("hypercube", 0, 4, 0.1, 0).num_nodes == 16
+        assert build_graph("grid", 25, 4, 0.1, 0).num_nodes == 25
+        assert build_graph("erdos-renyi", 20, 4, 0.2, 1).num_nodes == 20
+
+    def test_unknown_family(self):
+        with pytest.raises(ValueError):
+            build_graph("mystery", 10, 2, 0.1, 0)
+
+
+class TestMain:
+    def test_local_run(self, capsys):
+        assert main(["--algorithm", "local", "--family", "cycle", "--n", "16"]) == 0
+        captured = capsys.readouterr().out
+        assert "local-list-coloring" in captured
+        assert "proper=True" in captured
+
+    def test_congest_run(self, capsys):
+        assert main(["--algorithm", "congest", "--family", "random-regular", "--n", "24", "--degree", "4"]) == 0
+        assert "congest-8eps" in capsys.readouterr().out
+
+    def test_bipartite_run(self, capsys):
+        assert main(["--algorithm", "bipartite", "--family", "grid", "--n", "16"]) == 0
+        assert "bipartite" in capsys.readouterr().out
+
+    def test_compare_run(self, capsys):
+        assert (
+            main(
+                [
+                    "--algorithm",
+                    "compare",
+                    "--family",
+                    "cycle",
+                    "--n",
+                    "12",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "algorithm" in out
+        assert "greedy-by-classes" in out

@@ -1,0 +1,104 @@
+"""Unit tests for the polynomial color-reduction machinery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring.color_reduction import (
+    is_prime,
+    minimum_conflict_step,
+    next_prime,
+    polynomial_step,
+    polynomial_value,
+    reduction_schedule,
+    step_parameters,
+)
+
+
+class TestPrimes:
+    def test_is_prime(self):
+        primes = [x for x in range(2, 60) if is_prime(x)]
+        assert primes == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]
+
+    def test_next_prime(self):
+        assert next_prime(1) == 2
+        assert next_prime(8) == 11
+        assert next_prime(13) == 13
+        assert next_prime(90) == 97
+
+
+class TestPolynomialValue:
+    def test_linear_polynomial(self):
+        # color 7 with q = 5, degree 1: coefficients (2, 1) -> f(x) = 2 + x.
+        assert polynomial_value(7, 0, 5, 1) == 2
+        assert polynomial_value(7, 1, 5, 1) == 3
+        assert polynomial_value(7, 4, 5, 1) == 1
+
+    def test_distinct_colors_agree_on_few_points(self):
+        q, d = 7, 2
+        for a in range(q ** (d + 1)):
+            for b in range(a + 1, min(a + 5, q ** (d + 1))):
+                agreements = sum(
+                    1 for x in range(q) if polynomial_value(a, x, q, d) == polynomial_value(b, x, q, d)
+                )
+                assert agreements <= d
+
+
+class TestStepParameters:
+    def test_constraints_hold(self):
+        for num_colors in (10, 100, 1000, 10_000):
+            for degree_bound in (2, 5, 20):
+                q, d = step_parameters(num_colors, degree_bound)
+                assert q > degree_bound * d
+                assert q ** (d + 1) >= num_colors
+
+    def test_invalid_input(self):
+        with pytest.raises(ValueError):
+            step_parameters(0, 3)
+
+    def test_schedule_strictly_decreases(self):
+        schedule = reduction_schedule(10_000, 4)
+        current = 10_000
+        assert schedule
+        for q, _d in schedule:
+            assert q * q < current
+            current = q * q
+        # The fixed point is O(Δ²) (a small prime-squared above Δ²).
+        assert current <= 10 * (4 + 1) ** 2
+
+    def test_schedule_empty_when_already_small(self):
+        assert reduction_schedule(4, 10) == []
+
+
+class TestPolynomialStep:
+    def test_keeps_coloring_proper(self):
+        # A path with distinct colors: each node reduces without conflicts.
+        q, d = 5, 1
+        colors = [3, 9, 14]
+        left = polynomial_step(colors[0], [colors[1]], q, d)
+        middle = polynomial_step(colors[1], [colors[0], colors[2]], q, d)
+        right = polynomial_step(colors[2], [colors[1]], q, d)
+        assert left != middle
+        assert middle != right
+        assert all(0 <= c < q * q for c in (left, middle, right))
+
+    def test_raises_on_improper_input(self):
+        with pytest.raises(ValueError):
+            # Too many distinct neighbors relative to q forces a failure:
+            # with q = 2 and degree 1, three distinct neighbor colors always
+            # block both evaluation points.
+            polynomial_step(0, [1, 2, 3], 2, 1)
+
+
+class TestMinimumConflictStep:
+    def test_conflict_bound(self):
+        q, d = 5, 1
+        neighbors = [1, 2, 3, 4, 6, 7, 8, 9]
+        _color, conflicts = minimum_conflict_step(0, neighbors, q, d)
+        # Averaging: at most len(neighbors) * d / q conflicts at the best point.
+        assert conflicts <= len(neighbors) * d / q
+
+    def test_no_neighbors(self):
+        color, conflicts = minimum_conflict_step(5, [], 3, 1)
+        assert conflicts == 0
+        assert 0 <= color < 9

@@ -1,0 +1,88 @@
+"""Unit tests for defective vertex colorings."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring.defective_vertex import (
+    defective_coloring_local_search,
+    defective_split_coloring,
+    monochromatic_degree,
+    polynomial_defective_reduction,
+)
+from repro.coloring.linial import linial_vertex_coloring
+from repro.graphs import generators
+from repro.verification.checkers import defective_vertex_coloring_violations
+
+
+class TestPolynomialDefectiveReduction:
+    def test_defect_bound_holds(self):
+        graph = generators.random_regular_graph(60, 6, seed=1)
+        proper, num_colors = linial_vertex_coloring(graph)
+        target = 3
+        reduced, new_count, guaranteed = polynomial_defective_reduction(
+            graph, proper, num_colors, target_defect=target
+        )
+        assert new_count < num_colors or new_count <= 4 * (graph.max_degree // target + 2) ** 2
+        assert not defective_vertex_coloring_violations(graph, reduced, max_defect=guaranteed)
+
+    def test_trivial_graph(self):
+        graph = generators.path_graph(1)
+        colors, count, defect = polynomial_defective_reduction(graph, [0], 1, target_defect=1)
+        assert colors == [0]
+        assert defect == 0
+
+
+class TestLocalSearch:
+    def test_defect_bound_at_termination(self):
+        graph = generators.random_regular_graph(48, 8, seed=2)
+        slack = 2
+        classes, rounds = defective_coloring_local_search(graph, num_classes=4, slack=slack)
+        assert rounds >= 1
+        bound = graph.max_degree / 4 + slack
+        assert not defective_vertex_coloring_violations(graph, classes, max_defect=bound)
+        assert all(0 <= c < 4 for c in classes)
+
+    def test_two_classes(self):
+        graph = generators.complete_graph(9)
+        classes, _rounds = defective_coloring_local_search(graph, num_classes=2, slack=1)
+        bound = graph.max_degree / 2 + 1
+        assert not defective_vertex_coloring_violations(graph, classes, max_defect=bound)
+
+    def test_initial_classes_are_respected_modulo(self):
+        graph = generators.cycle_graph(8)
+        classes, _rounds = defective_coloring_local_search(
+            graph, num_classes=3, slack=1, initial_classes=[7] * 8
+        )
+        assert all(0 <= c < 3 for c in classes)
+
+    def test_rejects_single_class(self):
+        graph = generators.cycle_graph(6)
+        with pytest.raises(ValueError):
+            defective_coloring_local_search(graph, num_classes=1, slack=1)
+
+
+class TestDefectiveSplit:
+    def test_lemma_62_style_bound(self):
+        # The paper needs defect <= eps*Δ + Δ/2 for 4 classes; the
+        # implementation guarantees the stronger Δ/4 + eps*Δ.
+        graph = generators.random_regular_graph(64, 8, seed=3)
+        proper, num_colors = linial_vertex_coloring(graph)
+        epsilon = 0.25
+        classes, defect = defective_split_coloring(
+            graph, num_classes=4, epsilon=epsilon, proper_coloring=proper, proper_num_colors=num_colors
+        )
+        delta = graph.max_degree
+        assert defect <= delta / 2 + epsilon * delta
+        assert defect == monochromatic_degree(graph, classes)
+
+    def test_without_seed_coloring(self):
+        graph = generators.erdos_renyi_graph(50, 0.15, seed=4)
+        classes, defect = defective_split_coloring(graph, num_classes=4, epsilon=0.5)
+        delta = graph.max_degree
+        assert defect <= delta / 2 + 0.5 * delta + 1
+
+    def test_monochromatic_degree_helper(self):
+        graph = generators.complete_graph(4)
+        assert monochromatic_degree(graph, [0, 0, 0, 0]) == 3
+        assert monochromatic_degree(graph, [0, 1, 2, 3]) == 0

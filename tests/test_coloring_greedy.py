@@ -1,0 +1,108 @@
+"""Unit tests for greedy coloring scheduled by color classes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring.greedy import (
+    greedy_edge_coloring_by_classes,
+    greedy_vertex_coloring_by_classes,
+    proper_edge_schedule,
+)
+from repro.coloring.linial import linial_edge_coloring, linial_vertex_coloring
+from repro.distributed.rounds import RoundTracker
+from repro.graphs import generators
+from repro.verification.checkers import is_proper_edge_coloring, is_proper_vertex_coloring
+
+
+class TestGreedyVertexColoring:
+    def test_delta_plus_one_colors(self):
+        graph = generators.random_regular_graph(40, 5, seed=1)
+        schedule, _num = linial_vertex_coloring(graph)
+        colors = greedy_vertex_coloring_by_classes(graph, schedule)
+        assert is_proper_vertex_coloring(graph, colors)
+        assert max(colors) <= graph.max_degree
+
+    def test_respects_lists(self):
+        graph = generators.cycle_graph(8)
+        schedule, _num = linial_vertex_coloring(graph)
+        lists = [[v % 3, 5 + (v % 3), 10 + v] for v in graph.nodes()]
+        colors = greedy_vertex_coloring_by_classes(graph, schedule, lists=lists)
+        assert is_proper_vertex_coloring(graph, colors)
+        for v in graph.nodes():
+            assert colors[v] in lists[v]
+
+    def test_too_small_palette_raises(self):
+        graph = generators.complete_graph(5)
+        schedule, _num = linial_vertex_coloring(graph)
+        with pytest.raises(ValueError, match="no available color"):
+            greedy_vertex_coloring_by_classes(graph, schedule, palette_size=2)
+
+    def test_charges_one_round_per_class(self):
+        graph = generators.cycle_graph(10)
+        schedule, _num = linial_vertex_coloring(graph)
+        tracker = RoundTracker()
+        greedy_vertex_coloring_by_classes(graph, schedule, tracker=tracker)
+        assert tracker.total == len(set(schedule))
+
+
+class TestGreedyEdgeColoring:
+    def test_two_delta_minus_one_colors(self):
+        graph = generators.random_regular_graph(30, 4, seed=2)
+        schedule, _num = linial_edge_coloring(graph)
+        colors = greedy_edge_coloring_by_classes(graph, schedule)
+        assert is_proper_edge_coloring(graph, colors)
+        assert max(colors.values()) <= 2 * graph.max_degree - 2
+
+    def test_subset_coloring_respects_existing(self):
+        graph = generators.grid_graph(4, 4)
+        schedule, _num = linial_edge_coloring(graph)
+        all_edges = list(graph.edges())
+        first_half = set(all_edges[: len(all_edges) // 2])
+        second_half = set(all_edges) - first_half
+        colors_a = greedy_edge_coloring_by_classes(graph, schedule, edge_set=first_half)
+        colors_b = greedy_edge_coloring_by_classes(
+            graph, schedule, edge_set=second_half, existing_colors=colors_a
+        )
+        combined = {**colors_a, **colors_b}
+        assert is_proper_edge_coloring(graph, combined)
+
+    def test_respects_edge_lists(self):
+        graph = generators.cycle_graph(9)
+        schedule, _num = linial_edge_coloring(graph)
+        lists = {e: [e % 3, 3 + (e % 3), 6 + e] for e in graph.edges()}
+        colors = greedy_edge_coloring_by_classes(graph, schedule, lists=lists)
+        assert is_proper_edge_coloring(graph, colors)
+        for e, c in colors.items():
+            assert c in lists[e]
+
+    def test_small_palette_raises(self):
+        graph = generators.star_graph(4)
+        schedule, _num = linial_edge_coloring(graph)
+        with pytest.raises(ValueError, match="no available color"):
+            greedy_edge_coloring_by_classes(graph, schedule, palette_size=2)
+
+
+class TestProperEdgeSchedule:
+    def test_schedule_is_proper_within_subset(self):
+        graph = generators.random_regular_graph(24, 4, seed=3)
+        subset = set(list(graph.edges())[::2])
+        schedule = proper_edge_schedule(graph, subset)
+        assert set(schedule.keys()) == subset
+        for e in subset:
+            for f in graph.adjacent_edges(e):
+                if f in subset:
+                    assert schedule[e] != schedule[f]
+
+    def test_empty_subset(self):
+        graph = generators.cycle_graph(5)
+        assert proper_edge_schedule(graph, []) == {}
+
+    def test_schedule_usable_for_greedy(self):
+        graph = generators.erdos_renyi_graph(40, 0.1, seed=4)
+        subset = set(graph.edges())
+        schedule = proper_edge_schedule(graph, subset)
+        colors = greedy_edge_coloring_by_classes(
+            graph, schedule, palette_size=max(1, 2 * graph.max_degree - 1), edge_set=subset
+        )
+        assert is_proper_edge_coloring(graph, colors)

@@ -1,0 +1,60 @@
+"""Unit tests for color-space management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring.palettes import ColorRange, PaletteAllocator
+
+
+class TestColorRange:
+    def test_basic_properties(self):
+        colors = ColorRange(3, 9)
+        assert colors.size == 6
+        assert list(colors.colors()) == [3, 4, 5, 6, 7, 8]
+        assert 3 in colors and 8 in colors and 9 not in colors
+
+    def test_rejects_inverted_range(self):
+        with pytest.raises(ValueError):
+            ColorRange(5, 4)
+
+    def test_halves_cover_and_are_disjoint(self):
+        colors = ColorRange(0, 11)
+        left, right = colors.halves()
+        assert left.size + right.size == colors.size
+        assert left.stop == right.start
+        assert left.size in (5, 6)
+
+    def test_halves_match_lemma_d1_convention(self):
+        # Lemma D.1: red colors are {C1, ..., floor((C1+C2)/2)}.
+        colors = ColorRange(4, 10)
+        left, right = colors.halves()
+        assert left == ColorRange(4, 7)
+        assert right == ColorRange(7, 10)
+
+    def test_take(self):
+        colors = ColorRange(2, 10)
+        assert colors.take(3) == ColorRange(2, 5)
+        assert colors.take(100) == colors
+
+
+class TestPaletteAllocator:
+    def test_disjoint_ranges(self):
+        allocator = PaletteAllocator()
+        a = allocator.allocate(5)
+        b = allocator.allocate(3)
+        c = allocator.allocate(0)
+        assert a == ColorRange(0, 5)
+        assert b == ColorRange(5, 8)
+        assert c.size == 0
+        assert allocator.total_allocated == 8
+        assert allocator.ranges == [a, b, c]
+
+    def test_custom_start(self):
+        allocator = PaletteAllocator(start=100)
+        assert allocator.allocate(4) == ColorRange(100, 104)
+
+    def test_negative_count_rejected(self):
+        allocator = PaletteAllocator()
+        with pytest.raises(ValueError):
+            allocator.allocate(-1)

@@ -1,0 +1,99 @@
+"""Unit tests for generalized balanced edge orientations (Section 5)."""
+
+from __future__ import annotations
+
+from repro.core import parameters
+from repro.core.balanced_orientation import compute_balanced_orientation
+from repro.distributed.rounds import RoundTracker
+from repro.graphs import generators
+from repro.verification.checkers import orientation_in_degrees
+
+
+def zero_eta(graph, edge_set=None):
+    edges = edge_set if edge_set is not None else graph.edges()
+    return {e: 0.0 for e in edges}
+
+
+class TestOrientationStructure:
+    def test_every_edge_oriented(self, medium_bipartite):
+        graph, bipartition = medium_bipartite
+        result = compute_balanced_orientation(graph, bipartition, zero_eta(graph), epsilon=0.5)
+        assert set(result.orientation.keys()) == set(graph.edges())
+        for e, (tail, head) in result.orientation.items():
+            u, v = graph.edge_endpoints(e)
+            assert {tail, head} == {u, v}
+
+    def test_in_degrees_consistent(self, medium_bipartite):
+        graph, bipartition = medium_bipartite
+        result = compute_balanced_orientation(graph, bipartition, zero_eta(graph), epsilon=0.5)
+        assert result.in_degrees == orientation_in_degrees(graph, result.orientation)
+        assert sum(result.in_degrees) == graph.num_edges
+
+    def test_edge_subset_only(self, medium_bipartite):
+        graph, bipartition = medium_bipartite
+        subset = set(list(graph.edges())[::3])
+        result = compute_balanced_orientation(
+            graph, bipartition, zero_eta(graph, subset), epsilon=0.5, edge_set=subset
+        )
+        assert set(result.orientation.keys()) == subset
+
+    def test_empty_instance(self, small_bipartite):
+        graph, bipartition = small_bipartite
+        result = compute_balanced_orientation(graph, bipartition, {}, epsilon=0.5, edge_set=[])
+        assert result.orientation == {}
+        assert result.phases == 0
+
+
+class TestBalanceGuarantee:
+    def test_definition_52_with_analytic_beta(self, medium_bipartite):
+        # With the analytic β of Theorem 5.6 the balance condition must hold.
+        graph, bipartition = medium_bipartite
+        epsilon = 0.5
+        eta = zero_eta(graph)
+        result = compute_balanced_orientation(graph, bipartition, eta, epsilon=epsilon)
+        beta = parameters.beta_theoretical(epsilon, max(2, result.bar_delta))
+        assert result.definition_52_violations(graph, bipartition, eta, epsilon, beta) == []
+
+    def test_balance_is_reasonable_even_with_small_beta(self, medium_bipartite):
+        # The measured imbalance should stay far below the trivial bound Δ̄.
+        graph, bipartition = medium_bipartite
+        eta = zero_eta(graph)
+        result = compute_balanced_orientation(graph, bipartition, eta, epsilon=0.25)
+        worst = 0
+        for e in graph.edges():
+            u, v = bipartition.orient_edge(graph, e)
+            tail, head = result.orientation[e]
+            if (tail, head) == (u, v):
+                worst = max(worst, result.in_degrees[v] - result.in_degrees[u])
+            else:
+                worst = max(worst, result.in_degrees[u] - result.in_degrees[v])
+        assert worst <= result.bar_delta
+
+    def test_regular_graph_gets_balanced_in_degrees(self):
+        # On a Δ-regular bipartite graph a balanced orientation keeps every
+        # in-degree near Δ/2 (this is what makes the defective 2-coloring
+        # of Section 5 work).
+        graph, bipartition = generators.regular_bipartite_graph(32, 8, seed=13)
+        eta = zero_eta(graph)
+        result = compute_balanced_orientation(graph, bipartition, eta, epsilon=0.25)
+        for v in graph.nodes():
+            assert 0 <= result.in_degrees[v] <= graph.degree(v)
+        average = sum(result.in_degrees) / graph.num_nodes
+        assert abs(average - 4.0) < 1e-9
+
+    def test_phase_budget_respected(self, small_bipartite):
+        graph, bipartition = small_bipartite
+        result = compute_balanced_orientation(
+            graph, bipartition, zero_eta(graph), epsilon=0.5, max_phases=3
+        )
+        assert result.phases <= 3
+        assert set(result.orientation.keys()) == set(graph.edges())
+
+    def test_rounds_charged_to_tracker(self, small_bipartite):
+        graph, bipartition = small_bipartite
+        tracker = RoundTracker()
+        result = compute_balanced_orientation(
+            graph, bipartition, zero_eta(graph), epsilon=0.5, tracker=tracker
+        )
+        assert tracker.total == result.rounds
+        assert result.rounds > 0

@@ -1,0 +1,172 @@
+"""Unit tests for the (degree+1)-list edge coloring (Section 7 / Appendix D)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import parameters
+from repro.core.list_edge_coloring import (
+    list_edge_coloring,
+    partially_color_bipartite,
+    solve_relaxed_instance,
+)
+from repro.core.slack import ListEdgeColoringInstance, uniform_instance
+from repro.distributed.rounds import RoundTracker
+from repro.graphs import generators
+from repro.verification.checkers import is_proper_edge_coloring, list_coloring_violations
+from repro.verification.invariants import slack_invariant_violations
+
+
+class TestTwoDeltaMinusOneColoring:
+    def test_cycle(self):
+        graph = generators.cycle_graph(17)
+        result = list_edge_coloring(graph)
+        assert is_proper_edge_coloring(graph, result.colors)
+        assert result.num_colors <= 2 * graph.max_degree - 1
+
+    def test_regular_graph(self, medium_regular):
+        result = list_edge_coloring(medium_regular)
+        assert is_proper_edge_coloring(medium_regular, result.colors)
+        assert result.num_colors <= result.bound == 2 * medium_regular.max_degree - 1
+
+    def test_irregular_graph(self):
+        graph = generators.power_law_graph(60, attachment=3, seed=4)
+        result = list_edge_coloring(graph)
+        assert is_proper_edge_coloring(graph, result.colors)
+        assert max(result.colors.values()) <= 2 * graph.max_degree - 2
+
+    def test_larger_degree_uses_recursion(self):
+        graph = generators.random_regular_graph(64, 14, seed=6)
+        result = list_edge_coloring(graph)
+        assert is_proper_edge_coloring(graph, result.colors)
+        assert result.num_colors <= 2 * graph.max_degree - 1
+        assert result.outer_iterations >= 1
+        assert result.level_degrees[0] == 14
+
+    def test_empty_graph(self):
+        from repro.graphs.core import Graph
+
+        result = list_edge_coloring(Graph(3, []))
+        assert result.colors == {}
+
+
+class TestListInstances:
+    def test_random_degree_plus_one_lists(self):
+        graph = generators.random_regular_graph(40, 6, seed=8)
+        lists, space = generators.list_edge_coloring_lists(graph, slack=1.0, seed=3)
+        instance = ListEdgeColoringInstance(graph, {e: lists[e] for e in graph.edges()}, space)
+        result = list_edge_coloring(graph, instance=instance)
+        assert list_coloring_violations(graph, result.colors, instance.lists) == []
+        assert set(result.colors.keys()) == set(graph.edges())
+
+    def test_lists_with_extra_slack(self):
+        graph = generators.random_regular_graph(30, 6, seed=9)
+        lists, space = generators.list_edge_coloring_lists(
+            graph, slack=2.0, color_space=4 * graph.max_degree, seed=5
+        )
+        instance = ListEdgeColoringInstance(graph, {e: lists[e] for e in graph.edges()}, space)
+        result = list_edge_coloring(graph, instance=instance)
+        assert list_coloring_violations(graph, result.colors, instance.lists) == []
+
+    def test_violating_instance_rejected(self):
+        graph = generators.complete_graph(5)
+        bad = ListEdgeColoringInstance(
+            graph, {e: [0] for e in graph.edges()}, color_space=2
+        )
+        with pytest.raises(ValueError, match="degree\\+1"):
+            list_edge_coloring(graph, instance=bad)
+
+    def test_invariant_holds_after_completion(self):
+        graph = generators.random_regular_graph(30, 6, seed=10)
+        instance = uniform_instance(graph)
+        result = list_edge_coloring(graph, instance=instance)
+        # Everything is colored, so the invariant trivially holds; more
+        # importantly the coloring respects the lists.
+        assert slack_invariant_violations(instance, result.colors) == []
+        assert list_coloring_violations(graph, result.colors, instance.lists) == []
+
+
+class TestSolver:
+    def test_solve_relaxed_instance_with_slack(self, medium_bipartite):
+        graph, bipartition = medium_bipartite
+        # Uniform 2Δ−1 lists give slack ≥ 1 on the bipartite instance.
+        palette = list(range(2 * graph.max_degree - 1))
+        lists = {e: list(palette) for e in graph.edges()}
+        colors = solve_relaxed_instance(graph, bipartition, lists)
+        assert set(colors.keys()) == set(graph.edges())
+        assert is_proper_edge_coloring(graph, colors)
+        for e, c in colors.items():
+            assert c in lists[e]
+
+    def test_solver_rejects_insufficient_lists(self, small_bipartite):
+        graph, bipartition = small_bipartite
+        lists = {e: [0] for e in graph.edges()}
+        with pytest.raises(ValueError, match="available colors"):
+            solve_relaxed_instance(graph, bipartition, lists)
+
+    def test_solver_on_subset(self, medium_bipartite):
+        graph, bipartition = medium_bipartite
+        subset = sorted(graph.edges())[: graph.num_edges // 3]
+        palette = list(range(2 * graph.max_degree - 1))
+        lists = {e: list(palette) for e in subset}
+        colors = solve_relaxed_instance(graph, bipartition, lists, edge_set=subset)
+        assert set(colors.keys()) == set(subset)
+        assert is_proper_edge_coloring(graph, colors, edge_set=subset)
+
+    def test_empty_instance(self, small_bipartite):
+        graph, bipartition = small_bipartite
+        assert solve_relaxed_instance(graph, bipartition, {}) == {}
+
+
+class TestDegreeReduction:
+    def test_partial_coloring_reduces_uncolored_degree(self):
+        graph, bipartition = generators.regular_bipartite_graph(48, 10, seed=12)
+        instance = uniform_instance(graph)
+        coloring = {}
+        newly = partially_color_bipartite(
+            graph, bipartition, instance, list(graph.edges()), coloring
+        )
+        assert newly
+        combined = dict(newly)
+        assert is_proper_edge_coloring(graph, combined, edge_set=list(newly.keys()))
+        # The uncolored degree must have dropped below the original Δ̄.
+        uncolored = [e for e in graph.edges() if e not in combined]
+        bar_delta = graph.max_edge_degree
+        if uncolored:
+            degrees = graph.edge_subgraph_degrees(set(uncolored))
+            worst = max(
+                degrees[graph.edge_endpoints(e)[0]] + degrees[graph.edge_endpoints(e)[1]] - 2
+                for e in uncolored
+            )
+            assert worst < bar_delta
+        # The invariant that makes the remaining instance colorable holds.
+        assert slack_invariant_violations(instance, combined) == []
+
+    def test_partial_coloring_with_existing_colors(self, medium_bipartite):
+        graph, bipartition = medium_bipartite
+        instance = uniform_instance(graph)
+        # Pre-color a few edges greedily and hand them in as existing colors.
+        existing = {}
+        for e in sorted(graph.edges())[:5]:
+            used = {existing[f] for f in graph.adjacent_edges(e) if f in existing}
+            existing[e] = next(c for c in instance.lists[e] if c not in used)
+        newly = partially_color_bipartite(
+            graph, bipartition, instance, list(graph.edges()), existing
+        )
+        combined = {**existing, **newly}
+        assert is_proper_edge_coloring(graph, combined, edge_set=list(combined.keys()))
+        assert all(e not in existing for e in newly)
+
+
+class TestRoundsAndParameters:
+    def test_rounds_tracked(self, small_regular):
+        tracker = RoundTracker()
+        result = list_edge_coloring(small_regular, tracker=tracker)
+        assert tracker.total == result.rounds
+
+    def test_custom_parameters(self):
+        graph = generators.random_regular_graph(40, 8, seed=15)
+        params = parameters.PracticalParameters(final_degree=4, list_reduction_parts=8)
+        result = list_edge_coloring(graph, params=params)
+        assert is_proper_edge_coloring(graph, result.colors)
+        assert result.num_colors <= 2 * graph.max_degree - 1

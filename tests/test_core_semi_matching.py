@@ -1,0 +1,88 @@
+"""Unit tests for stable orientations and the Section 3 special case."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.defective_edge_coloring import measure_defects
+from repro.core.semi_matching import (
+    perfect_defective_two_coloring_regular,
+    stable_edge_orientation,
+)
+from repro.distributed.rounds import RoundTracker
+from repro.graphs import generators
+from repro.graphs.core import Graph
+from repro.verification.checkers import orientation_in_degrees
+
+
+class TestStableOrientation:
+    def test_stability_on_regular_bipartite_graphs(self):
+        graph, _sides = generators.regular_bipartite_graph(24, 6, seed=3)
+        result = stable_edge_orientation(graph)
+        assert result.violations(graph) == []
+        assert result.in_degrees == orientation_in_degrees(graph, result.orientation)
+
+    def test_stability_on_general_graphs(self):
+        for graph in (
+            generators.random_regular_graph(40, 8, seed=4),
+            generators.erdos_renyi_graph(50, 0.15, seed=5),
+            generators.power_law_graph(50, attachment=3, seed=6),
+        ):
+            result = stable_edge_orientation(graph)
+            assert result.violations(graph) == []
+
+    def test_every_edge_oriented_once(self, small_regular):
+        result = stable_edge_orientation(small_regular)
+        assert set(result.orientation.keys()) == set(small_regular.edges())
+        assert sum(result.in_degrees) == small_regular.num_edges
+
+    def test_in_degrees_are_balanced_on_regular_graphs(self):
+        # In a stable orientation of a d-regular graph every in-degree is
+        # within 1 of d/2... not exactly — but the spread across an edge is ≤ 1.
+        graph = generators.random_regular_graph(30, 6, seed=7)
+        result = stable_edge_orientation(graph)
+        for e, (tail, head) in result.orientation.items():
+            assert result.in_degrees[head] - result.in_degrees[tail] <= 1
+
+    def test_rounds_charged(self, small_regular):
+        tracker = RoundTracker()
+        result = stable_edge_orientation(small_regular, tracker=tracker)
+        assert tracker.total == result.rounds
+
+    def test_empty_graph(self):
+        result = stable_edge_orientation(Graph(3, []))
+        assert result.orientation == {}
+        assert result.flips == 0
+
+
+class TestPerfectDefectiveTwoColoring:
+    def test_defect_at_most_delta_minus_one(self):
+        # The Section 3 claim: on a Δ-regular 2-colored bipartite graph the
+        # stable orientation gives a defective 2-coloring with defect ≤ Δ−1
+        # (i.e. a *perfect* split of the 2Δ−2 neighbors).
+        graph, bipartition = generators.regular_bipartite_graph(32, 8, seed=9)
+        colors, _orientation = perfect_defective_two_coloring_regular(graph, bipartition)
+        delta = graph.max_degree
+        defects = measure_defects(graph, colors, graph.edges())
+        assert max(defects.values()) <= delta - 1
+
+    def test_small_regular_instance(self):
+        graph, bipartition = generators.regular_bipartite_graph(8, 3, seed=10)
+        colors, orientation = perfect_defective_two_coloring_regular(graph, bipartition)
+        assert set(colors.keys()) == set(graph.edges())
+        assert orientation.violations(graph) == []
+
+    def test_requires_regularity(self):
+        graph, bipartition = generators.random_bipartite_graph(10, 10, 0.3, seed=11)
+        if all(graph.degree(v) == graph.max_degree for v in graph.nodes()):
+            pytest.skip("random instance happened to be regular")
+        with pytest.raises(ValueError, match="regular"):
+            perfect_defective_two_coloring_regular(graph, bipartition)
+
+    def test_requires_bipartite_consistency(self):
+        graph = generators.complete_bipartite_graph(4, 4)
+        from repro.graphs.bipartite import Bipartition
+
+        wrong = Bipartition([0] * 8)
+        with pytest.raises(ValueError):
+            perfect_defective_two_coloring_regular(graph, wrong)

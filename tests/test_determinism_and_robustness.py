@@ -1,0 +1,103 @@
+"""Determinism and robustness tests.
+
+The paper's algorithms are deterministic: running them twice on the same
+input must produce identical outputs and identical round counts.  The
+robustness tests exercise the error paths for malformed inputs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.core.bipartite_coloring import bipartite_edge_coloring
+from repro.core.congest_coloring import congest_edge_coloring
+from repro.core.list_edge_coloring import list_edge_coloring
+from repro.core.token_dropping import TokenDroppingGame, run_token_dropping, uniform_alpha
+from repro.graphs import generators
+from repro.graphs.core import DirectedGraph, Graph
+
+
+class TestDeterminism:
+    def test_local_coloring_is_deterministic(self):
+        graph = generators.random_regular_graph(48, 8, seed=2)
+        first = list_edge_coloring(graph)
+        second = list_edge_coloring(graph)
+        assert first.colors == second.colors
+        assert first.rounds == second.rounds
+
+    def test_congest_coloring_is_deterministic(self):
+        graph = generators.erdos_renyi_graph(60, 0.15, seed=3)
+        first = congest_edge_coloring(graph, epsilon=0.5)
+        second = congest_edge_coloring(graph, epsilon=0.5)
+        assert first.colors == second.colors
+        assert first.palette_size == second.palette_size
+
+    def test_bipartite_coloring_is_deterministic(self):
+        graph, bipartition = generators.regular_bipartite_graph(24, 6, seed=4)
+        first = bipartite_edge_coloring(graph, bipartition)
+        second = bipartite_edge_coloring(graph, bipartition)
+        assert first.colors == second.colors
+
+    def test_token_dropping_is_deterministic(self):
+        digraph = DirectedGraph(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (0, 3)])
+        game = TokenDroppingGame(
+            graph=digraph,
+            k=3,
+            initial_tokens=[3, 0, 3, 0, 3, 0],
+            alpha=uniform_alpha(6, 1),
+            delta=1,
+        )
+        first = run_token_dropping(game)
+        second = run_token_dropping(game)
+        assert first.tokens == second.tokens
+        assert first.moved_arcs == second.moved_arcs
+
+    def test_outcome_independent_of_node_id_offsets(self):
+        # Shifting all identifiers by a constant must not change the number
+        # of colors (the algorithms only compare identifiers).
+        base = generators.random_regular_graph(32, 4, seed=5)
+        edges = [base.edge_endpoints(e) for e in base.edges()]
+        shifted = Graph(base.num_nodes, edges, node_ids=[i + 1000 for i in range(base.num_nodes)])
+        assert (
+            api.color_edges_local(base).num_colors
+            == api.color_edges_local(shifted).num_colors
+        )
+
+
+class TestRobustness:
+    def test_graph_rejects_malformed_input(self):
+        with pytest.raises(ValueError):
+            Graph(3, [(0, 1), (1, 0)])
+        with pytest.raises(ValueError):
+            Graph(3, [(1, 1)])
+
+    def test_list_coloring_rejects_short_lists(self):
+        graph = generators.complete_graph(4)
+        from repro.core.slack import ListEdgeColoringInstance
+
+        bad = ListEdgeColoringInstance(graph, {e: [0, 1] for e in graph.edges()}, color_space=3)
+        with pytest.raises(ValueError):
+            list_edge_coloring(graph, instance=bad)
+
+    def test_single_node_and_single_edge_graphs(self):
+        lonely = Graph(1, [])
+        assert api.color_edges_local(lonely).colors == {}
+        pair = Graph(2, [(0, 1)])
+        outcome = api.color_edges_local(pair)
+        assert outcome.is_proper
+        assert outcome.num_colors == 1
+        congest = api.color_edges_congest(pair)
+        assert congest.is_proper
+
+    def test_disconnected_graphs(self):
+        graph = Graph(8, [(0, 1), (2, 3), (4, 5), (5, 6)])
+        for outcome in (api.color_edges_local(graph), api.color_edges_congest(graph)):
+            assert outcome.is_proper
+            assert set(outcome.colors.keys()) == set(graph.edges())
+
+    def test_star_graph_needs_exactly_delta_colors(self):
+        graph = generators.star_graph(9)
+        outcome = api.color_edges_local(graph)
+        assert outcome.is_proper
+        assert outcome.num_colors == 9

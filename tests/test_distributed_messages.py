@@ -1,0 +1,76 @@
+"""Unit tests for CONGEST message-size accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.distributed.messages import CongestAuditor, message_size_bits
+from repro.distributed.model import Model, congest_bit_budget
+
+
+class TestMessageSize:
+    def test_small_values(self):
+        assert message_size_bits(None) == 1
+        assert message_size_bits(True) == 1
+        assert message_size_bits(0) == 2
+        assert message_size_bits(1) == 2
+        assert message_size_bits(255) == 9
+
+    def test_negative_integers(self):
+        assert message_size_bits(-5) == message_size_bits(5)
+
+    def test_float_and_string(self):
+        assert message_size_bits(1.5) == 64
+        assert message_size_bits("ab") == 8 + 16
+
+    def test_containers(self):
+        assert message_size_bits([1, 2, 3]) > message_size_bits([1])
+        assert message_size_bits({"a": 1}) > message_size_bits(1)
+        assert message_size_bits((7, 7)) == 8 + 2 * message_size_bits(7)
+
+    def test_unsupported_type(self):
+        with pytest.raises(TypeError):
+            message_size_bits(object())
+
+
+class TestBudget:
+    def test_budget_grows_logarithmically(self):
+        assert congest_bit_budget(2, factor=1) == 1
+        assert congest_bit_budget(1024, factor=1) == 10
+        assert congest_bit_budget(1024, factor=8) == 80
+
+    def test_model_enum(self):
+        assert Model.LOCAL.value == "LOCAL"
+        assert Model.CONGEST.value == "CONGEST"
+
+
+class TestAuditor:
+    def test_records_and_summary(self):
+        auditor = CongestAuditor(num_nodes=256, factor=4)
+        auditor.record(17)
+        auditor.record([1, 2, 3])
+        summary = auditor.summary()
+        assert summary["messages"] == 2
+        assert summary["violations"] == 0
+        assert auditor.compliant
+        assert auditor.max_bits >= message_size_bits(17)
+
+    def test_violation_detection(self):
+        auditor = CongestAuditor(num_nodes=4, factor=1)
+        big_payload = list(range(100))
+        auditor.record(big_payload)
+        assert not auditor.compliant
+        assert auditor.summary()["violations"] == 1
+
+    def test_strict_mode_raises(self):
+        auditor = CongestAuditor(num_nodes=4, factor=1, strict=True)
+        with pytest.raises(ValueError, match="CONGEST violation"):
+            auditor.record(list(range(100)))
+
+    def test_typical_coloring_messages_fit(self):
+        # Colors up to Δ² and node identifiers are O(log n)-bit values.
+        auditor = CongestAuditor(num_nodes=1024, factor=8)
+        auditor.record(1023)          # a node identifier
+        auditor.record(64 * 64)       # an O(Δ²) color for Δ = 64
+        auditor.record((12, 200, 3))  # a (phase, color, counter) triple
+        assert auditor.compliant

@@ -1,0 +1,143 @@
+"""Unit tests for the synchronous message-passing simulator."""
+
+from __future__ import annotations
+
+from typing import Any, Dict
+
+import pytest
+
+from repro.coloring.linial import LinialNodeAlgorithm
+from repro.distributed.algorithms import NodeAlgorithm, NodeContext
+from repro.distributed.model import Model
+from repro.distributed.network import SynchronousNetwork
+from repro.graphs import generators
+from repro.graphs.identifiers import id_space_size
+from repro.verification.checkers import is_proper_vertex_coloring
+
+
+class MaxIdFlooding(NodeAlgorithm):
+    """Every node learns the maximum identifier within ``hops`` hops."""
+
+    def __init__(self, hops: int) -> None:
+        self.hops = hops
+
+    def initialize(self, ctx: NodeContext) -> Dict[str, Any]:
+        return {"best": ctx.node_id, "round": 0}
+
+    def send(self, ctx, state, round_index):
+        if state["round"] >= self.hops:
+            return {}
+        return {port: state["best"] for port in range(ctx.degree)}
+
+    def receive(self, ctx, state, inbox, round_index):
+        for value in inbox.values():
+            state["best"] = max(state["best"], value)
+        state["round"] += 1
+
+    def finished(self, ctx, state) -> bool:
+        return state["round"] >= self.hops
+
+    def output(self, ctx, state):
+        return state["best"]
+
+
+class ChattyAlgorithm(NodeAlgorithm):
+    """Sends one large message then stops (used to test CONGEST auditing)."""
+
+    def initialize(self, ctx):
+        return {"sent": False}
+
+    def send(self, ctx, state, round_index):
+        return {port: list(range(500)) for port in range(ctx.degree)}
+
+    def receive(self, ctx, state, inbox, round_index):
+        state["sent"] = True
+
+    def finished(self, ctx, state):
+        return state["sent"]
+
+
+class NeverTerminates(NodeAlgorithm):
+    def finished(self, ctx, state):
+        return False
+
+
+class BadPortAlgorithm(NodeAlgorithm):
+    def initialize(self, ctx):
+        return {"done": False}
+
+    def send(self, ctx, state, round_index):
+        return {ctx.degree + 5: 1}
+
+    def receive(self, ctx, state, inbox, round_index):
+        state["done"] = True
+
+    def finished(self, ctx, state):
+        return state["done"]
+
+
+class TestSimulator:
+    def test_flooding_reaches_diameter(self):
+        graph = generators.cycle_graph(8)
+        network = SynchronousNetwork(graph)
+        outputs, metrics = network.run(MaxIdFlooding(hops=4))
+        assert metrics.rounds == 4
+        assert all(out == 7 for out in outputs)
+        assert metrics.messages > 0
+
+    def test_flooding_partial_when_few_hops(self):
+        graph = generators.path_graph(10)
+        network = SynchronousNetwork(graph)
+        outputs, _metrics = network.run(MaxIdFlooding(hops=1))
+        assert outputs[0] == 1
+        assert outputs[9] == 9
+
+    def test_congest_auditing_flags_large_messages(self):
+        graph = generators.cycle_graph(6)
+        network = SynchronousNetwork(graph, model=Model.CONGEST, congest_factor=2)
+        _outputs, metrics = network.run(ChattyAlgorithm())
+        assert metrics.congest_budget_bits is not None
+        assert metrics.congest_violations > 0
+        assert metrics.max_message_bits > metrics.congest_budget_bits
+
+    def test_local_runs_have_no_budget(self):
+        graph = generators.cycle_graph(6)
+        network = SynchronousNetwork(graph, model=Model.LOCAL)
+        _outputs, metrics = network.run(MaxIdFlooding(hops=1))
+        assert metrics.congest_budget_bits is None
+        assert metrics.congest_violations == 0
+
+    def test_non_terminating_algorithm_raises(self):
+        graph = generators.cycle_graph(4)
+        network = SynchronousNetwork(graph)
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            network.run(NeverTerminates(), max_rounds=5)
+
+    def test_invalid_port_raises(self):
+        graph = generators.cycle_graph(4)
+        network = SynchronousNetwork(graph)
+        with pytest.raises(ValueError, match="invalid port"):
+            network.run(BadPortAlgorithm())
+
+
+class TestLinialOnSimulator:
+    def test_message_passing_linial_is_proper_and_fast(self):
+        graph = generators.graph_with_scrambled_ids(generators.cycle_graph(32), seed=5)
+        network = SynchronousNetwork(
+            graph,
+            model=Model.CONGEST,
+            global_knowledge={"id_space": id_space_size(graph)},
+        )
+        colors, metrics = network.run(LinialNodeAlgorithm())
+        assert is_proper_vertex_coloring(graph, colors)
+        # O(Δ²) colors with a small constant for Δ = 2.
+        assert max(colors) < 200
+        # O(log* n) rounds.
+        assert metrics.rounds <= 8
+        assert metrics.congest_violations == 0
+
+    def test_missing_id_space_global_raises(self):
+        graph = generators.cycle_graph(8)
+        network = SynchronousNetwork(graph)
+        with pytest.raises((ValueError, RuntimeError)):
+            network.run(LinialNodeAlgorithm())

@@ -1,0 +1,57 @@
+"""Smoke tests for the runnable examples.
+
+Each example is executed in-process (with a smaller workload where the
+module exposes one) and must complete without errors and print the
+headline lines it documents.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def _load_example(name: str):
+    path = os.path.join(EXAMPLES_DIR, f"{name}.py")
+    spec = importlib.util.spec_from_file_location(f"examples_{name}", path)
+    module = importlib.util.module_from_spec(spec)
+    assert spec.loader is not None
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        module = _load_example("quickstart")
+        module.main()
+        out = capsys.readouterr().out
+        assert "proper coloring: True" in out
+        assert "colors used" in out
+
+    def test_switch_scheduling(self, capsys):
+        module = _load_example("switch_scheduling")
+        graph, bipartition = module.build_demand(ports=16, load=5, seed=1)
+        assert graph.max_degree == 5
+        module.main()
+        out = capsys.readouterr().out
+        assert "conflict-free     : True" in out
+
+    def test_pairing_via_matching(self, capsys):
+        module = _load_example("pairing_via_matching")
+        module.main()
+        out = capsys.readouterr().out
+        assert "maximal matching      : True" in out
+
+    @pytest.mark.slow
+    def test_compare_baselines(self, capsys, monkeypatch):
+        module = _load_example("compare_baselines")
+        monkeypatch.setattr(sys, "argv", ["compare_baselines.py", "6", "48"])
+        module.main()
+        out = capsys.readouterr().out
+        assert "local-list-coloring" in out
+        assert "randomized" in out

@@ -1,0 +1,68 @@
+"""Unit tests for bipartitions."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.bipartite import Bipartition, bipartition_from_sides, find_bipartition
+from repro.graphs.core import Graph
+
+
+class TestBipartition:
+    def test_side_accessors(self):
+        bipartition = Bipartition([0, 1, 0, 1])
+        assert bipartition.left_nodes() == [0, 2]
+        assert bipartition.right_nodes() == [1, 3]
+        assert bipartition.side(3) == 1
+
+    def test_rejects_invalid_sides(self):
+        with pytest.raises(ValueError):
+            Bipartition([0, 2])
+
+    def test_orient_edge(self):
+        graph = Graph(4, [(0, 1), (2, 3), (1, 2)])
+        bipartition = Bipartition([0, 1, 0, 1])
+        assert bipartition.orient_edge(graph, 0) == (0, 1)
+        assert bipartition.orient_edge(graph, 1) == (2, 3)
+        assert bipartition.orient_edge(graph, 2) == (2, 1)
+
+    def test_orient_edge_rejects_monochromatic(self):
+        graph = Graph(3, [(0, 1)])
+        bipartition = Bipartition([0, 0, 1])
+        with pytest.raises(ValueError):
+            bipartition.orient_edge(graph, 0)
+
+    def test_validates_edge_subsets(self):
+        graph = Graph(4, [(0, 1), (0, 2), (1, 3)])
+        bipartition = Bipartition([0, 1, 0, 0])
+        assert not bipartition.validates(graph)
+        assert bipartition.validates(graph, edge_set=[0, 2])
+
+    def test_bipartition_from_sides(self):
+        bipartition = bipartition_from_sides([1, 3], 5)
+        assert bipartition.sides == [1, 0, 1, 0, 1]
+
+
+class TestFindBipartition:
+    def test_finds_bipartition_of_even_cycle(self):
+        graph = generators.cycle_graph(10)
+        bipartition = find_bipartition(graph)
+        assert bipartition is not None
+        assert bipartition.validates(graph)
+
+    def test_odd_cycle_is_not_bipartite(self):
+        graph = generators.cycle_graph(9)
+        assert find_bipartition(graph) is None
+
+    def test_generated_bipartite_graphs(self):
+        graph, _known = generators.regular_bipartite_graph(12, 3, seed=0)
+        found = find_bipartition(graph)
+        assert found is not None
+        assert found.validates(graph)
+
+    def test_isolated_nodes_get_a_side(self):
+        graph = Graph(4, [(0, 1)])
+        bipartition = find_bipartition(graph)
+        assert bipartition is not None
+        assert bipartition.side(3) in (0, 1)

@@ -1,0 +1,184 @@
+"""Unit tests for the graph substrate (repro.graphs.core)."""
+
+from __future__ import annotations
+
+import networkx as nx
+import pytest
+
+from repro.graphs.core import DirectedGraph, Graph, graph_from_networkx, iter_edge_pairs
+
+
+class TestGraphConstruction:
+    def test_basic_properties(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert graph.num_nodes == 4
+        assert graph.num_edges == 4
+        assert graph.max_degree == 2
+        assert sorted(graph.neighbors(0)) == [1, 3]
+        assert graph.degree(2) == 2
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            Graph(3, [(0, 0)])
+
+    def test_rejects_duplicate_edges(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range_edges(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(0, 5)])
+
+    def test_rejects_negative_node_count(self):
+        with pytest.raises(ValueError):
+            Graph(-1, [])
+
+    def test_rejects_bad_node_ids(self):
+        with pytest.raises(ValueError, match="unique"):
+            Graph(3, [(0, 1)], node_ids=[1, 1, 2])
+        with pytest.raises(ValueError, match="one entry"):
+            Graph(3, [(0, 1)], node_ids=[1, 2])
+
+    def test_custom_node_ids(self):
+        graph = Graph(3, [(0, 1), (1, 2)], node_ids=[10, 20, 30])
+        assert graph.node_id(1) == 20
+        assert graph.node_ids == [10, 20, 30]
+
+    def test_empty_graph(self):
+        graph = Graph(0, [])
+        assert graph.num_nodes == 0
+        assert graph.max_degree == 0
+        assert graph.max_edge_degree == 0
+
+
+class TestEdgeAccessors:
+    def test_edge_endpoints_normalized(self):
+        graph = Graph(3, [(2, 0), (1, 2)])
+        assert graph.edge_endpoints(0) == (0, 2)
+        assert graph.edge_endpoints(1) == (1, 2)
+
+    def test_edge_index_and_has_edge(self):
+        graph = Graph(4, [(0, 1), (2, 3)])
+        assert graph.edge_index(1, 0) == 0
+        assert graph.has_edge(3, 2)
+        assert not graph.has_edge(0, 2)
+        with pytest.raises(KeyError):
+            graph.edge_index(0, 3)
+
+    def test_incident_edges_and_other_endpoint(self):
+        graph = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert sorted(graph.incident_edges(0)) == [0, 1, 2]
+        assert graph.other_endpoint(1, 0) == 2
+        assert graph.other_endpoint(1, 2) == 0
+        with pytest.raises(ValueError):
+            graph.other_endpoint(1, 3)
+
+    def test_edge_degree_matches_definition(self):
+        # Section 2: deg(e) = deg(u) + deg(v) - 2.
+        graph = Graph(5, [(0, 1), (0, 2), (0, 3), (3, 4)])
+        e = graph.edge_index(0, 3)
+        assert graph.edge_degree(e) == graph.degree(0) + graph.degree(3) - 2 == 3
+        assert graph.max_edge_degree == 3
+
+    def test_adjacent_edges(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        e = graph.edge_index(0, 1)
+        adjacent = set(graph.adjacent_edges(e))
+        assert adjacent == {graph.edge_index(1, 2), graph.edge_index(3, 0)}
+
+    def test_edge_ids_unique_and_local(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+        ids = [graph.edge_id(e) for e in graph.edges()]
+        assert len(set(ids)) == graph.num_edges
+
+
+class TestSubgraphHelpers:
+    def test_edge_subgraph_degrees(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        degrees = graph.edge_subgraph_degrees({0, 2})
+        assert degrees == [1, 1, 1, 1]
+
+    def test_edge_degree_within(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        subset = {0, 1, 2}
+        inside = graph.edge_degree_within(1, subset)
+        assert inside == 2
+        degrees = graph.edge_subgraph_degrees(subset)
+        assert graph.edge_degree_within(1, subset, degrees) == 2
+
+    def test_subgraph_from_edges_preserves_indices_and_ids(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)], node_ids=[5, 6, 7, 8, 9])
+        sub = graph.subgraph_from_edges({1, 3})
+        assert sub.num_nodes == 5
+        assert sub.num_edges == 2
+        assert sub.node_ids == [5, 6, 7, 8, 9]
+        assert sub.has_edge(1, 2) and sub.has_edge(3, 4)
+        assert not sub.has_edge(0, 1)
+
+    def test_connected_components(self):
+        graph = Graph(6, [(0, 1), (1, 2), (3, 4)])
+        components = graph.connected_components()
+        assert [0, 1, 2] in components
+        assert [3, 4] in components
+        assert [5] in components
+
+
+class TestLineGraph:
+    def test_line_graph_of_path(self):
+        graph = Graph(4, [(0, 1), (1, 2), (2, 3)])
+        line = graph.line_graph()
+        assert line.num_nodes == 3
+        assert line.num_edges == 2
+
+    def test_line_graph_of_star(self):
+        graph = Graph(5, [(0, 1), (0, 2), (0, 3), (0, 4)])
+        line = graph.line_graph()
+        # Edges of a star are pairwise adjacent: the line graph is K4.
+        assert line.num_nodes == 4
+        assert line.num_edges == 6
+
+    def test_line_graph_degrees_match_edge_degrees(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)])
+        line = graph.line_graph()
+        for e in graph.edges():
+            assert line.degree(e) == graph.edge_degree(e)
+
+    def test_line_graph_ids_unique(self):
+        graph = Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4)])
+        line = graph.line_graph()
+        assert len(set(line.node_ids)) == line.num_nodes
+
+
+class TestDirectedGraph:
+    def test_basic_accessors(self):
+        digraph = DirectedGraph(3, [(0, 1), (1, 2), (2, 0), (0, 1)])
+        assert digraph.num_arcs == 4
+        assert digraph.out_degree(0) == 2
+        assert digraph.in_degree(1) == 2
+        assert digraph.degree(0) == 3
+        arc = digraph.arc(0)
+        assert (arc.tail, arc.head) == (0, 1)
+
+    def test_rejects_self_loops_and_range(self):
+        with pytest.raises(ValueError):
+            DirectedGraph(2, [(0, 0)])
+        with pytest.raises(ValueError):
+            DirectedGraph(2, [(0, 3)])
+
+    def test_undirected_edge_degree(self):
+        digraph = DirectedGraph(3, [(0, 1), (1, 2)])
+        assert digraph.undirected_edge_degree(0) == digraph.degree(0) + digraph.degree(1) - 2
+
+
+class TestConversions:
+    def test_graph_from_networkx(self):
+        nx_graph = nx.cycle_graph(5)
+        graph = graph_from_networkx(nx_graph)
+        assert graph.num_nodes == 5
+        assert graph.num_edges == 5
+        assert graph.max_degree == 2
+
+    def test_iter_edge_pairs(self):
+        graph = Graph(3, [(0, 1), (1, 2)])
+        pairs = list(iter_edge_pairs(graph))
+        assert pairs == [(0, 0, 1), (1, 1, 2)]
