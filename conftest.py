@@ -11,3 +11,15 @@ import sys
 _SRC = os.path.join(os.path.dirname(__file__), "src")
 if _SRC not in sys.path:
     sys.path.insert(0, _SRC)
+
+# The perf harness may materialize the seed revision into a transient git
+# worktree; never collect tests from it.
+collect_ignore_glob = [".bench_seed_tree*"]
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "perf_smoke: fast wall-clock budget assertions (select with -m perf_smoke)",
+    )
+    config.addinivalue_line("markers", "slow: long-running end-to-end tests")

@@ -21,7 +21,8 @@ conflict-free one, yields the one-round defective color reduction used in
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from functools import lru_cache
+from typing import Dict, List, Optional, Sequence, Tuple
 
 
 def is_prime(value: int) -> bool:
@@ -46,6 +47,27 @@ def next_prime(value: int) -> int:
     while not is_prime(candidate):
         candidate += 1
     return candidate
+
+
+#: Shared ``(q, d) -> {(color, x) -> value}`` evaluation caches.  A
+#: polynomial value is a pure function of ``(color, x, q, d)`` and the
+#: same small post-reduction color values recur across the many per-part
+#: Linial runs of one pipeline, so the caches are kept across calls
+#: (bounded: cleared wholesale once they grow past the cap).
+_EVAL_CACHES: Dict[Tuple[int, int], Dict[Tuple[int, int], int]] = {}
+_EVAL_CACHE_LIMIT = 1 << 20
+
+
+def shared_eval_cache(q: int, degree: int) -> Dict[Tuple[int, int], int]:
+    """The process-wide evaluation cache for one ``(q, d)`` step."""
+    cache = _EVAL_CACHES.get((q, degree))
+    if cache is None:
+        if len(_EVAL_CACHES) > 256:
+            _EVAL_CACHES.clear()
+        cache = _EVAL_CACHES[(q, degree)] = {}
+    elif len(cache) > _EVAL_CACHE_LIMIT:
+        cache.clear()
+    return cache
 
 
 def polynomial_value(color: int, x: int, q: int, degree: int) -> int:
@@ -83,12 +105,16 @@ def step_parameters(num_colors: int, degree_bound: int) -> Tuple[int, int]:
     return best
 
 
-def reduction_schedule(initial_colors: int, degree_bound: int) -> List[Tuple[int, int]]:
+@lru_cache(maxsize=4096)
+def reduction_schedule(initial_colors: int, degree_bound: int) -> Tuple[Tuple[int, int], ...]:
     """The deterministic sequence of ``(q, d)`` steps Linial's algorithm runs.
 
     Every node can compute the schedule locally from the identifier-space
     size and Δ, so all nodes agree on the number of rounds.  The schedule
     stops when one more step would not reduce the number of colors.
+    (Memoized — the same (id-space, Δ̄) pairs recur across the many
+    per-part Linial schedules of one pipeline run — and returned as a
+    tuple so the shared cached value is immutable.)
     """
     schedule: List[Tuple[int, int]] = []
     current = initial_colors
@@ -99,7 +125,7 @@ def reduction_schedule(initial_colors: int, degree_bound: int) -> List[Tuple[int
             break
         schedule.append((q, d))
         current = new_colors
-    return schedule
+    return tuple(schedule)
 
 
 def polynomial_step(
@@ -107,16 +133,36 @@ def polynomial_step(
     neighbor_colors: Sequence[int],
     q: int,
     degree: int,
+    cache: Optional[Dict[Tuple[int, int], int]] = None,
 ) -> int:
     """One conflict-free reduction step for a single node.
 
     Returns the new color in ``[0, q²)``.  Requires the current coloring
     to be proper (no neighbor shares ``color``) and ``q > len(neighbor_colors) * degree``.
+
+    ``cache`` memoizes ``(color, x) -> f_color(x)`` evaluations.  One
+    reduction step evaluates the same colors at the same points for every
+    node of the graph, so sharing one cache across a step removes almost
+    all repeated polynomial evaluations.
     """
     distinct_neighbors = [c for c in set(neighbor_colors) if c != color]
+    if cache is None:
+        cache = {}
     for x in range(q):
-        own = polynomial_value(color, x, q, degree)
-        if all(polynomial_value(c, x, q, degree) != own for c in distinct_neighbors):
+        key = (color, x)
+        own = cache.get(key)
+        if own is None:
+            own = polynomial_value(color, x, q, degree)
+            cache[key] = own
+        for c in distinct_neighbors:
+            key = (c, x)
+            value = cache.get(key)
+            if value is None:
+                value = polynomial_value(c, x, q, degree)
+                cache[key] = value
+            if value == own:
+                break
+        else:
             return x * q + own
     raise ValueError(
         "no conflict-free point found; the input coloring was not proper "
@@ -129,23 +175,42 @@ def minimum_conflict_step(
     neighbor_colors: Sequence[int],
     q: int,
     degree: int,
+    cache: Optional[Dict[Tuple[int, int], int]] = None,
 ) -> Tuple[int, int]:
     """One defective reduction step: pick the evaluation point with fewest conflicts.
 
     Returns ``(new_color, conflicts)`` where ``conflicts`` is the number of
     neighbors choosing a polynomial that agrees at the chosen point.  If the
     input coloring is proper, ``conflicts <= len(neighbor_colors) * degree / q``.
+    ``cache`` memoizes evaluations exactly as in :func:`polynomial_step`.
     """
     best_x = 0
     best_conflicts = None
+    if cache is None:
+        cache = {}
+    relevant = [c for c in neighbor_colors if c != color]
     for x in range(q):
-        own = polynomial_value(color, x, q, degree)
-        conflicts = sum(
-            1 for c in neighbor_colors if c != color and polynomial_value(c, x, q, degree) == own
-        )
+        key = (color, x)
+        own = cache.get(key)
+        if own is None:
+            own = polynomial_value(color, x, q, degree)
+            cache[key] = own
+        conflicts = 0
+        for c in relevant:
+            key = (c, x)
+            value = cache.get(key)
+            if value is None:
+                value = polynomial_value(c, x, q, degree)
+                cache[key] = value
+            if value == own:
+                conflicts += 1
         if best_conflicts is None or conflicts < best_conflicts:
             best_conflicts = conflicts
             best_x = x
+            if conflicts == 0:
+                # No later point can beat zero conflicts, and ties keep
+                # the earlier point anyway.
+                break
     assert best_conflicts is not None
-    own = polynomial_value(color, best_x, q, degree)
+    own = cache[(color, best_x)]
     return best_x * q + own, best_conflicts

@@ -30,7 +30,7 @@ from __future__ import annotations
 import math
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.coloring.color_reduction import minimum_conflict_step, next_prime
+from repro.coloring.color_reduction import minimum_conflict_step, next_prime, shared_eval_cache
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.core import Graph
 
@@ -64,9 +64,13 @@ def polynomial_defective_reduction(
         q = next_prime(q + 1)
         t = max(1, math.ceil(math.log(max(2, num_colors), q)))
     new_colors: List[int] = []
+    xadj, adj = graph.adjacency_csr()
+    cache = shared_eval_cache(q, t)
     for v in graph.nodes():
-        neighbor_colors = [colors[w] for w in graph.neighbors(v)]
-        new_color, _conflicts = minimum_conflict_step(colors[v], neighbor_colors, q, t)
+        neighbor_colors = [colors[w] for w in adj[xadj[v] : xadj[v + 1]]]
+        new_color, _conflicts = minimum_conflict_step(
+            colors[v], neighbor_colors, q, t, cache
+        )
         new_colors.append(new_color)
     if tracker is not None:
         tracker.charge(1, "defective-poly-reduction")
@@ -107,16 +111,28 @@ def defective_coloring_local_search(
     if max_rounds is None:
         max_rounds = max(16, 4 * graph.num_edges // slack + 16)
     rounds = 0
+    xadj, adj = graph.adjacency_csr()
+    class_range = range(num_classes)
+    # Per-node neighbor-class counts, built once and maintained
+    # incrementally: a switch of node ``v`` only changes the rows of
+    # ``v``'s neighbors, so later rounds (with few switches) avoid the
+    # full O(m) recount.
+    counts: List[List[int]] = [[0] * num_classes for _ in range(n)]
+    for v in range(n):
+        for w in adj[xadj[v] : xadj[v + 1]]:
+            counts[v][classes[w]] += 1
     for _ in range(max_rounds):
-        counts: List[List[int]] = [[0] * num_classes for _ in range(n)]
-        for v in graph.nodes():
-            for w in graph.neighbors(v):
-                counts[v][classes[w]] += 1
         unhappy: Dict[int, int] = {}
-        for v in graph.nodes():
-            current = counts[v][classes[v]]
-            best_class = min(range(num_classes), key=lambda c: (counts[v][c], c))
-            if current - counts[v][best_class] > slack:
+        for v in range(n):
+            row = counts[v]
+            current = row[classes[v]]
+            best_class = 0
+            best_count = row[0]
+            for c in class_range:
+                if row[c] < best_count:
+                    best_count = row[c]
+                    best_class = c
+            if current - best_count > slack:
                 unhappy[v] = best_class
         rounds += 1
         if tracker is not None:
@@ -127,10 +143,15 @@ def defective_coloring_local_search(
         for v, target in unhappy.items():
             if all(
                 w not in unhappy or graph.node_id(v) < graph.node_id(w)
-                for w in graph.neighbors(v)
+                for w in adj[xadj[v] : xadj[v + 1]]
             ):
+                old = classes[v]
                 classes[v] = target
                 switched = True
+                for w in adj[xadj[v] : xadj[v + 1]]:
+                    row = counts[w]
+                    row[old] -= 1
+                    row[target] += 1
         if not switched:  # pragma: no cover - cannot happen: a global id-minimum always switches
             break
     return classes, rounds
@@ -180,7 +201,13 @@ def defective_split_coloring(
 def monochromatic_degree(graph: Graph, classes: Sequence[int]) -> int:
     """The maximum number of same-class neighbors over all nodes."""
     worst = 0
+    xadj, adj = graph.adjacency_csr()
     for v in graph.nodes():
-        same = sum(1 for w in graph.neighbors(v) if classes[w] == classes[v])
-        worst = max(worst, same)
+        own = classes[v]
+        same = 0
+        for w in adj[xadj[v] : xadj[v + 1]]:
+            if classes[w] == own:
+                same += 1
+        if same > worst:
+            worst = same
     return worst

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
-from repro.coloring.linial import linial_vertex_coloring
+from repro.coloring.color_reduction import polynomial_step, reduction_schedule, shared_eval_cache
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.core import Graph
 
@@ -93,22 +93,54 @@ def greedy_edge_coloring_by_classes(
         palette_size = max(1, 2 * graph.max_degree - 1)
     colored: Dict[int, int] = dict(existing_colors) if existing_colors else {}
     result: Dict[int, int] = {}
-    classes = sorted({schedule[e] for e in targets})
-    for cls in classes:
-        members = [e for e in targets if schedule[e] == cls]
-        if not members:
-            continue
+    # Group the targets by schedule class in one pass (the per-class
+    # choices are simultaneous, so the order within a class is free).
+    by_class: Dict[int, List[int]] = {}
+    for e in sorted(targets):
+        by_class.setdefault(schedule[e], []).append(e)
+    edge_u, edge_v = graph.endpoint_arrays()
+    # Two equivalent availability strategies: scan the adjacent-edge row
+    # per query (cheap for few targets), or maintain per-node used-color
+    # sets (cheap when the targets outnumber the pre-colored edges).
+    # The sets only track color *presence*, so they cannot express a
+    # target edge being re-colored over an existing entry — if any
+    # target is already colored, stay on the (always exact) scan path.
+    offsets, flat = graph.edge_adjacency_csr()
+    use_node_sets = len(targets) * 4 > len(colored) and not any(
+        e in colored for e in targets
+    )
+    if use_node_sets:
+        used_at: List[set] = [set() for _ in range(graph.num_nodes)]
+        for colored_edge, color in colored.items():
+            used_at[edge_u[colored_edge]].add(color)
+            used_at[edge_v[colored_edge]].add(color)
+    for cls in sorted(by_class):
+        members = by_class[cls]
         round_choices: Dict[int, int] = {}
         for e in members:
-            used = {colored[f] for f in graph.adjacent_edges(e) if f in colored}
             candidates: Iterable[int] = lists[e] if lists is not None else range(palette_size)
-            choice = next((c for c in candidates if c not in used), None)
+            if use_node_sets:
+                used_u = used_at[edge_u[e]]
+                used_v = used_at[edge_v[e]]
+                choice = next(
+                    (c for c in candidates if c not in used_u and c not in used_v), None
+                )
+            else:
+                used = {
+                    colored[f]
+                    for f in flat[offsets[e] : offsets[e + 1]]
+                    if f in colored
+                }
+                choice = next((c for c in candidates if c not in used), None)
             if choice is None:
                 raise ValueError(f"edge {e} has no available color; its list/palette is too small")
             round_choices[e] = choice
         for e, c in round_choices.items():
             colored[e] = c
             result[e] = c
+            if use_node_sets:
+                used_at[edge_u[e]].add(c)
+                used_at[edge_v[e]].add(c)
         if tracker is not None:
             tracker.charge(1, "greedy-edge-classes")
     return result
@@ -128,27 +160,63 @@ def proper_edge_schedule(
     edge_list = sorted(set(edge_set))
     if not edge_list:
         return {}
-    endpoints = [graph.edge_endpoints(e) for e in edge_list]
-    nodes_used = sorted({v for pair in endpoints for v in pair})
-    node_map = {v: i for i, v in enumerate(nodes_used)}
-    subgraph = Graph(
-        len(nodes_used),
-        [(node_map[u], node_map[v]) for u, v in endpoints],
-        node_ids=[graph.node_id(v) for v in nodes_used],
+    if len(edge_list) == 1:
+        # One edge: its line graph is a single node with no neighbors, so
+        # every reduction step picks evaluation point 0 and the new color
+        # is f_c(0) = c mod q.
+        e = edge_list[0]
+        u, v = graph.edge_endpoints(e)
+        a = graph.node_id(u)
+        b = graph.node_id(v)
+        if a > b:
+            a, b = b, a
+        color = a * (max(a, b) + 1) + b
+        for q, _d in reduction_schedule(color + 1, 1):
+            color %= q
+            if tracker is not None:
+                tracker.charge(1, "linial")
+        return {e: color}
+    # Run Linial on the line graph of the edge subset without
+    # materializing it: line node ``i`` is ``edge_list[i]``; its
+    # identifier is the edge identifier the induced subgraph would
+    # assign (endpoint-id pair over the subset's id base); its neighbors
+    # are the other positions sharing an endpoint — read off the per-node
+    # position rows, so neither the line edges nor a Graph are built.
+    all_u, all_v = graph.endpoint_arrays()
+    endpoints = [(all_u[e], all_v[e]) for e in edge_list]
+    incident: Dict[int, List[int]] = {}
+    for position, (u, v) in enumerate(endpoints):
+        incident.setdefault(u, []).append(position)
+        incident.setdefault(v, []).append(position)
+    node_ids = graph.node_ids
+    id_base = max(node_ids[v] for v in incident) + 1
+    colors: List[int] = []
+    for u, v in endpoints:
+        a = node_ids[u]
+        b = node_ids[v]
+        if a > b:
+            a, b = b, a
+        colors.append(a * id_base + b)
+    space = max(colors) + 1
+    degree_bound = max(
+        len(incident[u]) + len(incident[v]) - 2 for u, v in endpoints
     )
-    sub_colors, _num = _edge_schedule_colors(subgraph, tracker)
-    # Sub-edge i corresponds to edge_list position: map through endpoints.
-    schedule: Dict[int, int] = {}
-    for original, (u, v) in zip(edge_list, endpoints):
-        sub_edge = subgraph.edge_index(node_map[u], node_map[v])
-        schedule[original] = sub_colors[sub_edge]
-    return schedule
+    # Merged line-graph rows (each position's adjacent positions),
+    # built once and reused by every reduction step.
+    rows: List[List[int]] = []
+    for position, (u, v) in enumerate(endpoints):
+        row = [j for j in incident[u] if j != position]
+        row.extend(j for j in incident[v] if j != position)
+        rows.append(row)
+    for q, d in reduction_schedule(space, max(1, degree_bound)):
+        cache = shared_eval_cache(q, d)
+        new_colors: List[int] = []
+        for position, row in enumerate(rows):
+            new_colors.append(
+                polynomial_step(colors[position], [colors[j] for j in row], q, d, cache)
+            )
+        colors = new_colors
+        if tracker is not None:
+            tracker.charge(1, "linial")
+    return {edge_list[position]: colors[position] for position in range(len(edge_list))}
 
-
-def _edge_schedule_colors(subgraph: Graph, tracker: Optional[RoundTracker]) -> Dict[int, int]:
-    """Linial edge coloring of a subgraph, tolerant of edgeless inputs."""
-    if subgraph.num_edges == 0:
-        return {}, 1
-    line = subgraph.line_graph()
-    colors, num_colors = linial_vertex_coloring(line, tracker=tracker)
-    return {e: colors[e] for e in subgraph.edges()}, num_colors

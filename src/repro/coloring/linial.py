@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.coloring.color_reduction import polynomial_step, reduction_schedule
+from repro.coloring.color_reduction import polynomial_step, reduction_schedule, shared_eval_cache
 from repro.distributed.algorithms import NodeAlgorithm, NodeContext
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.core import Graph
@@ -55,9 +55,15 @@ def linial_vertex_coloring(
     if graph.num_nodes == 0:
         return [], 1
     schedule = reduction_schedule(space, max(1, delta))
+    xadj, adj = graph.adjacency_csr()
     for q, d in schedule:
+        # All nodes run the same (q, d) step, so polynomial evaluations
+        # are shared across the whole graph via one per-step cache.
+        cache = shared_eval_cache(q, d)
         new_colors = [
-            polynomial_step(colors[v], [colors[w] for w in graph.neighbors(v)], q, d)
+            polynomial_step(
+                colors[v], [colors[w] for w in adj[xadj[v] : xadj[v + 1]]], q, d, cache
+            )
             for v in graph.nodes()
         ]
         colors = new_colors

@@ -19,15 +19,19 @@ run it on subgraphs without re-indexing edges.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core import parameters
-from repro.core.token_dropping import TokenDroppingGame, run_token_dropping
+from repro.core.token_dropping import ROUNDS_PER_PHASE, _token_dropping_core
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.bipartite import Bipartition
-from repro.graphs.core import DirectedGraph, Graph
+from repro.graphs.core import Graph
+
+try:  # numpy accelerates the per-phase participation scans when present.
+    import numpy as _np
+except ImportError:  # pragma: no cover - the pure-python path is equivalent
+    _np = None
 
 
 @dataclass
@@ -85,6 +89,51 @@ class BalancedOrientationResult:
         return violations
 
 
+def instance_arrays(
+    graph: Graph,
+    bipartition: Bipartition,
+    edges: List[int],
+) -> Tuple[List[int], Dict[int, int], List[int], List[int]]:
+    """Per-instance degree and orientation arrays, computed in one place.
+
+    Returns ``(static_deg, edge_degrees, o_u, o_v)``: node degrees within
+    the instance, edge degrees keyed by edge, and the oriented endpoints
+    per edge (U side first) as dense arrays over the host graph's edge
+    ids — so hot loops index instead of calling ``orient_edge``.  Raises
+    ``ValueError`` for edges that do not cross the bipartition.  Shared
+    by :func:`compute_balanced_orientation` and the defective 2-coloring
+    wrapper (which hands the result back via its fast path, keeping the
+    two entry points exactly equivalent).
+    """
+    n = graph.num_nodes
+    edge_u, edge_v = graph.endpoint_arrays()
+    sides = bipartition.sides
+
+    static_deg = [0] * n
+    for e in edges:
+        static_deg[edge_u[e]] += 1
+        static_deg[edge_v[e]] += 1
+
+    edge_degrees = {
+        e: static_deg[edge_u[e]] + static_deg[edge_v[e]] - 2 for e in edges
+    }
+
+    o_u = [0] * graph.num_edges
+    o_v = [0] * graph.num_edges
+    for e in edges:
+        a = edge_u[e]
+        b = edge_v[e]
+        if sides[a] == 0 and sides[b] == 1:
+            o_u[e], o_v[e] = a, b
+        elif sides[a] == 1 and sides[b] == 0:
+            o_u[e], o_v[e] = b, a
+        else:
+            raise ValueError(
+                f"edge {e} = ({a}, {b}) is not bichromatic in this bipartition"
+            )
+    return static_deg, edge_degrees, o_u, o_v
+
+
 def compute_balanced_orientation(
     graph: Graph,
     bipartition: Bipartition,
@@ -94,6 +143,9 @@ def compute_balanced_orientation(
     nu: Optional[float] = None,
     tracker: Optional[RoundTracker] = None,
     max_phases: Optional[int] = None,
+    _precomputed: Optional[
+        Tuple[List[int], List[int], Dict[int, int], List[int], List[int], List[float]]
+    ] = None,
 ) -> BalancedOrientationResult:
     """Compute a generalized balanced edge orientation (Theorem 5.6).
 
@@ -108,35 +160,36 @@ def compute_balanced_orientation(
         tracker: optional round tracker.
         max_phases: optional cap on the number of orientation phases
             (defaults to the analytic O(log Δ̄ / ν) phase count).
+        _precomputed: internal fast path for
+            :func:`repro.core.defective_edge_coloring.
+            generalized_defective_two_edge_coloring`, which has already
+            computed ``(edges, static_deg, edge_degrees, o_u, o_v,
+            eta_arr)`` — ``eta`` is then ignored in favor of the dense
+            ``eta_arr``.
 
     Returns a :class:`BalancedOrientationResult` covering every edge of
     the instance.
     """
-    edges: List[int] = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
     local_tracker = RoundTracker()
     n = graph.num_nodes
+    edge_u, edge_v = graph.endpoint_arrays()
 
-    # Static degrees within the instance.
-    static_deg = [0] * n
-    for e in edges:
-        u, v = graph.edge_endpoints(e)
-        static_deg[u] += 1
-        static_deg[v] += 1
+    eta_arr: Optional[List[float]] = None
+    if _precomputed is not None:
+        edges, static_deg, edge_degrees, o_u, o_v, eta_arr = _precomputed
+    else:
+        edges = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
+        static_deg, edge_degrees, o_u, o_v = instance_arrays(graph, bipartition, edges)
 
-    def static_edge_degree(e: int) -> int:
-        u, v = graph.edge_endpoints(e)
-        return static_deg[u] + static_deg[v] - 2
+    bar_delta = max(edge_degrees.values(), default=0)
 
-    edge_degrees = {e: static_edge_degree(e) for e in edges}
-    bar_delta = max([edge_degrees[e] for e in edges], default=0)
     if bar_delta <= 0:
         # Trivial instance: orient everything U -> V.
         orientation = {}
         x = [0] * n
         for e in edges:
-            u, v = bipartition.orient_edge(graph, e)
-            orientation[e] = (u, v)
-            x[v] += 1
+            orientation[e] = (o_u[e], o_v[e])
+            x[o_v[e]] += 1
         return BalancedOrientationResult(
             orientation=orientation,
             in_degrees=x,
@@ -155,121 +208,335 @@ def compute_balanced_orientation(
         else parameters.orientation_phase_count(resolved_nu, bar_delta) + 1
     )
 
-    unoriented: Set[int] = set(edges)
+    # Dense η for O(1) lookups in the phase loops (supplied directly by
+    # the defective-coloring wrapper on the fast path).
+    if eta_arr is None:
+        eta_arr = [0.0] * graph.num_edges
+        for e in edges:
+            eta_arr[e] = eta[e]
+
+    # Unoriented edges: a compact ascending list compacted during the
+    # per-phase scan, plus a flag array for O(1) membership.
+    unoriented_list: List[int] = list(edges)
+    unoriented_count = len(unoriented_list)
+    oriented_flag = bytearray(graph.num_edges)
+    # Vectorized scan state (numpy path): per-instance-edge id/endpoint
+    # arrays plus a zero-copy view of the orientation flags.  Per-op
+    # dispatch overhead makes numpy a net loss on small instances, so the
+    # vector path only engages above a size floor.
+    use_np = _np is not None and len(edges) >= 384
+    if use_np:
+        ids_np = _np.fromiter(edges, dtype=_np.int64, count=len(edges))
+        ue_np = _np.fromiter(
+            (edge_u[e] for e in edges), dtype=_np.int64, count=len(edges)
+        )
+        ve_np = _np.fromiter(
+            (edge_v[e] for e in edges), dtype=_np.int64, count=len(edges)
+        )
+        flags_np = _np.frombuffer(oriented_flag, dtype=_np.uint8)
     orientation: Dict[int, Tuple[int, int]] = {}
     x = [0] * n  # in-degrees
     unor_deg = list(static_deg)  # node degrees among unoriented instance edges
-    d_minus: List[Optional[int]] = [None] * n  # min static edge degree among oriented edges
+    # α_v is a function of d⁻(v), the min static edge degree among the
+    # node's oriented edges (Δ̄ when it has none).  Both are maintained
+    # incrementally — d⁻ changes only when an edge is oriented — instead of
+    # recomputing α for every node in every phase.
+    d_minus: List[Optional[int]] = [None] * n
+    alpha_default = parameters.alpha_node(resolved_nu, bar_delta, bar_delta)
+    alpha_now: List[int] = [alpha_default] * n
+    alpha_memo: Dict[int, int] = {bar_delta: alpha_default}
     phases_run = 0
 
-    for phase in range(1, phase_budget + 1):
-        if not unoriented:
+    # Step 5 asks, every phase, which *previously oriented* edges violate
+    # their η constraint under the phase-start in-degrees.  An edge's
+    # status can only change when one of its endpoints' in-degree changed
+    # or its orientation flipped, so instead of rescanning every oriented
+    # edge per phase we maintain the violated set and recheck only
+    # the edges queued as dirty by the previous phase (newly oriented
+    # edges, flipped edges, and edges incident to nodes whose x changed).
+    # The violated list is emitted in orientation order — the order the
+    # seed implementation produced by iterating the orientation dict — so
+    # the token dropping games see bit-identical inputs.
+    dir_flag = bytearray(graph.num_edges)  # proposal direction: 1 = U→V, 2 = V→U
+    violated_set: Set[int] = set()
+    orient_seq: Dict[int, int] = {}  # edge -> position in orientation order
+    # Nodes whose in-degree changed this phase (plus flip endpoints);
+    # their incident oriented edges — which cover every edge whose
+    # violation status can differ next phase, including newly oriented
+    # ones — are rechecked at the next phase start.
+    dirty_nodes: Set[int] = set()
+    graph_xadj, graph_inc = graph.incidence_csr()
+
+    # Per-phase proposal rounds are accumulated and charged once after
+    # the loop (the tracker sums per label, so the account is identical).
+    proposal_rounds = 0
+    phase = 1
+    while phase <= phase_budget:
+        if not unoriented_count:
             break
         phases_run = phase
         threshold = (1.0 - resolved_nu) ** phase * bar_delta
-        x_old = list(x)
-        d_minus_old = list(d_minus)
+        # In-degrees are only read before step 4 mutates them, so the
+        # phase-start snapshot the paper's steps refer to is ``x`` itself.
+        x_old = x
 
-        # Step 1: high-degree unoriented edges participate.
-        participating = [
-            e
-            for e in unoriented
-            if (unor_deg[graph.edge_endpoints(e)[0]] + unor_deg[graph.edge_endpoints(e)[1]] - 2)
-            > threshold
-        ]
-        # Step 2: proposals.
+        # Refresh the violation flags of the edges dirtied last phase,
+        # against the same phase-start snapshot the full rescan used.
+        if dirty_nodes:
+            recheck: Set[int] = set()
+            for node in dirty_nodes:
+                for i in range(graph_xadj[node], graph_xadj[node + 1]):
+                    f = graph_inc[i]
+                    if oriented_flag[f]:
+                        recheck.add(f)
+            dirty_nodes.clear()
+            for e in recheck:
+                tail = orientation[e][0]
+                u = o_u[e]
+                v = o_v[e]
+                if tail == u:
+                    bad = x_old[v] - x_old[u] > eta_arr[e]
+                else:
+                    bad = x_old[u] - x_old[v] > -eta_arr[e]
+                if bad:
+                    violated_set.add(e)
+                else:
+                    violated_set.discard(e)
+
+        # Steps 1 + 2 fused: scan the unoriented edges once, and for each
+        # participating edge (degree above the threshold) record its
+        # proposal immediately.  Ascending edge order falls out of both
+        # scan variants, so the per-node proposal lists are ascending
+        # without sorting.  The chosen direction is recorded as one byte
+        # per edge (1 = U→V, 2 = V→U); the (tail, head) tuple is only
+        # materialized for accepted edges.  ``max_unor`` (the largest
+        # unoriented edge degree) is only needed by the fast-forward.
         proposals: Dict[int, List[int]] = {}
-        proposal_direction: Dict[int, Tuple[int, int]] = {}
-        for e in sorted(participating):
-            u, v = bipartition.orient_edge(graph, e)
-            if x_old[v] - x_old[u] <= eta[e]:
-                target, direction = v, (u, v)
-            else:
-                target, direction = u, (v, u)
-            proposals.setdefault(target, []).append(e)
-            proposal_direction[e] = direction
-        # Step 3: every node accepts at most k_φ proposals.
+        num_participating = 0
+        max_unor = 0
+        if use_np:
+            unor_np = _np.asarray(unor_deg, dtype=_np.int64)
+            d_np = unor_np[ue_np] + unor_np[ve_np] - 2
+            alive_np = flags_np[ids_np] == 0
+            eligible = alive_np & (d_np > threshold)
+            participating = ids_np[eligible].tolist()
+            num_participating = len(participating)
+            if not num_participating:
+                alive_degrees = d_np[alive_np]
+                if alive_degrees.size:
+                    max_unor = int(alive_degrees.max())
+            for e in participating:
+                u = o_u[e]
+                v = o_v[e]
+                if x_old[v] - x_old[u] <= eta_arr[e]:
+                    target = v
+                    dir_flag[e] = 1
+                else:
+                    target = u
+                    dir_flag[e] = 2
+                bucket = proposals.get(target)
+                if bucket is None:
+                    proposals[target] = [e]
+                else:
+                    bucket.append(e)
+        else:
+            # Pure-python fallback: scan, compact the unoriented list,
+            # and build the proposals in the same pass.  Degrees are
+            # integers, so ``d > threshold`` is equivalent to comparing
+            # against ⌊threshold⌋ (int-int compares are cheaper).
+            threshold_floor = int(threshold)
+            alive: List[int] = []
+            for e in unoriented_list:
+                if oriented_flag[e]:
+                    continue
+                alive.append(e)
+                if unor_deg[edge_u[e]] + unor_deg[edge_v[e]] - 2 > threshold_floor:
+                    num_participating += 1
+                    u = o_u[e]
+                    v = o_v[e]
+                    if x_old[v] - x_old[u] <= eta_arr[e]:
+                        target = v
+                        dir_flag[e] = 1
+                    else:
+                        target = u
+                        dir_flag[e] = 2
+                    bucket = proposals.get(target)
+                    if bucket is None:
+                        proposals[target] = [e]
+                    else:
+                        bucket.append(e)
+            unoriented_list = alive
+            if not num_participating:
+                # max degree is only needed by the fast-forward below.
+                for e in alive:
+                    d = unor_deg[edge_u[e]] + unor_deg[edge_v[e]] - 2
+                    if d > max_unor:
+                        max_unor = d
+
+        if not num_participating:
+            # No proposals this phase, so no edge is oriented, no token
+            # ever moves (the repair game starts with zero tokens and no
+            # node can reach the activity threshold α_v + δ ≥ 2), and the
+            # violation flags cannot change — the phase affects only the
+            # round account.  The same holds for every following phase
+            # until the decaying threshold drops below the current
+            # maximum unoriented edge degree, so replay those phases'
+            # charges arithmetically and fast-forward.
+            target = phase_budget + 1
+            if max_unor > 0:
+                for p in range(phase + 1, phase_budget + 1):
+                    if (1.0 - resolved_nu) ** p * bar_delta < max_unor:
+                        target = p
+                        break
+            stop = min(target, phase_budget + 1)
+            proposal_rounds += 2 * (stop - phase)
+            if violated_set:
+                for p in range(phase, stop):
+                    k_p = parameters.k_phase(resolved_nu, bar_delta, p)
+                    delta_p = min(parameters.delta_phase(resolved_nu, bar_delta, p), k_p)
+                    game_p = max(0, k_p // delta_p - 1)
+                    local_tracker.charge(
+                        max(1, ROUNDS_PER_PHASE * game_p), "orientation-token-dropping"
+                    )
+            phases_run = min(target - 1, phase_budget)
+            phase = target
+            continue
+
+        # The repair game of step 6 needs the phase-start α values; step 4
+        # logs its (rare) α overwrites so the snapshot can be
+        # reconstructed on demand instead of copying α every phase.
+        alpha_undo: List[Tuple[int, int]] = []
+        # Step 3: every node accepts at most k_φ proposals (smallest edge
+        # indices first; the lists are already ascending).
         k_phi = parameters.k_phase(resolved_nu, bar_delta, phase)
         accepted: List[int] = []
         accepted_count = [0] * n
+        max_accepted = 0
         for node in sorted(proposals):
-            chosen = sorted(proposals[node])[:k_phi]
+            chosen = proposals[node][:k_phi]
             accepted.extend(chosen)
-            accepted_count[node] = len(chosen)
+            count = len(chosen)
+            accepted_count[node] = count
+            if count > max_accepted:
+                max_accepted = count
         # Step 4: orient the accepted edges.
         for e in accepted:
-            tail, head = proposal_direction[e]
-            orientation[e] = (tail, head)
+            if dir_flag[e] == 1:
+                direction = (o_u[e], o_v[e])
+            else:
+                direction = (o_v[e], o_u[e])
+            orient_seq[e] = len(orient_seq)
+            orientation[e] = direction
+            head = direction[1]
             x[head] += 1
-            unoriented.discard(e)
-            u, v = graph.edge_endpoints(e)
+            dirty_nodes.add(head)
+            oriented_flag[e] = 1
+            unoriented_count -= 1
+            u = edge_u[e]
+            v = edge_v[e]
             unor_deg[u] -= 1
             unor_deg[v] -= 1
             deg_e = edge_degrees[e]
             for endpoint in (u, v):
-                if d_minus[endpoint] is None or deg_e < d_minus[endpoint]:
+                current = d_minus[endpoint]
+                if current is None or deg_e < current:
                     d_minus[endpoint] = deg_e
-        local_tracker.charge(2, "orientation-proposals")
+                    alpha = alpha_memo.get(deg_e)
+                    if alpha is None:
+                        alpha = parameters.alpha_node(resolved_nu, bar_delta, deg_e)
+                        alpha_memo[deg_e] = alpha
+                    alpha_undo.append((endpoint, alpha_now[endpoint]))
+                    alpha_now[endpoint] = alpha
+        proposal_rounds += 2
 
-        # Step 5: previously oriented edges whose constraint is violated.
-        accepted_set = set(accepted)
-        violated: List[int] = []
-        for e, (tail, head) in orientation.items():
-            if e in accepted_set:
-                continue
-            u, v = bipartition.orient_edge(graph, e)
-            if tail == u and head == v:
-                if x_old[v] - x_old[u] > eta[e]:
-                    violated.append(e)
-            else:
-                if x_old[u] - x_old[v] > -eta[e]:
-                    violated.append(e)
-
-        if not violated:
+        # Step 5: previously oriented edges whose constraint is violated —
+        # the maintained violation set, in orientation order.  Edges
+        # accepted *this* phase cannot be in it (their first status check
+        # happens next phase), matching the seed's accepted-set exclusion.
+        if not violated_set:
+            phase += 1
             continue
 
         # Step 6: one token dropping instance on the violated edges,
-        # directed opposite to their current orientation.
+        # directed opposite to their current orientation.  Two cheap
+        # checks identify games that cannot move a single token — then
+        # the round charge is the only observable effect and the game
+        # (and its arc structure) need not be built at all:
+        #
+        # * ``k_φ // δ − 1 == 0``: the game runs zero phases;
+        # * every initial token count is < 2: no node ever reaches the
+        #   activity threshold ``α_v + δ ≥ 2``, and inactive nodes
+        #   neither freeze nor transfer tokens, so the state is frozen.
         delta_phi = parameters.delta_phase(resolved_nu, bar_delta, phase)
-        arcs: List[Tuple[int, int]] = []
-        arc_edges: List[int] = []
-        for e in violated:
-            tail, head = orientation[e]
-            arcs.append((head, tail))
-            arc_edges.append(e)
-        alpha = [
-            parameters.alpha_node(
-                resolved_nu,
-                bar_delta,
-                d_minus_old[v] if d_minus_old[v] is not None else bar_delta,
+        delta_use = min(delta_phi, k_phi)
+        game_phases = max(0, k_phi // delta_use - 1)
+        max_initial = min(k_phi, max_accepted)
+        if game_phases == 0 or max_initial < 2:
+            local_tracker.charge(
+                max(1, ROUNDS_PER_PHASE * game_phases), "orientation-token-dropping"
             )
-            for v in range(n)
-        ]
-        initial_tokens = [min(k_phi, accepted_count[v]) for v in range(n)]
-        game = TokenDroppingGame(
-            graph=DirectedGraph(n, arcs),
+            phase += 1
+            continue
+
+        violated: List[int] = sorted(violated_set, key=orient_seq.__getitem__)
+        # Reconstruct the phase-start α from the undo log (applied in
+        # reverse so earlier values win).
+        alpha_old = list(alpha_now)
+        for undo_index in range(len(alpha_undo) - 1, -1, -1):
+            node, previous = alpha_undo[undo_index]
+            alpha_old[node] = previous
+        # The game runs on flat arc arrays directly (no per-phase
+        # DirectedGraph / TokenDroppingGame construction); inputs are
+        # valid by construction: 0 ≤ initial tokens ≤ k_φ and α ≥ 1.
+        game_tails: List[int] = []
+        in_map: Dict[int, List[int]] = {}
+        deg_count: Dict[int, int] = {}
+        for index, e in enumerate(violated):
+            tail, head = orientation[e]
+            # The game arc runs opposite to the orientation: head -> tail.
+            game_tails.append(head)
+            in_map.setdefault(tail, []).append(index)
+            deg_count[head] = deg_count.get(head, 0) + 1
+            deg_count[tail] = deg_count.get(tail, 0) + 1
+        initial_tokens = [0] * n
+        for node, count in enumerate(accepted_count):
+            if count:
+                initial_tokens[node] = count if count < k_phi else k_phi
+        _x, _y, moved_arcs, _arc_moves, game_phases = _token_dropping_core(
+            n=n,
+            tails=game_tails,
+            in_map=in_map,
+            degrees=deg_count,
             k=k_phi,
             initial_tokens=initial_tokens,
-            alpha=alpha,
-            delta=min(delta_phi, k_phi),
+            alphas=alpha_old,
+            delta=delta_use,
         )
-        game_result = run_token_dropping(game, tracker=None)
-        local_tracker.charge(max(1, game_result.rounds), "orientation-token-dropping")
+        local_tracker.charge(
+            max(1, ROUNDS_PER_PHASE * game_phases), "orientation-token-dropping"
+        )
 
         # Step 7: flip the orientation of every edge over which a token moved.
-        for arc_index in game_result.moved_arcs:
-            e = arc_edges[arc_index]
+        for arc_index in moved_arcs:
+            e = violated[arc_index]
             tail, head = orientation[e]
             orientation[e] = (head, tail)
             x[head] -= 1
             x[tail] += 1
+            dirty_nodes.add(head)
+            dirty_nodes.add(tail)
+        phase += 1
+
+    if proposal_rounds:
+        local_tracker.charge(proposal_rounds, "orientation-proposals")
 
     # Remaining unoriented edges (constant per node): orient from U to V.
-    if unoriented:
-        for e in sorted(unoriented):
-            u, v = bipartition.orient_edge(graph, e)
-            orientation[e] = (u, v)
-            x[v] += 1
+    if unoriented_count:
+        for e in unoriented_list:
+            if oriented_flag[e]:
+                continue
+            orientation[e] = (o_u[e], o_v[e])
+            x[o_v[e]] += 1
         local_tracker.charge(1, "orientation-final")
 
     if tracker is not None:

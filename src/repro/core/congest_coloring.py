@@ -103,16 +103,17 @@ def congest_edge_coloring(
     for _level in range(max_levels):
         if not uncolored:
             break
-        node_deg = graph.edge_subgraph_degrees(uncolored)
-        current_delta = max(node_deg)
+        # Degrees and the defective split run on a zero-copy view of the
+        # uncolored edges instead of materializing a Graph per level.
+        view = graph.edge_subset_view(uncolored)
+        current_delta = view.max_degree
         level_degrees.append(current_delta)
         if current_delta <= max(4, params.final_degree // 2):
             break
         levels_run += 1
 
-        subgraph = graph.subgraph_from_edges(uncolored)
         classes, _defect = defective_split_coloring(
-            subgraph,
+            view,
             num_classes=4,
             epsilon=epsilon_defective,
             proper_coloring=vertex_colors,

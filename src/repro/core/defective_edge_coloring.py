@@ -19,11 +19,14 @@ apply it to subgraphs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core import parameters
-from repro.core.balanced_orientation import BalancedOrientationResult, compute_balanced_orientation
+from repro.core.balanced_orientation import (
+    BalancedOrientationResult,
+    compute_balanced_orientation,
+    instance_arrays,
+)
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.bipartite import Bipartition
 from repro.graphs.core import Graph
@@ -55,14 +58,15 @@ def eta_from_lambda(
     )
 
 
-@dataclass
 class DefectiveTwoColoringResult:
     """Outcome of a generalized defective 2-edge coloring.
 
     Attributes:
         colors: per edge, ``RED`` (0) or ``BLUE`` (1).
         red_edges / blue_edges: the two color classes.
-        defects: measured number of same-colored neighboring edges, per edge.
+        defects: measured number of same-colored neighboring edges, per
+            edge (computed lazily on first access — the recursive
+            splitting algorithms only consume the two color classes).
         orientation: the underlying balanced orientation.
         epsilon / beta: the parameters the run used (β is the additive
             slack used when computing η; the *guarantee* of Lemma 5.3 is
@@ -70,16 +74,42 @@ class DefectiveTwoColoringResult:
         rounds: communication rounds charged.
     """
 
-    colors: Dict[int, int]
-    red_edges: Set[int]
-    blue_edges: Set[int]
-    defects: Dict[int, int]
-    orientation: BalancedOrientationResult
-    epsilon: float
-    beta: float
-    rounds: int
-    lambdas: Dict[int, float] = field(default_factory=dict)
-    edge_degrees: Dict[int, int] = field(default_factory=dict)
+    def __init__(
+        self,
+        colors: Dict[int, int],
+        red_edges: Set[int],
+        blue_edges: Set[int],
+        orientation: BalancedOrientationResult,
+        epsilon: float,
+        beta: float,
+        rounds: int,
+        lambdas: Optional[Dict[int, float]] = None,
+        edge_degrees: Optional[Dict[int, int]] = None,
+        defects: Optional[Dict[int, int]] = None,
+        _graph: Optional[Graph] = None,
+    ) -> None:
+        self.colors = colors
+        self.red_edges = red_edges
+        self.blue_edges = blue_edges
+        self.orientation = orientation
+        self.epsilon = epsilon
+        self.beta = beta
+        self.rounds = rounds
+        self.lambdas = lambdas if lambdas is not None else {}
+        self.edge_degrees = edge_degrees if edge_degrees is not None else {}
+        self._defects = defects
+        self._measure_graph = _graph
+
+    @property
+    def defects(self) -> Dict[int, int]:
+        """Measured same-colored neighbor counts, keyed by edge."""
+        if self._defects is None:
+            if self._measure_graph is None:
+                raise ValueError("defects were not supplied and no graph is attached")
+            self._defects = measure_defects(
+                self._measure_graph, self.colors, self.colors.keys()
+            )
+        return self._defects
 
     def defect_bound(self, e: int, beta: Optional[float] = None) -> float:
         """The Definition 5.1 bound for edge ``e`` (with slack 2β as in Lemma 5.3)."""
@@ -131,82 +161,86 @@ def generalized_defective_two_edge_coloring(
     edges: List[int] = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
     local_tracker = RoundTracker()
 
-    # Degrees within the instance.
-    node_deg = [0] * graph.num_nodes
-    for e in edges:
-        u, v = graph.edge_endpoints(e)
-        node_deg[u] += 1
-        node_deg[v] += 1
-    edge_degrees = {}
-    for e in edges:
-        u, v = graph.edge_endpoints(e)
-        edge_degrees[e] = node_deg[u] + node_deg[v] - 2
+    # Degrees and oriented endpoints within the instance (shared helper,
+    # handed back to the orientation via its fast path below).
+    node_deg, edge_degrees, o_u, o_v = instance_arrays(graph, bipartition, edges)
     bar_delta = max(edge_degrees.values(), default=0)
     resolved_beta = 0.0 if beta is None else float(beta)
 
-    eta: Dict[int, float] = {}
+    # η_e of Equation (3), inlined from :func:`eta_from_lambda` (one call
+    # per edge per split adds up across the recursive decompositions) and
+    # written straight into the dense array the orientation consumes.
+    eta_arr: List[float] = [0.0] * graph.num_edges
     for e in edges:
-        u, v = bipartition.orient_edge(graph, e)
-        eta[e] = eta_from_lambda(
-            lambda_e=lambdas[e],
-            deg_u=node_deg[u],
-            deg_v=node_deg[v],
-            deg_e=edge_degrees[e],
-            epsilon=epsilon,
-            beta=resolved_beta,
+        lam = lambdas[e]
+        eta_arr[e] = (
+            1.0
+            - 2.0 * lam
+            - (1.0 - lam) * node_deg[o_u[e]]
+            + lam * node_deg[o_v[e]]
+            + epsilon * (lam - 0.5) * edge_degrees[e]
+            + (2.0 * lam - 1.0) * resolved_beta
         )
 
     orientation = compute_balanced_orientation(
         graph,
         bipartition,
-        eta,
+        {},
         epsilon=epsilon,
         edge_set=edges,
         nu=nu,
         tracker=local_tracker,
+        _precomputed=(edges, node_deg, edge_degrees, o_u, o_v, eta_arr),
     )
 
     colors: Dict[int, int] = {}
+    red_edges: Set[int] = set()
+    blue_edges: Set[int] = set()
+    arrows = orientation.orientation
     for e in edges:
-        u, v = bipartition.orient_edge(graph, e)
-        tail, head = orientation.orientation[e]
-        colors[e] = RED if (tail, head) == (u, v) else BLUE
+        if arrows[e] == (o_u[e], o_v[e]):
+            colors[e] = RED
+            red_edges.add(e)
+        else:
+            colors[e] = BLUE
+            blue_edges.add(e)
 
-    defects = measure_defects(graph, colors, edges)
     local_tracker.charge(1, "defective-2-coloring-output")
     if tracker is not None:
         tracker.merge(local_tracker)
 
     return DefectiveTwoColoringResult(
         colors=colors,
-        red_edges={e for e, c in colors.items() if c == RED},
-        blue_edges={e for e, c in colors.items() if c == BLUE},
-        defects=defects,
+        red_edges=red_edges,
+        blue_edges=blue_edges,
         orientation=orientation,
         epsilon=epsilon,
         beta=resolved_beta,
         rounds=local_tracker.total,
         lambdas=dict(lambdas),
         edge_degrees=edge_degrees,
+        _graph=graph,
     )
 
 
 def measure_defects(graph: Graph, colors: Dict[int, int], edges: Iterable[int]) -> Dict[int, int]:
     """Number of same-colored neighboring edges for every edge of the instance."""
     edge_list = list(edges)
-    edge_set = set(edge_list)
+    edge_u, edge_v = graph.endpoint_arrays()
     # Count per (node, color) to avoid quadratic scans.
     per_node_color: Dict[Tuple[int, int], int] = {}
     for e in edge_list:
-        u, v = graph.edge_endpoints(e)
         c = colors[e]
-        per_node_color[(u, c)] = per_node_color.get((u, c), 0) + 1
-        per_node_color[(v, c)] = per_node_color.get((v, c), 0) + 1
+        ku = (edge_u[e], c)
+        kv = (edge_v[e], c)
+        per_node_color[ku] = per_node_color.get(ku, 0) + 1
+        per_node_color[kv] = per_node_color.get(kv, 0) + 1
     defects: Dict[int, int] = {}
     for e in edge_list:
-        u, v = graph.edge_endpoints(e)
         c = colors[e]
-        defects[e] = per_node_color.get((u, c), 0) + per_node_color.get((v, c), 0) - 2
+        defects[e] = (
+            per_node_color[(edge_u[e], c)] + per_node_color[(edge_v[e], c)] - 2
+        )
     return defects
 
 

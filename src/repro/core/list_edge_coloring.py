@@ -83,26 +83,52 @@ class ListColoringResult:
 
 
 # ---------------------------------------------------------------------------- helpers
+@dataclass
+class _Part:
+    """An edge-disjoint part of the Lemma D.2 recursion with its lists."""
+
+    edges: List[int]
+    lists: Dict[int, List[int]]
+
+
 def _edge_degrees_within(graph: Graph, edges: Iterable[int]) -> Dict[int, int]:
     """Edge degrees restricted to the given edge set."""
     edge_list = list(edges)
+    edge_u, edge_v = graph.endpoint_arrays()
     node_deg = [0] * graph.num_nodes
     for e in edge_list:
-        u, v = graph.edge_endpoints(e)
-        node_deg[u] += 1
-        node_deg[v] += 1
-    result = {}
-    for e in edge_list:
-        u, v = graph.edge_endpoints(e)
-        result[e] = node_deg[u] + node_deg[v] - 2
-    return result
+        node_deg[edge_u[e]] += 1
+        node_deg[edge_v[e]] += 1
+    return {e: node_deg[edge_u[e]] + node_deg[edge_v[e]] - 2 for e in edge_list}
+
+
+def _max_edge_degree_within(graph: Graph, edges: Sequence[int]) -> int:
+    """Maximum edge degree within the given edge set (no per-edge dict)."""
+    edge_u, edge_v = graph.endpoint_arrays()
+    node_deg = [0] * graph.num_nodes
+    for e in edges:
+        node_deg[edge_u[e]] += 1
+        node_deg[edge_v[e]] += 1
+    best = 0
+    for e in edges:
+        d = node_deg[edge_u[e]] + node_deg[edge_v[e]] - 2
+        if d > best:
+            best = d
+    return best
 
 
 def _available(
     graph: Graph, lists: Dict[int, Sequence[int]], e: int, coloring: Dict[int, int]
 ) -> List[int]:
-    """Colors of ``lists[e]`` not used by already-colored adjacent edges."""
-    used = {coloring[f] for f in graph.adjacent_edges(e) if f in coloring}
+    """Colors of ``lists[e]`` not used by already-colored adjacent edges.
+
+    The adjacent-edge row comes from the precomputed flat line-graph
+    arrays (one slice, no list rebuilding).
+    """
+    offsets, flat = graph.edge_adjacency_csr()
+    used = {coloring[f] for f in flat[offsets[e] : offsets[e + 1]] if f in coloring}
+    if not used:
+        return list(lists[e])
     return [c for c in lists[e] if c not in used]
 
 
@@ -155,12 +181,9 @@ def solve_relaxed_instance(
     color_values = {c for e in edges for c in lists[e]}
     max_levels = max(1, math.ceil(math.log2(max(2, len(color_values)))) + 1)
 
-    @dataclass
-    class _Part:
-        edges: List[int]
-        lists: Dict[int, List[int]]
-
-    parts: List[_Part] = [_Part(edges=list(edges), lists={e: list(lists[e]) for e in edges})]
+    # Lists are never mutated in place (each split level filters into
+    # fresh lists), so the initial parts can alias the caller's lists.
+    parts: List[_Part] = [_Part(edges=list(edges), lists={e: lists[e] for e in edges})]
     passive_levels: List[List[Tuple[int, List[int]]]] = []
 
     for _level in range(max_levels):
@@ -295,8 +318,8 @@ def partially_color_bipartite(
         # Parts are edge-disjoint: the splits of one level run in parallel.
         level_rounds = 0
         for part in parts:
-            part_degrees = _edge_degrees_within(graph, part)
-            if len(part) <= 1 or max(part_degrees.values(), default=0) <= 1:
+            part_max_degree = _max_edge_degree_within(graph, part)
+            if len(part) <= 1 or part_max_degree <= 1:
                 next_parts.append(part)
                 continue
             part_tracker = RoundTracker()
@@ -306,7 +329,7 @@ def partially_color_bipartite(
                 half_split_lambdas(part),
                 epsilon=max(params.epsilon, 0.5),
                 edge_set=part,
-                beta=params.beta(max(part_degrees.values(), default=0)),
+                beta=params.beta(part_max_degree),
                 nu=params.resolved_nu(),
                 tracker=part_tracker,
             )
@@ -317,6 +340,19 @@ def partially_color_bipartite(
         parts = [p for p in next_parts if p]
 
     working = dict(coloring)
+    # Availability via per-node used-color sets, maintained as colors are
+    # assigned: an edge's blocked colors are exactly those used at its
+    # two endpoints, so no adjacency scan per query is needed.
+    edge_u, edge_v = graph.endpoint_arrays()
+    used_at: List[Set[int]] = [set() for _ in range(graph.num_nodes)]
+    for colored_edge, color in working.items():
+        used_at[edge_u[colored_edge]].add(color)
+        used_at[edge_v[colored_edge]].add(color)
+    lists = instance.lists
+    # Participation threshold per uncolored degree, memoized (the same
+    # few degree values recur across all parts).
+    list_slack = params.list_slack
+    threshold_memo: Dict[int, int] = {}
     for part in parts:
         uncolored_part = [e for e in part if e not in working]
         if not uncolored_part:
@@ -324,9 +360,19 @@ def partially_color_bipartite(
         part_degrees = _edge_degrees_within(graph, uncolored_part)
         participant_lists: Dict[int, List[int]] = {}
         for e in uncolored_part:
-            available = _available(graph, instance.lists, e, working)
+            used_u = used_at[edge_u[e]]
+            used_v = used_at[edge_v[e]]
+            if used_u or used_v:
+                available = [
+                    c for c in lists[e] if c not in used_u and c not in used_v
+                ]
+            else:
+                available = list(lists[e])
             degree = part_degrees[e]
-            threshold = max(degree + 1, math.ceil(params.list_slack * degree))
+            threshold = threshold_memo.get(degree)
+            if threshold is None:
+                threshold = max(degree + 1, math.ceil(list_slack * degree))
+                threshold_memo[degree] = threshold
             if len(available) >= threshold:
                 participant_lists[e] = available
         if not participant_lists:
@@ -342,6 +388,9 @@ def partially_color_bipartite(
         )
         working.update(new)
         newly.update(new)
+        for colored_edge, color in new.items():
+            used_at[edge_u[colored_edge]].add(color)
+            used_at[edge_v[colored_edge]].add(color)
 
     if tracker is not None:
         tracker.merge(own)
@@ -390,35 +439,49 @@ def list_edge_coloring(
     max_outer = 2 * math.ceil(math.log2(max(2, graph.max_degree))) + 4
     outer = 0
 
+    # The uncolored edge set shrinks monotonically; it is maintained
+    # incrementally (filter out the edges colored in the last iteration)
+    # instead of rescanning every graph edge twice per level, and its
+    # degrees come from a zero-copy EdgeSubsetView instead of building a
+    # fresh Graph per level.
+    edge_u, edge_v = graph.endpoint_arrays()
+    uncolored: List[int] = list(graph.edges())
+
     while True:
-        uncolored = [e for e in graph.edges() if e not in coloring]
         if not uncolored:
             break
-        node_deg = graph.edge_subgraph_degrees(set(uncolored))
-        current_delta = max(node_deg)
+        view = graph.edge_subset_view(uncolored)
+        current_delta = view.max_degree
         level_degrees.append(current_delta)
         if current_delta <= params.final_degree or outer >= max_outer:
             break
         outer += 1
 
-        subgraph = graph.subgraph_from_edges(uncolored)
         classes, _defect = defective_split_coloring(
-            subgraph,
+            view,
             num_classes=4,
             epsilon=0.125,
             proper_coloring=vertex_colors,
             proper_num_colors=vertex_color_count,
             tracker=own,
         )
+        # Bucket the uncolored edges by their (unordered) class pair in
+        # one pass; the pairs are edge-disjoint, so the per-pair lists
+        # cannot be invalidated by the other pairs' colorings.
+        pair_buckets: Dict[Tuple[int, int], List[int]] = {}
+        for e in uncolored:
+            cu = classes[edge_u[e]]
+            cv = classes[edge_v[e]]
+            if cu != cv:
+                key = (cu, cv) if cu < cv else (cv, cu)
+                bucket = pair_buckets.get(key)
+                if bucket is None:
+                    pair_buckets[key] = [e]
+                else:
+                    bucket.append(e)
         for class_a in range(4):
             for class_b in range(class_a + 1, 4):
-                pair_edges = []
-                for e in uncolored:
-                    if e in coloring:
-                        continue
-                    u, v = graph.edge_endpoints(e)
-                    if {classes[u], classes[v]} == {class_a, class_b}:
-                        pair_edges.append(e)
+                pair_edges = pair_buckets.get((class_a, class_b))
                 if not pair_edges:
                     continue
                 bipartition = Bipartition(
@@ -434,9 +497,9 @@ def list_edge_coloring(
                     tracker=own,
                 )
                 coloring.update(new)
+        uncolored = [e for e in uncolored if e not in coloring]
 
     # Final stage: the uncolored graph has small degree; greedy from the lists.
-    uncolored = [e for e in graph.edges() if e not in coloring]
     if uncolored:
         available_lists = {
             e: _available(graph, instance.lists, e, coloring) for e in uncolored

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from functools import lru_cache
 
 
 #: Upper bound on the orientation-phase parameter ν (Equation (4)).
@@ -46,6 +47,7 @@ def nu_from_epsilon(epsilon: float) -> float:
     return min(NU_UPPER_BOUND, epsilon / 8.0)
 
 
+@lru_cache(maxsize=65536)
 def k_phase(nu: float, bar_delta: int, phase: int) -> int:
     """k_φ = ⌈ν(1−ν)^{φ−1}·Δ̄⌉ — the token budget of phase φ (step 3 of the Section 5 algorithm)."""
     if phase < 1:
@@ -53,6 +55,7 @@ def k_phase(nu: float, bar_delta: int, phase: int) -> int:
     return max(1, math.ceil(nu * (1.0 - nu) ** (phase - 1) * bar_delta))
 
 
+@lru_cache(maxsize=65536)
 def delta_phase(nu: float, bar_delta: int, phase: int) -> int:
     """δ_φ of Equation (6): max(1, ⌊(1/16)·ν⁶/ln³Δ̄·(1−ν)^{φ−1}·Δ̄⌋)."""
     if phase < 1:
@@ -61,6 +64,7 @@ def delta_phase(nu: float, bar_delta: int, phase: int) -> int:
     return max(1, math.floor(value))
 
 
+@lru_cache(maxsize=65536)
 def alpha_node(nu: float, bar_delta: int, d_minus: int) -> int:
     """α_v(φ) of Equation (5): max(1, (1/4)·ν²/lnΔ̄·(d⁻_φ(v) + 1)).
 
@@ -90,6 +94,7 @@ def beta_theoretical(epsilon: float, bar_delta: int, constant: float = BETA_CONS
     return constant * _safe_log(bar_delta) ** 3 / (epsilon ** 5)
 
 
+@lru_cache(maxsize=65536)
 def orientation_phase_count(nu: float, bar_delta: int) -> int:
     """φ̂ = O(log Δ̄ / ν): the number of orientation phases after which every node
     has O(1) unoriented incident edges (proof of Theorem 5.6)."""

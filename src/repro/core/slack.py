@@ -11,7 +11,7 @@ the degree / slack / availability accounting that both the solver
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import InitVar, dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.graphs.core import Graph
@@ -27,31 +27,43 @@ class ListEdgeColoringInstance:
         color_space: size ``C`` of the color space; colors are
             ``0 .. C - 1``.
         edge_set: the instance's edges (defaults to the keys of ``lists``).
+        validate: skip the per-list color-range validation when False
+            (constructors that built the lists themselves, e.g.
+            :func:`uniform_instance`, pass lists that are in range by
+            construction).
     """
 
     graph: Graph
     lists: Dict[int, List[int]]
     color_space: int
     edge_set: Set[int] = field(default_factory=set)
+    validate: InitVar[bool] = True
 
-    def __post_init__(self) -> None:
+    def __post_init__(self, validate: bool) -> None:
         if not self.edge_set:
             self.edge_set = set(self.lists.keys())
+        if not validate:
+            return
+        space = self.color_space
         for e in self.edge_set:
             if e not in self.lists:
                 raise ValueError(f"edge {e} has no list")
-            for c in self.lists[e]:
-                if not (0 <= c < self.color_space):
-                    raise ValueError(f"color {c} of edge {e} outside the color space")
+            lst = self.lists[e]
+            # min/max run at C speed; the per-color scan only happens on
+            # the error path to name the offending color.
+            if lst and (min(lst) < 0 or max(lst) >= space):
+                for c in lst:
+                    if not (0 <= c < space):
+                        raise ValueError(f"color {c} of edge {e} outside the color space")
 
     # ------------------------------------------------------------------ degrees
     def node_degrees(self) -> List[int]:
         """Node degrees counting only instance edges."""
         degrees = [0] * self.graph.num_nodes
+        edge_u, edge_v = self.graph.endpoint_arrays()
         for e in self.edge_set:
-            u, v = self.graph.edge_endpoints(e)
-            degrees[u] += 1
-            degrees[v] += 1
+            degrees[edge_u[e]] += 1
+            degrees[edge_v[e]] += 1
         return degrees
 
     def edge_degree(self, e: int, degrees: Optional[List[int]] = None) -> int:
@@ -90,9 +102,12 @@ class ListEdgeColoringInstance:
     def is_degree_plus_one(self) -> bool:
         """Whether every list has at least deg(e) + 1 colors."""
         degrees = self.node_degrees()
-        return all(
-            len(self.lists[e]) >= self.edge_degree(e, degrees) + 1 for e in self.edge_set
-        )
+        edge_u, edge_v = self.graph.endpoint_arrays()
+        lists = self.lists
+        for e in self.edge_set:
+            if len(lists[e]) < degrees[edge_u[e]] + degrees[edge_v[e]] - 1:
+                return False
+        return True
 
     # ------------------------------------------------------------------ availability
     def available_colors(self, e: int, coloring: Dict[int, int]) -> List[int]:
@@ -133,7 +148,11 @@ def uniform_instance(graph: Graph, num_colors: Optional[int] = None) -> ListEdge
         num_colors = max(1, 2 * graph.max_degree - 1)
     palette = list(range(num_colors))
     lists = {e: list(palette) for e in graph.edges()}
-    return ListEdgeColoringInstance(graph=graph, lists=lists, color_space=num_colors)
+    # Every list is a fresh copy of the same in-range palette: skip the
+    # per-list range validation.
+    return ListEdgeColoringInstance(
+        graph=graph, lists=lists, color_space=num_colors, validate=False
+    )
 
 
 def degree_plus_one_instance(

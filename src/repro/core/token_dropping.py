@@ -19,7 +19,6 @@ them directly.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -129,6 +128,109 @@ class TokenDroppingResult:
         return violations
 
 
+def _token_dropping_core(
+    n: int,
+    tails: Sequence[int],
+    in_map: Dict[int, List[int]],
+    degrees: Dict[int, int],
+    k: int,
+    initial_tokens: Sequence[int],
+    alphas: Sequence[int],
+    delta: int,
+) -> Tuple[List[int], List[int], Set[int], Dict[int, int], int]:
+    """The six numbered steps of Section 4.1 on flat arc arrays.
+
+    Shared by :func:`run_token_dropping` and the orientation algorithm's
+    fast path (which skips the :class:`DirectedGraph` /
+    :class:`TokenDroppingGame` object construction per phase).  ``in_map``
+    maps head nodes to their in-arc indices; ``degrees`` maps tail nodes
+    to their total degree in the game graph.  Returns ``(x, y,
+    moved_arcs, arc_moves, num_phases)``.
+
+    Only nodes that hold tokens, receive proposals (arc heads) or send
+    tokens (arc tails) can ever change state — the per-phase scans are
+    restricted to that *involved* set, which leaves the outcome unchanged
+    and skips the bulk of the node set in the sparse instances the
+    orientation algorithm builds.
+    """
+    x = list(initial_tokens)  # active tokens
+    y = [0] * n  # passive tokens
+    arc_active = [True] * len(tails)
+    moved_arcs: Set[int] = set()
+    arc_moves: Dict[int, int] = {}
+    num_phases = max(0, k // delta - 1)
+    if num_phases == 0:
+        return x, y, moved_arcs, arc_moves, 0
+
+    head_nodes = sorted(in_map)
+    involved = set(head_nodes)
+    involved.update(tails)
+    for v, tokens in enumerate(initial_tokens):
+        if tokens:
+            involved.add(v)
+    involved_nodes = sorted(involved)
+
+    for phase in range(1, num_phases + 1):
+        # Step 1: the active nodes of this phase.
+        active_node = bytearray(n)
+        for v in involved_nodes:
+            if x[v] >= alphas[v] + delta:
+                active_node[v] = 1
+        # Step 2: active nodes freeze δ of their tokens.
+        x_prime = list(x)
+        for v in involved_nodes:
+            if active_node[v]:
+                x_prime[v] = x[v] - delta
+                y[v] = y[v] + delta
+        # Step 3 + 4: receivers send proposals to active in-neighbors with
+        # priority to small deg_G(w)/α_w, bounded by their remaining capacity.
+        proposals_to: Dict[int, List[Tuple[int, int]]] = {}
+        free = k - phase * delta
+        for v in head_nodes:
+            capacity = free - x_prime[v]
+            if x_prime[v] > free - alphas[v]:
+                continue
+            if capacity <= 0:
+                continue
+            candidate_arcs: Dict[int, int] = {}
+            for a in in_map[v]:
+                if not arc_active[a]:
+                    continue
+                tail = tails[a]
+                if active_node[tail] and tail not in candidate_arcs:
+                    candidate_arcs[tail] = a
+            if not candidate_arcs:
+                continue
+            ordered = sorted(
+                candidate_arcs.items(),
+                key=lambda item: (degrees[item[0]] / alphas[item[0]], item[0]),
+            )
+            budget = min(len(ordered), capacity)
+            for tail, arc_index in ordered[:budget]:
+                proposals_to.setdefault(tail, []).append((v, arc_index))
+        # Step 5: senders accept up to x'_v proposals and send tokens.  The
+        # per-sender lists are already sorted by receiver: heads are visited
+        # in ascending order above.
+        received: Dict[int, int] = {}
+        for u in sorted(proposals_to):
+            incoming = proposals_to[u]
+            q_u = min(len(incoming), x_prime[u])
+            if q_u <= 0:
+                continue
+            for receiver, arc_index in incoming[:q_u]:
+                arc_active[arc_index] = False
+                moved_arcs.add(arc_index)
+                arc_moves[arc_index] = phase
+                received[receiver] = received.get(receiver, 0) + 1
+            x_prime[u] -= q_u  # tokens sent
+        # Step 6: update the active token counts.
+        x = x_prime
+        for v, gained in received.items():
+            x[v] += gained
+
+    return x, y, moved_arcs, arc_moves, num_phases
+
+
 def run_token_dropping(
     game: TokenDroppingGame,
     tracker: Optional[RoundTracker] = None,
@@ -141,64 +243,18 @@ def run_token_dropping(
     node / arc index.
     """
     graph = game.graph
-    k = game.k
-    delta = game.delta
-    x = list(game.initial_tokens)  # active tokens
-    y = [0] * graph.num_nodes  # passive tokens
-    arc_active = [True] * graph.num_arcs
-    moved_arcs: Set[int] = set()
-    arc_moves: Dict[int, int] = {}
-    num_phases = max(0, k // delta - 1)
-
-    for phase in range(1, num_phases + 1):
-        # Step 1: the active nodes of this phase.
-        active_node = [x[v] >= game.alpha[v] + delta for v in graph.nodes()]
-        # Step 2: active nodes freeze δ of their tokens.
-        x_prime = list(x)
-        for v in graph.nodes():
-            if active_node[v]:
-                x_prime[v] = x[v] - delta
-                y[v] = y[v] + delta
-        # Step 3 + 4: receivers send proposals to active in-neighbors with
-        # priority to small deg_G(w)/α_w, bounded by their remaining capacity.
-        proposals_to: Dict[int, List[Tuple[int, int]]] = {v: [] for v in graph.nodes()}
-        for v in graph.nodes():
-            capacity = k - phase * delta - x_prime[v]
-            if x_prime[v] > k - phase * delta - game.alpha[v]:
-                continue
-            if capacity <= 0:
-                continue
-            candidate_arcs: Dict[int, int] = {}
-            for a in graph.in_arcs(v):
-                if not arc_active[a]:
-                    continue
-                tail = graph.arc(a).tail
-                if active_node[tail] and tail not in candidate_arcs:
-                    candidate_arcs[tail] = a
-            if not candidate_arcs:
-                continue
-            ordered = sorted(
-                candidate_arcs.items(),
-                key=lambda item: (graph.degree(item[0]) / game.alpha[item[0]], item[0]),
-            )
-            budget = min(len(ordered), capacity)
-            for tail, arc_index in ordered[:budget]:
-                proposals_to[tail].append((v, arc_index))
-        # Step 5: senders accept up to x'_v proposals and send tokens.
-        received: List[int] = [0] * graph.num_nodes
-        sent: List[int] = [0] * graph.num_nodes
-        for u in graph.nodes():
-            incoming = sorted(proposals_to[u], key=lambda item: item[0])
-            q_u = min(len(incoming), x_prime[u])
-            for receiver, arc_index in incoming[:q_u]:
-                arc_active[arc_index] = False
-                moved_arcs.add(arc_index)
-                arc_moves[arc_index] = phase
-                received[receiver] += 1
-                sent[u] += 1
-        # Step 6: update the active token counts.
-        for v in graph.nodes():
-            x[v] = x_prime[v] + received[v] - sent[v]
+    tails, _heads = graph.arc_arrays()
+    degrees = {t: graph.degree(t) for t in set(tails)}
+    x, y, moved_arcs, arc_moves, num_phases = _token_dropping_core(
+        n=graph.num_nodes,
+        tails=tails,
+        in_map=graph.in_arc_map(),
+        degrees=degrees,
+        k=game.k,
+        initial_tokens=game.initial_tokens,
+        alphas=game.alpha,
+        delta=game.delta,
+    )
 
     if tracker is not None:
         tracker.charge(ROUNDS_PER_PHASE * num_phases, "token-dropping")
@@ -210,8 +266,8 @@ def run_token_dropping(
         arc_moves=arc_moves,
         phases=num_phases,
         rounds=ROUNDS_PER_PHASE * num_phases,
-        k=k,
-        delta=delta,
+        k=game.k,
+        delta=game.delta,
         game=game,
     )
 

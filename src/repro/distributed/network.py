@@ -83,42 +83,65 @@ class SynchronousNetwork:
         Returns the per-node outputs and the execution metrics.  Raises
         ``RuntimeError`` if the algorithm does not terminate within
         ``max_rounds`` rounds.
+
+        The simulator tracks the set of unfinished nodes instead of
+        re-querying every node each round: a node reporting finished is
+        assumed to stay finished (termination is monotone in the LOCAL /
+        CONGEST models), it no longer sends, and its ``receive`` hook only
+        runs in rounds where messages actually arrive for it.  Inboxes
+        are allocated lazily — only nodes that receive something this
+        round get one.
         """
-        states = [algorithm.initialize(ctx) for ctx in self._contexts]
+        contexts = self._contexts
+        states = [algorithm.initialize(ctx) for ctx in contexts]
         metrics = ExecutionMetrics(
             congest_budget_bits=self._auditor.budget_bits if self._auditor else None
         )
+        ports = self._ports
+        reverse_port = self._reverse_port
+        unfinished = [
+            v for v, ctx in enumerate(contexts) if not algorithm.finished(ctx, states[v])
+        ]
         rounds = 0
-        while not all(
-            algorithm.finished(ctx, state) for ctx, state in zip(self._contexts, states)
-        ):
+        while unfinished:
             if rounds >= max_rounds:
                 raise RuntimeError(f"algorithm did not terminate within {max_rounds} rounds")
-            outboxes = [
-                algorithm.send(ctx, state, rounds)
-                for ctx, state in zip(self._contexts, states)
-            ]
-            inboxes: List[Dict[int, Any]] = [dict() for _ in self._contexts]
-            for v, outbox in enumerate(outboxes):
+            inboxes: Dict[int, Dict[int, Any]] = {}
+            for v in unfinished:
+                outbox = algorithm.send(contexts[v], states[v], rounds)
                 for port, payload in outbox.items():
-                    if not (0 <= port < len(self._ports[v])):
+                    if not (0 <= port < len(ports[v])):
                         raise ValueError(f"node {v} sent on invalid port {port}")
                     if payload is None:
                         continue
-                    target = self._ports[v][port]
-                    back_port = self._reverse_port[(target, v)]
-                    inboxes[target][back_port] = payload
+                    target = ports[v][port]
+                    back_port = reverse_port[(target, v)]
+                    inbox = inboxes.get(target)
+                    if inbox is None:
+                        inbox = inboxes[target] = {}
+                    inbox[back_port] = payload
                     metrics.messages += 1
                     if self._auditor is not None:
                         bits = self._auditor.record(payload)
                         metrics.max_message_bits = max(metrics.max_message_bits, bits)
-            for ctx, state, inbox in zip(self._contexts, states, inboxes):
-                algorithm.receive(ctx, state, inbox, rounds)
+            unfinished_set = set(unfinished)
+            for v in unfinished:
+                inbox = inboxes.get(v)
+                if inbox is None:
+                    inbox = {}  # fresh per node: receive() may treat it as scratch
+                algorithm.receive(contexts[v], states[v], inbox, rounds)
+            # Finished nodes still observe late messages addressed to them.
+            for v in sorted(inboxes):
+                if v not in unfinished_set:
+                    algorithm.receive(contexts[v], states[v], inboxes[v], rounds)
+            unfinished = [
+                v for v in unfinished if not algorithm.finished(contexts[v], states[v])
+            ]
             rounds += 1
         metrics.rounds = rounds
         if self._auditor is not None:
             metrics.congest_violations = len(self._auditor.violations)
         outputs = [
-            algorithm.output(ctx, state) for ctx, state in zip(self._contexts, states)
+            algorithm.output(ctx, state) for ctx, state in zip(contexts, states)
         ]
         return outputs, metrics

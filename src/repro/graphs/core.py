@@ -13,6 +13,17 @@ stored with their endpoints normalized so that ``u < v``.  The class is
 immutable after construction; subgraphs are expressed as edge subsets
 (sets of edge indices) so that edge identities — and therefore colors,
 lists and orientations keyed by edge index — survive any decomposition.
+
+Storage is CSR-style (compressed sparse row): adjacency and incident-edge
+information live in flat arrays indexed by per-node offsets, endpoint
+lookups go through two flat endpoint arrays, and global quantities
+(``max_degree``, the edge-identifier base) are computed once at
+construction instead of on every call.  The per-edge *adjacent edge*
+lists (the line-graph rows) are flattened lazily on first use, so hot
+paths like list-availability queries cost one slice instead of two list
+copies.  :class:`EdgeSubsetView` exposes the same read API restricted to
+an edge subset **without building a new Graph** — the decompositions of
+Sections 5–7 run entirely on views.
 """
 
 from __future__ import annotations
@@ -22,7 +33,19 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 
 
 class Graph:
-    """An undirected simple graph with indexed nodes and edges."""
+    """An undirected simple graph with indexed nodes and edges.
+
+    Internal layout (all built once in ``__init__``):
+
+    * ``_edges`` — tuple of normalized ``(u, v)`` endpoint pairs.
+    * ``_edge_u`` / ``_edge_v`` — flat endpoint arrays (``u < v``).
+    * ``_xadj`` — per-node offsets into the flat adjacency arrays
+      (``_xadj[v] .. _xadj[v+1]`` is node ``v``'s row).
+    * ``_adj`` — flat neighbor array, each row sorted by neighbor.
+    * ``_inc`` — flat incident-edge array aligned with ``_adj``.
+    * ``_eadj_off`` / ``_eadj`` — lazy flat adjacent-edge (line-graph row)
+      arrays, built on first :meth:`adjacent_edges` call.
+    """
 
     def __init__(
         self,
@@ -41,7 +64,6 @@ class Graph:
         """
         if num_nodes < 0:
             raise ValueError("num_nodes must be non-negative")
-        self._num_nodes = num_nodes
         normalized: List[Tuple[int, int]] = []
         seen: Set[Tuple[int, int]] = set()
         for u, v in edges:
@@ -54,30 +76,84 @@ class Graph:
                 raise ValueError(f"duplicate edge {key}")
             seen.add(key)
             normalized.append(key)
-        self._edges: List[Tuple[int, int]] = normalized
-        self._adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
-        self._incident: List[List[int]] = [[] for _ in range(num_nodes)]
-        for index, (u, v) in enumerate(self._edges):
-            self._adjacency[u].append(v)
-            self._adjacency[v].append(u)
-            self._incident[u].append(index)
-            self._incident[v].append(index)
-        for v in range(num_nodes):
-            order = sorted(range(len(self._adjacency[v])), key=lambda i: self._adjacency[v][i])
-            self._adjacency[v] = [self._adjacency[v][i] for i in order]
-            self._incident[v] = [self._incident[v][i] for i in order]
-        if node_ids is None:
-            self._node_ids = list(range(num_nodes))
-        else:
+        if node_ids is not None:
             ids = list(node_ids)
             if len(ids) != num_nodes:
                 raise ValueError("node_ids must have one entry per node")
             if len(set(ids)) != num_nodes:
                 raise ValueError("node_ids must be unique")
-            self._node_ids = ids
+        else:
+            ids = None
+        self._finalize(num_nodes, normalized, ids)
+
+    @classmethod
+    def _from_normalized(
+        cls,
+        num_nodes: int,
+        normalized: List[Tuple[int, int]],
+        node_ids: Optional[List[int]],
+    ) -> "Graph":
+        """Fast internal constructor for edges already normalized, in-range
+        and duplicate-free (subgraphs, line graphs)."""
+        graph = cls.__new__(cls)
+        graph._finalize(num_nodes, normalized, node_ids)
+        return graph
+
+    def _finalize(
+        self,
+        num_nodes: int,
+        normalized: List[Tuple[int, int]],
+        node_ids: Optional[List[int]],
+    ) -> None:
+        self._num_nodes = num_nodes
+        self._edges: List[Tuple[int, int]] = normalized
+        m = len(normalized)
+        edge_u = [0] * m
+        edge_v = [0] * m
+        degrees = [0] * num_nodes
+        for index, (u, v) in enumerate(normalized):
+            edge_u[index] = u
+            edge_v[index] = v
+            degrees[u] += 1
+            degrees[v] += 1
+        self._edge_u = edge_u
+        self._edge_v = edge_v
+        self._degrees = degrees
+        self._max_degree = max(degrees) if num_nodes else 0
+
+        # CSR adjacency: per-node (neighbor, edge) rows sorted by neighbor.
+        rows: List[List[Tuple[int, int]]] = [[] for _ in range(num_nodes)]
+        for index in range(m):
+            u = edge_u[index]
+            v = edge_v[index]
+            rows[u].append((v, index))
+            rows[v].append((u, index))
+        xadj = [0] * (num_nodes + 1)
+        adj: List[int] = []
+        inc: List[int] = []
+        for v in range(num_nodes):
+            row = rows[v]
+            row.sort()
+            for w, index in row:
+                adj.append(w)
+                inc.append(index)
+            xadj[v + 1] = len(adj)
+        self._xadj = xadj
+        self._adj = adj
+        self._inc = inc
+
+        if node_ids is None:
+            self._node_ids = list(range(num_nodes))
+        else:
+            self._node_ids = node_ids
+        self._edge_id_base = (max(self._node_ids) + 1) if self._node_ids else 1
         self._edge_index: Dict[Tuple[int, int], int] = {
-            key: index for index, key in enumerate(self._edges)
+            key: index for index, key in enumerate(normalized)
         }
+        # Lazy caches.
+        self._max_edge_degree: Optional[int] = None
+        self._eadj_off: Optional[List[int]] = None
+        self._eadj: Optional[List[int]] = None
 
     # ------------------------------------------------------------------ nodes
     @property
@@ -100,18 +176,29 @@ class Graph:
 
     def degree(self, v: int) -> int:
         """Degree of node ``v``."""
-        return len(self._adjacency[v])
+        return self._degrees[v]
 
     def neighbors(self, v: int) -> List[int]:
         """Sorted neighbors of node ``v``."""
-        return list(self._adjacency[v])
+        return self._adj[self._xadj[v] : self._xadj[v + 1]]
+
+    def adjacency_csr(self) -> Tuple[List[int], List[int]]:
+        """The flat adjacency arrays ``(xadj, adj)``.
+
+        Node ``v``'s neighbors are ``adj[xadj[v] : xadj[v+1]]``, sorted.
+        The arrays are shared, not copied — callers must not mutate them.
+        """
+        return self._xadj, self._adj
+
+    def incidence_csr(self) -> Tuple[List[int], List[int]]:
+        """The flat incident-edge arrays ``(xadj, inc)``, aligned with
+        :meth:`adjacency_csr`.  Shared, not copied — do not mutate."""
+        return self._xadj, self._inc
 
     @property
     def max_degree(self) -> int:
-        """Maximum node degree Δ (0 for an empty graph)."""
-        if self._num_nodes == 0:
-            return 0
-        return max(len(adj) for adj in self._adjacency)
+        """Maximum node degree Δ (0 for an empty graph); precomputed."""
+        return self._max_degree
 
     # ------------------------------------------------------------------ edges
     @property
@@ -126,6 +213,14 @@ class Graph:
     def edge_endpoints(self, e: int) -> Tuple[int, int]:
         """Endpoints ``(u, v)`` of edge ``e`` with ``u < v``."""
         return self._edges[e]
+
+    def endpoint_arrays(self) -> Tuple[List[int], List[int]]:
+        """The flat endpoint arrays ``(edge_u, edge_v)`` with ``u < v``.
+
+        Shared, not copied — callers must not mutate them.  Hot loops use
+        these instead of per-edge :meth:`edge_endpoints` tuple unpacking.
+        """
+        return self._edge_u, self._edge_v
 
     def edge_index(self, u: int, v: int) -> int:
         """Edge index of the edge between ``u`` and ``v``.
@@ -142,7 +237,7 @@ class Graph:
 
     def incident_edges(self, v: int) -> List[int]:
         """Edge indices incident to node ``v`` (sorted by neighbor)."""
-        return list(self._incident[v])
+        return self._inc[self._xadj[v] : self._xadj[v + 1]]
 
     def other_endpoint(self, e: int, v: int) -> int:
         """The endpoint of edge ``e`` that is not ``v``."""
@@ -155,74 +250,123 @@ class Graph:
 
     def edge_degree(self, e: int) -> int:
         """Degree of edge ``e`` in the line graph: deg(u) + deg(v) - 2."""
-        u, v = self._edges[e]
-        return self.degree(u) + self.degree(v) - 2
+        return self._degrees[self._edge_u[e]] + self._degrees[self._edge_v[e]] - 2
 
     @property
     def max_edge_degree(self) -> int:
-        """Maximum edge degree (0 for an edgeless graph)."""
-        if not self._edges:
-            return 0
-        return max(self.edge_degree(e) for e in self.edges())
+        """Maximum edge degree (0 for an edgeless graph); cached."""
+        if self._max_edge_degree is None:
+            degrees = self._degrees
+            self._max_edge_degree = max(
+                (
+                    degrees[u] + degrees[v] - 2
+                    for u, v in zip(self._edge_u, self._edge_v)
+                ),
+                default=0,
+            )
+        return self._max_edge_degree
+
+    def _edge_adjacency(self) -> Tuple[List[int], List[int]]:
+        """Flat line-graph rows ``(offsets, flat)``, built once on demand."""
+        if self._eadj is None:
+            offsets = [0] * (len(self._edges) + 1)
+            flat: List[int] = []
+            inc = self._inc
+            xadj = self._xadj
+            for e in range(len(self._edges)):
+                u = self._edge_u[e]
+                v = self._edge_v[e]
+                for f in inc[xadj[u] : xadj[u + 1]]:
+                    if f != e:
+                        flat.append(f)
+                for f in inc[xadj[v] : xadj[v + 1]]:
+                    if f != e:
+                        flat.append(f)
+                offsets[e + 1] = len(flat)
+            self._eadj_off = offsets
+            self._eadj = flat
+        return self._eadj_off, self._eadj  # type: ignore[return-value]
 
     def adjacent_edges(self, e: int) -> List[int]:
         """Edge indices sharing an endpoint with ``e`` (excluding ``e``)."""
-        u, v = self._edges[e]
-        result = [f for f in self._incident[u] if f != e]
-        result.extend(f for f in self._incident[v] if f != e)
-        return result
+        offsets, flat = self._edge_adjacency()
+        return flat[offsets[e] : offsets[e + 1]]
+
+    def edge_adjacency_csr(self) -> Tuple[List[int], List[int]]:
+        """The flat adjacent-edge arrays ``(offsets, flat)``.
+
+        Edge ``e``'s adjacent edges are ``flat[offsets[e] : offsets[e+1]]``.
+        Shared, not copied — do not mutate.
+        """
+        return self._edge_adjacency()
 
     def edge_id(self, e: int) -> int:
         """A unique identifier for edge ``e`` derived from its endpoint ids.
 
         The identifier is ``min_id * P + max_id`` where ``P`` is one more
-        than the largest node identifier, so it fits in O(log n) bits and
-        both endpoints can compute it locally.
+        than the largest node identifier (precomputed at construction), so
+        it fits in O(log n) bits and both endpoints can compute it locally.
         """
-        u, v = self._edges[e]
-        base = max(self._node_ids) + 1 if self._node_ids else 1
-        a, b = sorted((self._node_ids[u], self._node_ids[v]))
-        return a * base + b
+        ids = self._node_ids
+        a = ids[self._edge_u[e]]
+        b = ids[self._edge_v[e]]
+        if a > b:
+            a, b = b, a
+        return a * self._edge_id_base + b
 
     # -------------------------------------------------------------- subgraphs
-    def edge_subgraph_degrees(self, edge_set: Set[int]) -> List[int]:
+    def edge_subgraph_degrees(self, edge_set: Iterable[int]) -> List[int]:
         """Node degrees restricted to the edges in ``edge_set``."""
         degrees = [0] * self._num_nodes
+        edge_u = self._edge_u
+        edge_v = self._edge_v
         for e in edge_set:
-            u, v = self._edges[e]
-            degrees[u] += 1
-            degrees[v] += 1
+            degrees[edge_u[e]] += 1
+            degrees[edge_v[e]] += 1
         return degrees
 
-    def edge_degree_within(self, e: int, edge_set: Set[int], degrees: Optional[List[int]] = None) -> int:
+    def edge_degree_within(
+        self, e: int, edge_set: Set[int], degrees: Optional[List[int]] = None
+    ) -> int:
         """Edge degree of ``e`` counting only adjacent edges in ``edge_set``.
 
         ``e`` itself does not need to be in ``edge_set``.  If ``degrees``
         (node degrees within ``edge_set``) is supplied it is used instead
         of recomputing.
         """
-        u, v = self._edges[e]
+        u = self._edge_u[e]
+        v = self._edge_v[e]
         if degrees is not None:
             count = degrees[u] + degrees[v]
             if e in edge_set:
                 count -= 2
             return count
         count = 0
-        for f in self._incident[u]:
+        inc = self._inc
+        xadj = self._xadj
+        for f in inc[xadj[u] : xadj[u + 1]]:
             if f != e and f in edge_set:
                 count += 1
-        for f in self._incident[v]:
+        for f in inc[xadj[v] : xadj[v + 1]]:
             if f != e and f in edge_set:
                 count += 1
         return count
 
     def subgraph_from_edges(self, edge_set: Iterable[int]) -> "Graph":
-        """A new :class:`Graph` over the same node set with only the given edges."""
-        return Graph(
+        """A new :class:`Graph` over the same node set with only the given edges.
+
+        Prefer :class:`EdgeSubsetView` (:meth:`edge_subset_view`) on hot
+        paths — it exposes the same read API without copying the graph.
+        """
+        return Graph._from_normalized(
             self._num_nodes,
             [self._edges[e] for e in sorted(set(edge_set))],
-            node_ids=self._node_ids,
+            self._node_ids,
         )
+
+    def edge_subset_view(self, edge_set: Iterable[int]) -> "EdgeSubsetView":
+        """A zero-copy :class:`EdgeSubsetView` of the given edges."""
+        return EdgeSubsetView(self, edge_set)
 
     def line_graph(self) -> "Graph":
         """The line graph: one node per edge, edges between adjacent edges.
@@ -231,20 +375,27 @@ class Graph:
         this graph (unique, O(log n)-bit values).
         """
         line_edges: List[Tuple[int, int]] = []
+        inc = self._inc
+        xadj = self._xadj
         for v in range(self._num_nodes):
-            incident = self._incident[v]
+            incident = inc[xadj[v] : xadj[v + 1]]
             for i in range(len(incident)):
+                a = incident[i]
                 for j in range(i + 1, len(incident)):
-                    a, b = incident[i], incident[j]
+                    b = incident[j]
                     line_edges.append((a, b) if a < b else (b, a))
         # Two edges can share at most one endpoint in a simple graph, so no duplicates.
-        return Graph(len(self._edges), line_edges, node_ids=[self.edge_id(e) for e in self.edges()])
+        return Graph._from_normalized(
+            len(self._edges), line_edges, [self.edge_id(e) for e in self.edges()]
+        )
 
     # ------------------------------------------------------------------ misc
     def connected_components(self) -> List[List[int]]:
         """Connected components as lists of node indices."""
         seen = [False] * self._num_nodes
         components: List[List[int]] = []
+        adj = self._adj
+        xadj = self._xadj
         for start in range(self._num_nodes):
             if seen[start]:
                 continue
@@ -254,7 +405,7 @@ class Graph:
             while stack:
                 v = stack.pop()
                 component.append(v)
-                for w in self._adjacency[v]:
+                for w in adj[xadj[v] : xadj[v + 1]]:
                     if not seen[w]:
                         seen[w] = True
                         stack.append(w)
@@ -263,6 +414,194 @@ class Graph:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"Graph(n={self._num_nodes}, m={len(self._edges)}, max_degree={self.max_degree})"
+
+
+class EdgeSubsetView:
+    """A read-only view of a :class:`Graph` restricted to an edge subset.
+
+    The recursive decompositions of Sections 5–7 constantly ask for node
+    degrees, neighbors and edge degrees *within the still-uncolored (or
+    per-part) edge set*.  Building a fresh :class:`Graph` per subset —
+    what the seed implementation did — re-validates, re-normalizes and
+    re-sorts every edge; the view instead keeps one membership array and
+    a degree array over the host graph and answers the same queries
+    directly, so constructing it is a single O(|subset|) pass and no edge
+    is ever re-indexed (colors, lists and orientations keyed by edge
+    index remain valid verbatim).
+
+    The view is duck-type compatible with the read API the defective
+    coloring and greedy stages use (``num_nodes`` / ``nodes()`` /
+    ``node_id`` / ``degree`` / ``neighbors`` / ``max_degree`` /
+    ``num_edges`` / ``incident_edges`` / ``adjacency_csr``), and it adds
+    incremental maintenance: :meth:`remove_edge` deletes an edge from the
+    subset in O(1) degree updates (membership and degree queries stay
+    O(1); the cached restricted adjacency is invalidated, so interleave
+    removals with ``neighbors``-style queries sparingly).
+
+    Restricted adjacency rows are materialized lazily (one pass over the
+    host adjacency, cached until the next :meth:`remove_edge`), so
+    read-heavy stages pay the filtering cost once, not per query.
+    """
+
+    def __init__(self, graph: Graph, edge_set: Iterable[int]) -> None:
+        self._graph = graph
+        present = bytearray(graph.num_edges)
+        degrees = [0] * graph.num_nodes
+        edge_u, edge_v = graph.endpoint_arrays()
+        count = 0
+        for e in edge_set:
+            if not present[e]:
+                present[e] = 1
+                count += 1
+                degrees[edge_u[e]] += 1
+                degrees[edge_v[e]] += 1
+        self._present = present
+        self._degrees = degrees
+        self._num_edges = count
+        # Lazily built restricted CSR adjacency (invalidated by removals).
+        self._sub_xadj: Optional[List[int]] = None
+        self._sub_adj: Optional[List[int]] = None
+        self._sub_inc: Optional[List[int]] = None
+
+    # ------------------------------------------------------------- membership
+    @property
+    def graph(self) -> Graph:
+        """The host graph."""
+        return self._graph
+
+    def __contains__(self, e: int) -> bool:
+        return bool(self._present[e])
+
+    def __len__(self) -> int:
+        return self._num_edges
+
+    def edge_list(self) -> List[int]:
+        """The subset's edge indices in ascending order."""
+        present = self._present
+        return [e for e in range(len(present)) if present[e]]
+
+    def remove_edge(self, e: int) -> None:
+        """Remove edge ``e`` from the subset (no-op if absent)."""
+        if not self._present[e]:
+            return
+        self._present[e] = 0
+        self._num_edges -= 1
+        edge_u, edge_v = self._graph.endpoint_arrays()
+        self._degrees[edge_u[e]] -= 1
+        self._degrees[edge_v[e]] -= 1
+        self._sub_xadj = None
+        self._sub_adj = None
+        self._sub_inc = None
+
+    def remove_edges(self, edges: Iterable[int]) -> None:
+        """Remove every edge of ``edges`` from the subset."""
+        for e in edges:
+            self.remove_edge(e)
+
+    # ------------------------------------------------------------------ nodes
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes (the host graph's node set)."""
+        return self._graph.num_nodes
+
+    def nodes(self) -> range:
+        """Iterate node indices."""
+        return self._graph.nodes()
+
+    def node_id(self, v: int) -> int:
+        """The identifier of node ``v`` (shared with the host graph)."""
+        return self._graph.node_id(v)
+
+    @property
+    def node_ids(self) -> List[int]:
+        """All node identifiers, indexed by node."""
+        return self._graph.node_ids
+
+    def degree(self, v: int) -> int:
+        """Degree of ``v`` counting only subset edges."""
+        return self._degrees[v]
+
+    @property
+    def node_degrees(self) -> List[int]:
+        """Degrees of all nodes within the subset (shared; do not mutate)."""
+        return self._degrees
+
+    @property
+    def max_degree(self) -> int:
+        """Maximum node degree within the subset."""
+        return max(self._degrees) if self._degrees else 0
+
+    def _restricted_csr(self) -> Tuple[List[int], List[int], List[int]]:
+        if self._sub_adj is None:
+            graph = self._graph
+            xadj, adj = graph.adjacency_csr()
+            _, inc = graph.incidence_csr()
+            present = self._present
+            sub_xadj = [0] * (graph.num_nodes + 1)
+            sub_adj: List[int] = []
+            sub_inc: List[int] = []
+            for v in range(graph.num_nodes):
+                for i in range(xadj[v], xadj[v + 1]):
+                    f = inc[i]
+                    if present[f]:
+                        sub_adj.append(adj[i])
+                        sub_inc.append(f)
+                sub_xadj[v + 1] = len(sub_adj)
+            self._sub_xadj = sub_xadj
+            self._sub_adj = sub_adj
+            self._sub_inc = sub_inc
+        return self._sub_xadj, self._sub_adj, self._sub_inc  # type: ignore[return-value]
+
+    def neighbors(self, v: int) -> List[int]:
+        """Sorted neighbors of ``v`` along subset edges."""
+        sub_xadj, sub_adj, _ = self._restricted_csr()
+        return sub_adj[sub_xadj[v] : sub_xadj[v + 1]]
+
+    def adjacency_csr(self) -> Tuple[List[int], List[int]]:
+        """Restricted flat adjacency ``(xadj, adj)``; shared, do not mutate."""
+        sub_xadj, sub_adj, _ = self._restricted_csr()
+        return sub_xadj, sub_adj
+
+    def incident_edges(self, v: int) -> List[int]:
+        """Subset edges incident to ``v`` (sorted by neighbor)."""
+        sub_xadj, _, sub_inc = self._restricted_csr()
+        return sub_inc[sub_xadj[v] : sub_xadj[v + 1]]
+
+    # ------------------------------------------------------------------ edges
+    @property
+    def num_edges(self) -> int:
+        """Number of subset edges."""
+        return self._num_edges
+
+    def edge_endpoints(self, e: int) -> Tuple[int, int]:
+        """Endpoints of edge ``e`` (host graph indexing)."""
+        return self._graph.edge_endpoints(e)
+
+    def edge_degree(self, e: int) -> int:
+        """Edge degree of ``e`` within the subset (``e`` need not belong)."""
+        edge_u, edge_v = self._graph.endpoint_arrays()
+        count = self._degrees[edge_u[e]] + self._degrees[edge_v[e]]
+        if self._present[e]:
+            count -= 2
+        return count
+
+    @property
+    def max_edge_degree(self) -> int:
+        """Maximum edge degree within the subset (matches the host
+        :class:`Graph` property)."""
+        edge_u, edge_v = self._graph.endpoint_arrays()
+        degrees = self._degrees
+        present = self._present
+        best = 0
+        for e in range(len(present)):
+            if present[e]:
+                d = degrees[edge_u[e]] + degrees[edge_v[e]] - 2
+                if d > best:
+                    best = d
+        return best
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"EdgeSubsetView(m={self._num_edges} of {self._graph.num_edges})"
 
 
 @dataclass(frozen=True)
@@ -278,25 +617,30 @@ class DirectedGraph:
 
     Arcs are indexed ``0 .. m-1``.  Parallel arcs and opposite arcs are
     allowed (the token dropping game of Section 4 is defined on general
-    directed graphs); self-loops are not.
+    directed graphs); self-loops are not.  Tails and heads are stored in
+    flat arrays; :class:`Arc` objects are materialized on demand.
     """
 
     def __init__(self, num_nodes: int, arcs: Iterable[Tuple[int, int]]) -> None:
         if num_nodes < 0:
             raise ValueError("num_nodes must be non-negative")
         self._num_nodes = num_nodes
-        self._arcs: List[Arc] = []
-        self._out: List[List[int]] = [[] for _ in range(num_nodes)]
-        self._in: List[List[int]] = [[] for _ in range(num_nodes)]
+        self._tails: List[int] = []
+        self._heads: List[int] = []
+        # Sparse adjacency: only nodes that actually touch an arc get an
+        # entry, so constructing a game graph costs O(arcs), not O(n).
+        self._out: Dict[int, List[int]] = {}
+        self._in: Dict[int, List[int]] = {}
         for tail, head in arcs:
             if tail == head:
                 raise ValueError(f"self-loop at node {tail} is not allowed")
             if not (0 <= tail < num_nodes and 0 <= head < num_nodes):
                 raise ValueError(f"arc ({tail}, {head}) out of range")
-            index = len(self._arcs)
-            self._arcs.append(Arc(tail, head))
-            self._out[tail].append(index)
-            self._in[head].append(index)
+            index = len(self._tails)
+            self._tails.append(tail)
+            self._heads.append(head)
+            self._out.setdefault(tail, []).append(index)
+            self._in.setdefault(head, []).append(index)
 
     @property
     def num_nodes(self) -> int:
@@ -306,7 +650,7 @@ class DirectedGraph:
     @property
     def num_arcs(self) -> int:
         """Number of arcs."""
-        return len(self._arcs)
+        return len(self._tails)
 
     def nodes(self) -> range:
         """Iterate node indices."""
@@ -314,31 +658,51 @@ class DirectedGraph:
 
     def arcs(self) -> range:
         """Iterate arc indices."""
-        return range(len(self._arcs))
+        return range(len(self._tails))
 
     def arc(self, index: int) -> Arc:
         """The arc with the given index."""
-        return self._arcs[index]
+        return Arc(self._tails[index], self._heads[index])
+
+    def arc_tail(self, index: int) -> int:
+        """Tail node of the arc with the given index."""
+        return self._tails[index]
+
+    def arc_head(self, index: int) -> int:
+        """Head node of the arc with the given index."""
+        return self._heads[index]
+
+    def arc_arrays(self) -> Tuple[List[int], List[int]]:
+        """The flat ``(tails, heads)`` arrays (shared, not copied — do not
+        mutate)."""
+        return self._tails, self._heads
 
     def out_arcs(self, v: int) -> List[int]:
         """Indices of arcs leaving ``v``."""
-        return list(self._out[v])
+        return list(self._out.get(v, ()))
 
     def in_arcs(self, v: int) -> List[int]:
         """Indices of arcs entering ``v``."""
-        return list(self._in[v])
+        return list(self._in.get(v, ()))
+
+    def in_arc_map(self) -> Dict[int, List[int]]:
+        """In-arc index lists keyed by head node (shared — do not mutate).
+
+        Nodes without incoming arcs are absent.
+        """
+        return self._in
 
     def out_degree(self, v: int) -> int:
         """Out-degree of ``v``."""
-        return len(self._out[v])
+        return len(self._out.get(v, ()))
 
     def in_degree(self, v: int) -> int:
         """In-degree of ``v``."""
-        return len(self._in[v])
+        return len(self._in.get(v, ()))
 
     def degree(self, v: int) -> int:
         """Total (undirected) degree of ``v``."""
-        return len(self._out[v]) + len(self._in[v])
+        return len(self._out.get(v, ())) + len(self._in.get(v, ()))
 
     def undirected_edge_degree(self, index: int) -> int:
         """Degree of the arc in the underlying undirected (multi)graph.
@@ -346,11 +710,10 @@ class DirectedGraph:
         This matches the paper's ``deg_G(e)`` convention for directed
         graphs: degrees are taken in the undirected version of the graph.
         """
-        arc = self._arcs[index]
-        return self.degree(arc.tail) + self.degree(arc.head) - 2
+        return self.degree(self._tails[index]) + self.degree(self._heads[index]) - 2
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return f"DirectedGraph(n={self._num_nodes}, m={len(self._arcs)})"
+        return f"DirectedGraph(n={self._num_nodes}, m={len(self._tails)})"
 
 
 def graph_from_networkx(nx_graph) -> Graph:

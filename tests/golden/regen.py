@@ -1,0 +1,79 @@
+"""Regenerate the determinism golden files.
+
+Run from the repository root::
+
+    PYTHONPATH=src python tests/golden/regen.py
+
+The goldens pin the exact colorings, color counts and round counts of
+``api.color_edges_local`` and ``api.color_edges_congest`` on a fixed set
+of graphs.  They were recorded at the seed revision, before the
+flat-array graph-core refactor; any behavioural drift in the pipeline
+shows up as a golden-file mismatch in
+``tests/test_determinism_golden.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "..", "src"))
+
+from repro import api  # noqa: E402
+from repro.graphs import generators  # noqa: E402
+from repro.graphs.core import Graph  # noqa: E402
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "determinism.json")
+
+
+def golden_graphs():
+    """The fixed-seed graph family pinned by the goldens (name -> Graph)."""
+    two_cycles = Graph(
+        16,
+        [(i, (i + 1) % 8) for i in range(8)]
+        + [(8 + i, 8 + (i + 1) % 8) for i in range(8)],
+    )
+    return [
+        ("regular-48-6", generators.random_regular_graph(48, 6, seed=1)),
+        ("bipartite-24-6", generators.regular_bipartite_graph(24, 6, seed=2)[0]),
+        ("star-12", generators.star_graph(12)),
+        ("path-24", generators.path_graph(24)),
+        ("disconnected-two-cycles", two_cycles),
+        ("empty-8", Graph(8, [])),
+    ]
+
+
+def outcome_record(outcome) -> dict:
+    """A canonical, JSON-stable projection of an EdgeColoringOutcome."""
+    return {
+        "colors": [[int(e), int(c)] for e, c in sorted(outcome.colors.items())],
+        "num_colors": int(outcome.num_colors),
+        "rounds": int(outcome.rounds),
+        "is_proper": bool(outcome.is_proper),
+    }
+
+
+def run_all() -> dict:
+    """Run both pipelines on every golden graph."""
+    records = {}
+    for name, graph in golden_graphs():
+        records[name] = {
+            "n": graph.num_nodes,
+            "m": graph.num_edges,
+            "local": outcome_record(api.color_edges_local(graph)),
+            "congest": outcome_record(api.color_edges_congest(graph, epsilon=0.5)),
+        }
+    return records
+
+
+def canonical_json(payload: dict) -> str:
+    """The byte-stable serialization the test compares against."""
+    return json.dumps(payload, sort_keys=True, indent=1) + "\n"
+
+
+if __name__ == "__main__":
+    data = run_all()
+    with open(GOLDEN_PATH, "w", encoding="utf-8") as handle:
+        handle.write(canonical_json(data))
+    print(f"wrote {GOLDEN_PATH} ({len(data)} graphs)")

@@ -67,7 +67,8 @@ class TestStepParameters:
         assert current <= 10 * (4 + 1) ** 2
 
     def test_schedule_empty_when_already_small(self):
-        assert reduction_schedule(4, 10) == []
+        # The schedule is an (immutable, process-cached) tuple of steps.
+        assert reduction_schedule(4, 10) == ()
 
 
 class TestPolynomialStep:

@@ -1,0 +1,55 @@
+"""Golden-file determinism regression tests.
+
+The flat-array graph core and the incremental rewrites of the Theorem
+D.4 / Theorem 6.3 pipelines are pure refactors: their outputs must be
+bit-identical to the seed implementation.  These tests pin that claim
+two ways, on six fixed graphs (regular, bipartite, star, path,
+disconnected, empty):
+
+* **run-to-run**: two executions in the same process serialize to the
+  same bytes (no hidden iteration-order or cache dependence);
+* **vs. golden**: the serialization equals ``tests/golden/
+  determinism.json``, which was recorded at the seed revision (before
+  the refactor) by ``tests/golden/regen.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "golden"))
+
+from regen import GOLDEN_PATH, canonical_json, golden_graphs, outcome_record, run_all  # noqa: E402
+
+from repro import api  # noqa: E402
+
+
+def _load_golden() -> str:
+    with open(GOLDEN_PATH, "r", encoding="utf-8") as handle:
+        return handle.read()
+
+
+class TestGoldenDeterminism:
+    def test_goldens_cover_the_required_graph_families(self):
+        names = {name for name, _ in golden_graphs()}
+        assert len(names) >= 6
+        for required in ("regular", "bipartite", "star", "path", "disconnected", "empty"):
+            assert any(required in name for name in names), required
+
+    def test_byte_identical_across_two_runs(self):
+        first = canonical_json(run_all())
+        second = canonical_json(run_all())
+        assert first == second
+
+    def test_byte_identical_to_seed_goldens(self):
+        assert canonical_json(run_all()) == _load_golden()
+
+    def test_individual_outcomes_match_golden_fields(self):
+        golden = json.loads(_load_golden())
+        for name, graph in golden_graphs():
+            local = outcome_record(api.color_edges_local(graph))
+            congest = outcome_record(api.color_edges_congest(graph, epsilon=0.5))
+            assert local == golden[name]["local"], f"local drift on {name}"
+            assert congest == golden[name]["congest"], f"congest drift on {name}"

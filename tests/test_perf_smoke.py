@@ -1,0 +1,34 @@
+"""Wall-clock smoke budget for the hot path (``pytest -m perf_smoke``).
+
+One fast assertion wired into the tier-1 run: the E1 Δ=16 sweep cell
+must finish well inside a generous cap.  The cap is ~20× the current
+measured time (≈30 ms on the reference machine), so it only trips on a
+genuine complexity regression (e.g. reintroducing a per-level rescan),
+not on machine noise.  ``benchmarks/run_benchmarks.py`` holds the full
+before/after trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro import api
+from repro.graphs import generators
+
+#: Generous wall-clock cap for one E1 Δ=16 run (seconds).
+E1_DELTA16_BUDGET_SECONDS = 2.0
+
+
+@pytest.mark.perf_smoke
+def test_e1_delta16_within_budget():
+    graph = generators.random_regular_graph(96, 16, seed=16)
+    start = time.perf_counter()
+    outcome = api.color_edges_local(graph)
+    wall = time.perf_counter() - start
+    assert outcome.is_proper
+    assert outcome.num_colors <= 2 * 16 - 1
+    assert wall < E1_DELTA16_BUDGET_SECONDS, (
+        f"E1 Δ=16 took {wall:.3f}s, over the {E1_DELTA16_BUDGET_SECONDS}s smoke budget"
+    )
