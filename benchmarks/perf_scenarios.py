@@ -6,10 +6,11 @@ number for a wrong coloring is worthless) and returns the machine-readable
 record ``{scenario, n, delta, wall_seconds, rounds, messages}`` that
 ``benchmarks/run_benchmarks.py`` aggregates into ``BENCH_e2e.json``.
 
-The cells cover the seed benchmark sizes (n = 96/128, Δ ≤ 48) and 4–8×
+The cells cover the seed benchmark sizes (n = 96/128, Δ ≤ 48) and much
 larger instances (n up to 512 and Δ up to 64 for the Theorem D.4
-pipeline; n up to 4096 for the message-passing Linial audit) so the perf
-trajectory of later PRs has both a regression floor and headroom.
+pipeline; n up to 10⁴ for the message-passing Linial audit on the
+array-batched simulator) so the perf trajectory of later PRs has both a
+regression floor and headroom.
 """
 
 from __future__ import annotations
@@ -196,8 +197,9 @@ def scenarios() -> List[Scenario]:
             )
         )
     cells.append(Scenario("E6_congest", 256, 64, _congest_cell(256, 64, seed=67), quick=False))
-    # E8 — message-passing Linial audit (seed sizes and 4× larger).
-    for n in (64, 256, 1024, 4096):
+    # E8 — message-passing Linial audit (seed sizes up to n = 10⁴ on the
+    # array-batched message plane).
+    for n in (64, 256, 1024, 4096, 10_000):
         cells.append(
             Scenario("E8_linial", n, 4, _linial_network_cell(n), quick=(n <= 256))
         )

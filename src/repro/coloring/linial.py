@@ -128,7 +128,12 @@ class LinialNodeAlgorithm(NodeAlgorithm):
             return
         q, d = state["schedule"][state["step"]]
         neighbor_colors = list(inbox.values())
-        state["color"] = polynomial_step(state["color"], neighbor_colors, q, d)
+        # All nodes run the same (q, d) step each round, so polynomial
+        # evaluations are shared across the network exactly like in the
+        # phase-level implementation (pure memoization; same outputs).
+        state["color"] = polynomial_step(
+            state["color"], neighbor_colors, q, d, shared_eval_cache(q, d)
+        )
         state["step"] += 1
 
     def finished(self, ctx: NodeContext, state: Dict[str, Any]) -> bool:

@@ -33,6 +33,11 @@ try:  # numpy accelerates the per-phase participation scans when present.
 except ImportError:  # pragma: no cover - the pure-python path is equivalent
     _np = None
 
+#: Instance size (edges) above which the vectorized numpy scan path
+#: engages in ``scan_path="auto"`` mode.  Below it, per-op numpy dispatch
+#: overhead makes the pure-python scan faster.
+NUMPY_SCAN_THRESHOLD = 384
+
 
 @dataclass
 class BalancedOrientationResult:
@@ -143,6 +148,7 @@ def compute_balanced_orientation(
     nu: Optional[float] = None,
     tracker: Optional[RoundTracker] = None,
     max_phases: Optional[int] = None,
+    scan_path: str = "auto",
     _precomputed: Optional[
         Tuple[List[int], List[int], Dict[int, int], List[int], List[int], List[float]]
     ] = None,
@@ -160,6 +166,14 @@ def compute_balanced_orientation(
         tracker: optional round tracker.
         max_phases: optional cap on the number of orientation phases
             (defaults to the analytic O(log Δ̄ / ν) phase count).
+        scan_path: which per-phase participation-scan implementation to
+            use: ``"auto"`` (numpy when available and the instance has at
+            least :data:`NUMPY_SCAN_THRESHOLD` edges, pure python
+            otherwise), ``"numpy"`` (force the vectorized scan; raises
+            ``RuntimeError`` when numpy is unavailable) or ``"python"``
+            (force the pure-python scan).  Both paths are required to
+            produce bit-identical orientations — the knob exists so tests
+            can cross-check them on the same instance.
         _precomputed: internal fast path for
             :func:`repro.core.defective_edge_coloring.
             generalized_defective_two_edge_coloring`, which has already
@@ -224,7 +238,18 @@ def compute_balanced_orientation(
     # arrays plus a zero-copy view of the orientation flags.  Per-op
     # dispatch overhead makes numpy a net loss on small instances, so the
     # vector path only engages above a size floor.
-    use_np = _np is not None and len(edges) >= 384
+    if scan_path == "auto":
+        use_np = _np is not None and len(edges) >= NUMPY_SCAN_THRESHOLD
+    elif scan_path == "numpy":
+        if _np is None:
+            raise RuntimeError("scan_path='numpy' requested but numpy is unavailable")
+        use_np = True
+    elif scan_path == "python":
+        use_np = False
+    else:
+        raise ValueError(
+            f"unknown scan_path {scan_path!r}: expected 'auto', 'numpy' or 'python'"
+        )
     if use_np:
         ids_np = _np.fromiter(edges, dtype=_np.int64, count=len(edges))
         ue_np = _np.fromiter(

@@ -143,6 +143,7 @@ def generalized_defective_two_edge_coloring(
     beta: Optional[float] = None,
     nu: Optional[float] = None,
     tracker: Optional[RoundTracker] = None,
+    scan_path: str = "auto",
 ) -> DefectiveTwoColoringResult:
     """Solve the generalized (1+ε, 2β)-relaxed defective 2-edge coloring (Corollary 5.7).
 
@@ -157,6 +158,10 @@ def generalized_defective_two_edge_coloring(
             analytic value is ``beta_theoretical(ε, Δ̄)``.
         nu: optional override of the orientation's phase parameter.
         tracker: optional round tracker.
+        scan_path: forwarded to :func:`repro.core.balanced_orientation.
+            compute_balanced_orientation` (``"auto"`` / ``"numpy"`` /
+            ``"python"`` participation scans; both forced paths are
+            bit-identical).
     """
     edges: List[int] = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
     local_tracker = RoundTracker()
@@ -190,6 +195,7 @@ def generalized_defective_two_edge_coloring(
         edge_set=edges,
         nu=nu,
         tracker=local_tracker,
+        scan_path=scan_path,
         _precomputed=(edges, node_deg, edge_degrees, o_u, o_v, eta_arr),
     )
 

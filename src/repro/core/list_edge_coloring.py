@@ -40,6 +40,7 @@ which every list is ``{0, …, 2Δ−2}``.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -181,6 +182,20 @@ def solve_relaxed_instance(
     color_values = {c for e in edges for c in lists[e]}
     max_levels = max(1, math.ceil(math.log2(max(2, len(color_values)))) + 1)
 
+    # The recursion halves the color space *by value* at every level, so
+    # when the input lists are sorted (they are, for every instance the
+    # pipeline builds — generators emit sorted lists and all downstream
+    # filtering preserves order) a level's split reduces to one bisect
+    # per edge plus a slice of the surviving half: O(log|L| + |child|)
+    # instead of rebuilding every list color-by-color against a set —
+    # and non-surviving edges never materialize a filtered list at all.
+    # One O(total list mass) pass here detects sortedness; unsorted
+    # callers fall back to the generic per-color filter.
+    lists_sorted = all(
+        all(lst[i] <= lst[i + 1] for i in range(len(lst) - 1))
+        for lst in (lists[e] for e in edges)
+    )
+
     # Lists are never mutated in place (each split level filters into
     # fresh lists), so the initial parts can alias the caller's lists.
     parts: List[_Part] = [_Part(edges=list(edges), lists={e: lists[e] for e in edges})]
@@ -226,27 +241,37 @@ def solve_relaxed_instance(
                 tracker=part_tracker,
             )
             level_rounds = max(level_rounds, part_tracker.total)
+            # ``left_colors`` is a prefix of the sorted union, so membership
+            # is equivalent to being below the first right-half color.
+            boundary = union[len(union) // 2]
             for side_edges in (sorted(split.red_edges), sorted(split.blue_edges)):
                 if not side_edges:
                     continue
-                keep_left = side_edges is not None and split.colors[side_edges[0]] == 0
-                side_lists = {
-                    e: [c for c in part.lists[e] if (c in left_colors) == keep_left]
-                    for e in side_edges
-                }
+                keep_left = split.colors[side_edges[0]] == 0
                 side_degrees = _edge_degrees_within(graph, side_edges)
                 survivors: List[int] = []
+                survivor_lists: Dict[int, List[int]] = {}
                 for e in side_edges:
-                    if len(side_lists[e]) >= side_degrees[e] + 1:
-                        survivors.append(e)
+                    lst = part.lists[e]
+                    if lists_sorted:
+                        cut = bisect_left(lst, boundary)
+                        kept = cut if keep_left else len(lst) - cut
+                        if kept >= side_degrees[e] + 1:
+                            survivors.append(e)
+                            survivor_lists[e] = lst[:cut] if keep_left else lst[cut:]
+                        else:
+                            # Correctness net: the split left this edge with
+                            # too few colors; keep it at the parent level.
+                            level_passive.append((e, lst))
                     else:
-                        # Correctness net: the split left this edge with too few
-                        # colors; keep it at the parent level instead.
-                        level_passive.append((e, part.lists[e]))
+                        filtered = [c for c in lst if (c in left_colors) == keep_left]
+                        if len(filtered) >= side_degrees[e] + 1:
+                            survivors.append(e)
+                            survivor_lists[e] = filtered
+                        else:
+                            level_passive.append((e, lst))
                 if survivors:
-                    new_parts.append(
-                        _Part(edges=survivors, lists={e: side_lists[e] for e in survivors})
-                    )
+                    new_parts.append(_Part(edges=survivors, lists=survivor_lists))
         own.charge(level_rounds, "list-solver-split-level")
         passive_levels.append(level_passive)
         parts = new_parts

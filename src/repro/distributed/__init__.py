@@ -1,10 +1,25 @@
-"""Synchronous distributed-computing substrate (LOCAL / CONGEST simulation)."""
+"""Synchronous distributed-computing substrate (LOCAL / CONGEST simulation).
+
+The simulator (:class:`SynchronousNetwork`) runs a
+:class:`NodeAlgorithm` on every node in lock-step rounds over an
+array-batched message plane (flat slot-indexed buffers over the graph's
+CSR adjacency; see :mod:`repro.distributed.network`).  In CONGEST mode
+(``Model.CONGEST``) every delivered payload is audited against the
+per-message budget ``congest_factor * ceil(log2 n)`` bits — the
+``congest_factor`` argument of :class:`SynchronousNetwork` is the
+constant of the model's O(log n) bound, default
+:data:`repro.distributed.model.DEFAULT_CONGEST_FACTOR` — with payload
+sizes estimated by :func:`message_size_bits` (see
+:mod:`repro.distributed.messages` for the encoding).  Audit results land
+in :class:`ExecutionMetrics` (``max_message_bits``,
+``congest_violations``); LOCAL runs skip the audit.
+"""
 
 from repro.distributed.model import Model, congest_bit_budget
 from repro.distributed.rounds import RoundTracker
 from repro.distributed.messages import CongestAuditor, message_size_bits
 from repro.distributed.metrics import ExecutionMetrics
-from repro.distributed.network import SynchronousNetwork
+from repro.distributed.network import PortInbox, SynchronousNetwork
 from repro.distributed.algorithms import NodeAlgorithm
 
 __all__ = [
@@ -14,6 +29,7 @@ __all__ = [
     "CongestAuditor",
     "message_size_bits",
     "ExecutionMetrics",
+    "PortInbox",
     "SynchronousNetwork",
     "NodeAlgorithm",
 ]

@@ -63,7 +63,13 @@ class NodeAlgorithm:
         inbox: Dict[int, Any],
         round_index: int,
     ) -> None:
-        """Update the local state given the messages received this round."""
+        """Update the local state given the messages received this round.
+
+        ``inbox`` is a read-only, port-keyed mapping (the simulator hands
+        a pooled :class:`repro.distributed.network.PortInbox` view that
+        is only valid for the duration of this call); copy it out
+        (``dict(inbox.items())``) if the messages must outlive the call.
+        """
 
     def finished(self, ctx: NodeContext, state: Dict[str, Any]) -> bool:
         """Whether this node has produced its final output."""

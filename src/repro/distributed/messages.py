@@ -13,12 +13,23 @@ would take:
 
 The estimates only need to be accurate up to constant factors — the
 CONGEST bound itself is O(log n) bits.
+
+Two auditing entry points are provided.  :meth:`CongestAuditor.record`
+sizes one payload at a time; :meth:`CongestAuditor.record_batch` sizes a
+whole round of payloads in one call, memoizing the size of repeated
+scalar payloads (distributed algorithms overwhelmingly resend the same
+few values — colors, identifiers — to every neighbor), which is what the
+simulator's batched message plane uses.  Both maintain exactly the same
+counters: per-payload sizes, totals, the running maximum and the ordered
+violation list are bit-identical whichever entry point delivered the
+payloads.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from functools import cached_property
+from typing import Any, Dict, Iterable, List, Optional
 
 from repro.distributed.model import congest_bit_budget
 
@@ -63,9 +74,10 @@ class CongestAuditor:
     max_bits: int = 0
     violations: List[int] = field(default_factory=list)
 
-    @property
+    @cached_property
     def budget_bits(self) -> int:
-        """The per-message budget in bits."""
+        """The per-message budget in bits (computed once, then cached —
+        ``num_nodes`` and ``factor`` are fixed at construction)."""
         return congest_bit_budget(self.num_nodes, self.factor)
 
     def record(self, payload: Any) -> int:
@@ -81,6 +93,57 @@ class CongestAuditor:
                     f"CONGEST violation: message of {bits} bits exceeds budget of {self.budget_bits} bits"
                 )
         return bits
+
+    def record_batch(self, payloads: Iterable[Any]) -> int:
+        """Record a whole round of messages at once; returns the batch maximum.
+
+        Equivalent to calling :meth:`record` on every payload in order
+        (same counters, same violation list, and in strict mode the raise
+        happens at the first violating payload, with every payload up to
+        and including it recorded) — but the budget is read once, and the
+        sizes of repeated ``int`` / ``str`` payloads are memoized within
+        the batch.  The memo is keyed by value and deliberately restricted
+        to those two exact types: ``bool`` (``True == 1``) and ``float``
+        (``1.0 == 1``) payloads compare equal to integers while sizing
+        differently, so they — and all containers — fall through to a
+        direct :func:`message_size_bits` call.
+
+        Returns 0 for an empty batch (``max_bits`` is untouched).
+        """
+        budget = self.budget_bits
+        memo: Dict[Any, int] = {}
+        violations = self.violations
+        count = 0
+        total = 0
+        batch_max = 0
+        for payload in payloads:
+            kind = type(payload)
+            if kind is int or kind is str:
+                bits = memo.get(payload)
+                if bits is None:
+                    bits = message_size_bits(payload)
+                    memo[payload] = bits
+            else:
+                bits = message_size_bits(payload)
+            count += 1
+            total += bits
+            if bits > batch_max:
+                batch_max = bits
+            if bits > budget:
+                violations.append(bits)
+                if self.strict:
+                    self.messages_recorded += count
+                    self.total_bits += total
+                    if batch_max > self.max_bits:
+                        self.max_bits = batch_max
+                    raise ValueError(
+                        f"CONGEST violation: message of {bits} bits exceeds budget of {budget} bits"
+                    )
+        self.messages_recorded += count
+        self.total_bits += total
+        if batch_max > self.max_bits:
+            self.max_bits = batch_max
+        return batch_max
 
     @property
     def compliant(self) -> bool:

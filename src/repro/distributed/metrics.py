@@ -1,4 +1,17 @@
-"""Execution metrics shared by simulator runs and phase-charged algorithms."""
+"""Execution metrics shared by simulator runs and phase-charged algorithms.
+
+Message accounting semantics: ``messages`` counts every non-``None``
+payload delivered (a payload of ``None`` means "send nothing on this
+port" and is neither delivered nor counted).  In CONGEST runs each
+counted payload is sized by
+:func:`repro.distributed.messages.message_size_bits` against the budget
+``congest_factor * ceil(log2 n)`` bits (see
+:func:`repro.distributed.model.congest_bit_budget`); ``max_message_bits``
+is the largest size observed across the whole run and
+``congest_violations`` the number of payloads over budget.  LOCAL runs
+perform no audit: ``congest_budget_bits`` is ``None`` and
+``max_message_bits`` stays 0.
+"""
 
 from __future__ import annotations
 

@@ -8,17 +8,139 @@ simulator drives a :class:`repro.distributed.algorithms.NodeAlgorithm`
 on every node of a :class:`repro.graphs.core.Graph` and reports the
 number of rounds, the number of messages and — in CONGEST mode — the
 maximum message size observed.
+
+The message plane is array-batched.  A *slot* is a position in the host
+graph's flat CSR adjacency array (slot ``xadj[v] + p`` is port ``p`` of
+node ``v``); one flat per-round buffer indexed by slots replaces the
+per-message dicts of the naive implementation.  Routing a message is two
+array reads — the neighbor from the adjacency array, the destination
+slot from the precomputed reverse-slot array
+(:meth:`repro.graphs.core.Graph.reverse_slot_csr`) — and a single write;
+no ``(v, w)`` dict lookups, no per-node inbox dicts.  ``receive()`` is
+handed a pooled :class:`PortInbox` view of the node's buffer row instead
+of a fresh dict, and CONGEST auditing sizes each round's payloads in one
+batched call (:meth:`repro.distributed.messages.CongestAuditor.
+record_batch`) instead of per message.  All observable behaviour —
+delivery order, metrics, violation lists — is identical to the
+dict-based plane.
+
+Message-size accounting semantics (CONGEST mode): every non-``None``
+payload delivered in a round is sized by
+:func:`repro.distributed.messages.message_size_bits` and checked against
+``congest_factor * ceil(log2 n)`` bits; ``metrics.max_message_bits``
+holds the largest observed size and ``metrics.congest_violations``
+counts the payloads over budget.  LOCAL runs skip the audit entirely
+(``congest_budget_bits`` is ``None``).
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Tuple
+import operator
+from typing import Any, Dict, Iterator, List, Optional, Tuple
 
 from repro.distributed.algorithms import NodeAlgorithm, NodeContext
 from repro.distributed.messages import CongestAuditor
 from repro.distributed.metrics import ExecutionMetrics
 from repro.distributed.model import Model
 from repro.graphs.core import Graph
+
+
+class PortInbox:
+    """A read-only, port-keyed view of one node's received messages.
+
+    Duck-type compatible with the ``Dict[int, Any]`` inbox the simulator
+    used to hand to ``receive()``: supports ``in``, ``len``, ``bool``,
+    iteration (ascending ports), indexing, ``get``, ``keys``, ``values``
+    and ``items``.  The simulator pools **one** instance per run and
+    rebinds it to each node in turn, so the view is only valid for the
+    duration of the ``receive()`` call it was passed to — algorithms that
+    need to keep the messages must copy them out (:meth:`to_dict`).
+
+    Iteration order is ascending by port, which matches the insertion
+    order of the old per-node dicts exactly: adjacency rows are sorted by
+    neighbor and senders are processed in ascending node order, so
+    messages always arrived in ascending back-port order.
+    """
+
+    __slots__ = ("_buf", "_start", "_degree")
+
+    def __init__(self, buf: List[Any]) -> None:
+        self._buf = buf
+        self._start = 0
+        self._degree = 0
+
+    def _bind(self, start: int, degree: int) -> "PortInbox":
+        """Point the view at one node's buffer row (simulator internal)."""
+        self._start = start
+        self._degree = degree
+        return self
+
+    def __getitem__(self, port: int) -> Any:
+        if isinstance(port, int) and 0 <= port < self._degree:
+            payload = self._buf[self._start + port]
+            if payload is not None:
+                return payload
+        raise KeyError(port)
+
+    def get(self, port: int, default: Any = None) -> Any:
+        if isinstance(port, int) and 0 <= port < self._degree:
+            payload = self._buf[self._start + port]
+            if payload is not None:
+                return payload
+        return default
+
+    def __contains__(self, port: object) -> bool:
+        return (
+            isinstance(port, int)
+            and 0 <= port < self._degree
+            and self._buf[self._start + port] is not None
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        buf = self._buf
+        start = self._start
+        for port in range(self._degree):
+            if buf[start + port] is not None:
+                yield port
+
+    def __len__(self) -> int:
+        buf = self._buf
+        start = self._start
+        return sum(1 for i in range(start, start + self._degree) if buf[i] is not None)
+
+    def __bool__(self) -> bool:
+        buf = self._buf
+        start = self._start
+        return any(buf[i] is not None for i in range(start, start + self._degree))
+
+    def keys(self) -> List[int]:
+        """Ports that carry a message this round, ascending."""
+        buf = self._buf
+        start = self._start
+        return [p for p in range(self._degree) if buf[start + p] is not None]
+
+    def values(self) -> List[Any]:
+        """Payloads in ascending port order."""
+        buf = self._buf
+        start = self._start
+        return [x for x in buf[start : start + self._degree] if x is not None]
+
+    def items(self) -> List[Tuple[int, Any]]:
+        """``(port, payload)`` pairs in ascending port order."""
+        buf = self._buf
+        start = self._start
+        return [
+            (p, buf[start + p])
+            for p in range(self._degree)
+            if buf[start + p] is not None
+        ]
+
+    def to_dict(self) -> Dict[int, Any]:
+        """A snapshot dict that stays valid after ``receive()`` returns."""
+        return dict(self.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"PortInbox({self.to_dict()!r})"
 
 
 class SynchronousNetwork:
@@ -31,6 +153,19 @@ class SynchronousNetwork:
         congest_factor: int = 8,
         global_knowledge: Optional[Dict[str, Any]] = None,
     ) -> None:
+        """Build a network over ``graph``.
+
+        Args:
+            graph: the communication graph.
+            model: LOCAL (unbounded messages) or CONGEST.
+            congest_factor: constant factor of the CONGEST budget — every
+                message may carry up to ``congest_factor * ceil(log2 n)``
+                bits before it is counted as a violation.  Ignored in
+                LOCAL mode.
+            global_knowledge: extra entries for every node's
+                ``ctx.globals`` (``num_nodes`` and ``max_degree`` are
+                always present).
+        """
         self._graph = graph
         self._model = model
         self._auditor = (
@@ -56,12 +191,12 @@ class SynchronousNetwork:
                     globals=dict(base_globals),
                 )
             )
-        # Port maps: port p of node v leads to neighbor graph.neighbors(v)[p].
-        self._ports: List[List[int]] = [graph.neighbors(v) for v in graph.nodes()]
-        self._reverse_port: Dict[Tuple[int, int], int] = {}
-        for v in graph.nodes():
-            for p, w in enumerate(self._ports[v]):
-                self._reverse_port[(v, w)] = p
+        # Port maps: port p of node v leads to neighbor adj[xadj[v] + p];
+        # the reverse-slot array routes a message straight to its
+        # destination slot in the flat inbox buffer.  All three arrays are
+        # shared with (and lazily built by) the graph.
+        self._xadj, self._adj = graph.adjacency_csr()
+        self._rev_slot = graph.reverse_slot_csr()
 
     @property
     def graph(self) -> Graph:
@@ -73,6 +208,22 @@ class SynchronousNetwork:
         """The model the network simulates."""
         return self._model
 
+    def _coerce_port(self, v: int, port: Any, rounds: int) -> int:
+        """Validate a non-``int``-typed outbox key (slow path).
+
+        Index-like values (e.g. numpy integers) are converted; anything
+        else — floats, strings, tuples — is rejected with a clear error
+        naming the node and round instead of surfacing as a confusing
+        ``TypeError`` from a downstream comparison or list index.
+        """
+        try:
+            return operator.index(port)
+        except TypeError:
+            raise TypeError(
+                f"node {self._contexts[v].node_id} keyed an outbox entry with "
+                f"{port!r} in round {rounds}: ports must be integers"
+            ) from None
+
     def run(
         self,
         algorithm: NodeAlgorithm,
@@ -82,23 +233,41 @@ class SynchronousNetwork:
 
         Returns the per-node outputs and the execution metrics.  Raises
         ``RuntimeError`` if the algorithm does not terminate within
-        ``max_rounds`` rounds.
+        ``max_rounds`` rounds (an algorithm that finishes in exactly
+        ``max_rounds`` rounds terminates normally).
 
         The simulator tracks the set of unfinished nodes instead of
         re-querying every node each round: a node reporting finished is
         assumed to stay finished (termination is monotone in the LOCAL /
         CONGEST models), it no longer sends, and its ``receive`` hook only
-        runs in rounds where messages actually arrive for it.  Inboxes
-        are allocated lazily — only nodes that receive something this
-        round get one.
+        runs in rounds where messages actually arrive for it.
+
+        Messages move through a flat slot-indexed buffer over the CSR
+        adjacency (see the module docstring); ``receive()`` gets a pooled
+        :class:`PortInbox` view of the node's row, valid only for that
+        call.  Only the slots written this round are cleared afterwards,
+        so a round costs O(messages), not O(m).
         """
         contexts = self._contexts
         states = [algorithm.initialize(ctx) for ctx in contexts]
+        auditor = self._auditor
         metrics = ExecutionMetrics(
-            congest_budget_bits=self._auditor.budget_bits if self._auditor else None
+            congest_budget_bits=auditor.budget_bits if auditor else None
         )
-        ports = self._ports
-        reverse_port = self._reverse_port
+        xadj = self._xadj
+        adj = self._adj
+        rev_slot = self._rev_slot
+        n = self._graph.num_nodes
+
+        # The message plane: one payload slot per (node, port) direction,
+        # plus the bookkeeping to clear and deliver in O(messages).
+        inbox_buf: List[Any] = [None] * len(adj)
+        touched: List[int] = []  # slots written this round
+        receivers: List[int] = []  # nodes with >= 1 message this round
+        received_round = [-1] * n  # round stamp of the last message per node
+        inbox = PortInbox(inbox_buf)
+        batch: List[Any] = []  # this round's payloads for the CONGEST audit
+
         unfinished = [
             v for v, ctx in enumerate(contexts) if not algorithm.finished(ctx, states[v])
         ]
@@ -106,41 +275,70 @@ class SynchronousNetwork:
         while unfinished:
             if rounds >= max_rounds:
                 raise RuntimeError(f"algorithm did not terminate within {max_rounds} rounds")
-            inboxes: Dict[int, Dict[int, Any]] = {}
+            sent = 0
             for v in unfinished:
                 outbox = algorithm.send(contexts[v], states[v], rounds)
+                if not outbox:
+                    continue
+                base = xadj[v]
+                degree = xadj[v + 1] - base
                 for port, payload in outbox.items():
-                    if not (0 <= port < len(ports[v])):
-                        raise ValueError(f"node {v} sent on invalid port {port}")
+                    if type(port) is not int:
+                        port = self._coerce_port(v, port, rounds)
+                    if port < 0 or port >= degree:
+                        raise ValueError(
+                            f"node {contexts[v].node_id} sent on invalid port "
+                            f"{port} in round {rounds}: valid ports are "
+                            f"0..{degree - 1}"
+                        )
                     if payload is None:
                         continue
-                    target = ports[v][port]
-                    back_port = reverse_port[(target, v)]
-                    inbox = inboxes.get(target)
-                    if inbox is None:
-                        inbox = inboxes[target] = {}
-                    inbox[back_port] = payload
-                    metrics.messages += 1
-                    if self._auditor is not None:
-                        bits = self._auditor.record(payload)
-                        metrics.max_message_bits = max(metrics.max_message_bits, bits)
-            unfinished_set = set(unfinished)
+                    slot = base + port
+                    target = adj[slot]
+                    dest = rev_slot[slot]
+                    inbox_buf[dest] = payload
+                    touched.append(dest)
+                    if received_round[target] != rounds:
+                        received_round[target] = rounds
+                        receivers.append(target)
+                    sent += 1
+                    if auditor is not None:
+                        batch.append(payload)
+            metrics.messages += sent
+            if batch:
+                batch_max = auditor.record_batch(batch)
+                if batch_max > metrics.max_message_bits:
+                    metrics.max_message_bits = batch_max
+                batch.clear()
             for v in unfinished:
-                inbox = inboxes.get(v)
-                if inbox is None:
-                    inbox = {}  # fresh per node: receive() may treat it as scratch
-                algorithm.receive(contexts[v], states[v], inbox, rounds)
-            # Finished nodes still observe late messages addressed to them.
-            for v in sorted(inboxes):
-                if v not in unfinished_set:
-                    algorithm.receive(contexts[v], states[v], inboxes[v], rounds)
+                algorithm.receive(
+                    contexts[v],
+                    states[v],
+                    inbox._bind(xadj[v], xadj[v + 1] - xadj[v]),
+                    rounds,
+                )
+            if receivers:
+                # Finished nodes still observe late messages addressed to them.
+                unfinished_set = set(unfinished)
+                for v in sorted(receivers):
+                    if v not in unfinished_set:
+                        algorithm.receive(
+                            contexts[v],
+                            states[v],
+                            inbox._bind(xadj[v], xadj[v + 1] - xadj[v]),
+                            rounds,
+                        )
+                receivers.clear()
+            for slot in touched:
+                inbox_buf[slot] = None
+            touched.clear()
             unfinished = [
                 v for v in unfinished if not algorithm.finished(contexts[v], states[v])
             ]
             rounds += 1
         metrics.rounds = rounds
-        if self._auditor is not None:
-            metrics.congest_violations = len(self._auditor.violations)
+        if auditor is not None:
+            metrics.congest_violations = len(auditor.violations)
         outputs = [
             algorithm.output(ctx, state) for ctx, state in zip(contexts, states)
         ]

@@ -154,6 +154,8 @@ class Graph:
         self._max_edge_degree: Optional[int] = None
         self._eadj_off: Optional[List[int]] = None
         self._eadj: Optional[List[int]] = None
+        self._rev_port: Optional[List[int]] = None
+        self._rev_slot: Optional[List[int]] = None
 
     # ------------------------------------------------------------------ nodes
     @property
@@ -194,6 +196,68 @@ class Graph:
         """The flat incident-edge arrays ``(xadj, inc)``, aligned with
         :meth:`adjacency_csr`.  Shared, not copied — do not mutate."""
         return self._xadj, self._inc
+
+    def _build_reverse_ports(self) -> None:
+        """Build the flat reverse-slot array in two passes over the CSR rows.
+
+        A *slot* is a position in the flat adjacency array: slot
+        ``xadj[v] + p`` is port ``p`` of node ``v``.  For every slot the
+        reverse slot is the position of the same edge in the other
+        endpoint's row — i.e. where a message sent by ``v`` on port ``p``
+        lands in the receiver's port space.
+        """
+        xadj = self._xadj
+        adj = self._adj
+        inc = self._inc
+        edge_u = self._edge_u
+        m = len(self._edges)
+        # Pass 1: per edge, the slot in each endpoint's row.
+        slot_lo = [0] * m  # slot in the row of the lower endpoint (u < v)
+        slot_hi = [0] * m  # slot in the row of the higher endpoint
+        for v in range(self._num_nodes):
+            for i in range(xadj[v], xadj[v + 1]):
+                e = inc[i]
+                if edge_u[e] == v:
+                    slot_lo[e] = i
+                else:
+                    slot_hi[e] = i
+        # Pass 2: cross-link the two slots of every edge.
+        rev_slot = [0] * len(adj)
+        for v in range(self._num_nodes):
+            for i in range(xadj[v], xadj[v + 1]):
+                e = inc[i]
+                rev_slot[i] = slot_hi[e] if edge_u[e] == v else slot_lo[e]
+        self._rev_slot = rev_slot
+
+    def reverse_port_csr(self) -> List[int]:
+        """The flat reverse-port array aligned with :meth:`adjacency_csr`.
+
+        ``rev[xadj[v] + p]`` is the port of ``v`` in the row of the
+        neighbor ``w = adj[xadj[v] + p]`` — the port on which ``w``
+        receives what ``v`` sends on port ``p``.  Derived lazily from the
+        reverse-slot array (which the simulator shares); shared, not
+        copied — do not mutate.
+        """
+        if self._rev_port is None:
+            rev_slot = self.reverse_slot_csr()
+            xadj = self._xadj
+            adj = self._adj
+            self._rev_port = [rev_slot[i] - xadj[adj[i]] for i in range(len(adj))]
+        return self._rev_port
+
+    def reverse_slot_csr(self) -> List[int]:
+        """The flat reverse-*slot* array aligned with :meth:`adjacency_csr`.
+
+        ``rev_slot[i]`` is the absolute adjacency-array position of the
+        opposite direction of slot ``i``: ``rev_slot[xadj[v] + p] ==
+        xadj[w] + reverse_port_csr()[xadj[v] + p]`` with ``w`` the
+        neighbor on port ``p``.  The message-passing simulator uses this
+        to index its flat inbox buffer directly.  Built lazily; shared,
+        not copied — do not mutate.
+        """
+        if self._rev_slot is None:
+            self._build_reverse_ports()
+        return self._rev_slot  # type: ignore[return-value]
 
     @property
     def max_degree(self) -> int:

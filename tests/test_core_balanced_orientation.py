@@ -2,8 +2,14 @@
 
 from __future__ import annotations
 
+import pytest
+
 from repro.core import parameters
-from repro.core.balanced_orientation import compute_balanced_orientation
+from repro.core.balanced_orientation import (
+    NUMPY_SCAN_THRESHOLD,
+    _np,
+    compute_balanced_orientation,
+)
 from repro.distributed.rounds import RoundTracker
 from repro.graphs import generators
 from repro.verification.checkers import orientation_in_degrees
@@ -97,3 +103,77 @@ class TestBalanceGuarantee:
         )
         assert tracker.total == result.rounds
         assert result.rounds > 0
+
+
+class TestScanPathCrossCheck:
+    """The numpy and pure-python participation scans must be bit-identical.
+
+    Instances are chosen on both sides of the auto-mode threshold
+    (NUMPY_SCAN_THRESHOLD edges), so the forced paths are each exercised
+    where auto mode would *not* have picked them.
+    """
+
+    # (nodes, degree) -> edges = nodes * degree / 2: 32 and 128 edges sit
+    # below the 384-edge threshold, 512 and 768 above it.
+    CASES = [(16, 4), (32, 8), (64, 16), (96, 16)]
+
+    @staticmethod
+    def varied_eta(graph):
+        return {e: 0.5 * (e % 3) for e in graph.edges()}
+
+    @pytest.mark.skipif(_np is None, reason="numpy not installed")
+    @pytest.mark.parametrize("nodes,degree", CASES)
+    def test_numpy_and_python_paths_bit_identical(self, nodes, degree):
+        graph, bipartition = generators.regular_bipartite_graph(nodes, degree, seed=nodes + degree)
+        assert (graph.num_edges >= NUMPY_SCAN_THRESHOLD) == (nodes * degree // 2 >= 384)
+        eta = self.varied_eta(graph)
+        results = {}
+        for path in ("python", "numpy"):
+            tracker = RoundTracker()
+            results[path] = (
+                compute_balanced_orientation(
+                    graph, bipartition, eta, epsilon=0.5, tracker=tracker, scan_path=path
+                ),
+                tracker.total,
+            )
+        py, py_rounds = results["python"]
+        np_, np_rounds = results["numpy"]
+        assert py.orientation == np_.orientation
+        assert py.in_degrees == np_.in_degrees
+        assert py.phases == np_.phases
+        assert py.rounds == np_.rounds == py_rounds == np_rounds
+        assert py.nu == np_.nu
+        assert py.bar_delta == np_.bar_delta
+
+    @pytest.mark.skipif(_np is None, reason="numpy not installed")
+    @pytest.mark.parametrize("nodes,degree", [(16, 4), (64, 16)])
+    def test_auto_matches_both_forced_paths(self, nodes, degree):
+        graph, bipartition = generators.regular_bipartite_graph(nodes, degree, seed=7)
+        eta = self.varied_eta(graph)
+        auto = compute_balanced_orientation(graph, bipartition, eta, epsilon=0.5)
+        forced = compute_balanced_orientation(
+            graph, bipartition, eta, epsilon=0.5, scan_path="python"
+        )
+        assert auto.orientation == forced.orientation
+        assert auto.in_degrees == forced.in_degrees
+
+    @pytest.mark.skipif(_np is None, reason="numpy not installed")
+    def test_cross_check_on_edge_subset(self):
+        graph, bipartition = generators.regular_bipartite_graph(64, 16, seed=21)
+        subset = sorted(set(graph.edges()) - set(range(0, graph.num_edges, 5)))
+        eta = {e: 0.5 * (e % 3) for e in subset}
+        py = compute_balanced_orientation(
+            graph, bipartition, eta, epsilon=0.5, edge_set=subset, scan_path="python"
+        )
+        np_ = compute_balanced_orientation(
+            graph, bipartition, eta, epsilon=0.5, edge_set=subset, scan_path="numpy"
+        )
+        assert py.orientation == np_.orientation
+        assert py.in_degrees == np_.in_degrees
+
+    def test_unknown_scan_path_rejected(self, small_bipartite):
+        graph, bipartition = small_bipartite
+        with pytest.raises(ValueError, match="scan_path"):
+            compute_balanced_orientation(
+                graph, bipartition, zero_eta(graph), epsilon=0.5, scan_path="fortran"
+            )

@@ -117,6 +117,39 @@ class TestSolver:
         graph, bipartition = small_bipartite
         assert solve_relaxed_instance(graph, bipartition, {}) == {}
 
+    # The exact output of the Lemma D.2 solver on a fixed seeded instance,
+    # recorded before the incremental (bisect-based) side_lists filtering
+    # landed — the rewrite must not shift a single color.
+    REGRESSION_PIN = {
+        0: 3, 1: 4, 2: 0, 3: 2, 4: 1, 5: 3, 6: 2, 7: 3, 8: 1, 9: 0,
+        10: 3, 11: 1, 12: 1, 13: 3, 14: 1, 15: 5, 16: 2, 17: 3, 18: 2, 19: 0,
+        20: 0, 21: 0, 22: 0, 23: 4, 24: 4, 25: 2, 26: 0, 27: 2, 28: 0, 29: 1,
+        30: 0, 31: 2, 32: 1, 33: 1, 34: 3, 35: 1, 36: 2, 37: 1, 38: 1, 39: 0,
+        40: 2, 41: 1, 42: 2, 43: 3, 44: 3, 45: 2, 46: 3, 47: 1, 48: 0, 49: 0,
+        50: 1, 51: 4, 52: 3, 53: 2, 54: 3, 55: 2, 56: 0, 57: 4, 58: 1, 59: 0,
+        60: 4, 61: 0, 62: 2, 63: 3,
+    }
+
+    def regression_instance(self):
+        graph, bipartition = generators.regular_bipartite_graph(16, 4, seed=5)
+        lists, _space = generators.list_edge_coloring_lists(graph, slack=2.0, seed=11)
+        return graph, bipartition, {e: lists[e] for e in graph.edges()}
+
+    def test_solver_output_pinned(self):
+        graph, bipartition, lists = self.regression_instance()
+        colors = solve_relaxed_instance(graph, bipartition, lists)
+        assert list_coloring_violations(graph, colors, lists) == []
+        assert colors == self.REGRESSION_PIN
+
+    def test_solver_handles_unsorted_lists(self):
+        # Unsorted lists take the generic (non-bisect) filter path; the
+        # result must still be a valid list coloring from the same lists.
+        graph, bipartition, lists = self.regression_instance()
+        reversed_lists = {e: list(reversed(lst)) for e, lst in lists.items()}
+        colors = solve_relaxed_instance(graph, bipartition, reversed_lists)
+        assert set(colors.keys()) == set(graph.edges())
+        assert list_coloring_violations(graph, colors, reversed_lists) == []
+
 
 class TestDegreeReduction:
     def test_partial_coloring_reduces_uncolored_degree(self):

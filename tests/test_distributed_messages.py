@@ -67,6 +67,11 @@ class TestAuditor:
         with pytest.raises(ValueError, match="CONGEST violation"):
             auditor.record(list(range(100)))
 
+    def test_budget_is_cached_and_stable(self):
+        auditor = CongestAuditor(num_nodes=1024, factor=8)
+        assert auditor.budget_bits == congest_bit_budget(1024, 8)
+        assert auditor.budget_bits == auditor.budget_bits
+
     def test_typical_coloring_messages_fit(self):
         # Colors up to Δ² and node identifiers are O(log n)-bit values.
         auditor = CongestAuditor(num_nodes=1024, factor=8)
@@ -74,3 +79,57 @@ class TestAuditor:
         auditor.record(64 * 64)       # an O(Δ²) color for Δ = 64
         auditor.record((12, 200, 3))  # a (phase, color, counter) triple
         assert auditor.compliant
+
+
+class TestBatchAuditing:
+    # Payloads chosen to stress the memo: 0 == False and 1 == True == 1.0
+    # compare equal but size differently, repeated ints hit the memo, and
+    # containers/floats bypass it.
+    MIXED = [0, False, True, 1, 1, 1.0, "ab", "ab", (7, 7), [1, 2, 3], 255, 0, None]
+
+    def test_batch_matches_sequential_record(self):
+        sequential = CongestAuditor(num_nodes=256, factor=4)
+        batched = CongestAuditor(num_nodes=256, factor=4)
+        for payload in self.MIXED:
+            sequential.record(payload)
+        batch_max = batched.record_batch(self.MIXED)
+        assert batched.messages_recorded == sequential.messages_recorded
+        assert batched.total_bits == sequential.total_bits
+        assert batched.max_bits == sequential.max_bits
+        assert batched.violations == sequential.violations
+        assert batch_max == max(message_size_bits(p) for p in self.MIXED)
+
+    def test_equal_but_differently_sized_payloads_not_conflated(self):
+        auditor = CongestAuditor(num_nodes=256, factor=8)
+        auditor.record_batch([0, False, 0, False, 1, True, 1.0])
+        # int 0 costs 2 bits, bool False costs 1; 1/True/1.0 cost 2/1/64.
+        assert auditor.total_bits == 2 + 1 + 2 + 1 + 2 + 1 + 64
+
+    def test_batch_violations_keep_order(self):
+        sequential = CongestAuditor(num_nodes=4, factor=1)
+        batched = CongestAuditor(num_nodes=4, factor=1)
+        # Budget is 2 bits: the big lists and the ints 2 and 3 (3 bits)
+        # violate, the int 1 (2 bits) does not.
+        payloads = [1, list(range(100)), 2, list(range(30)), 3]
+        for payload in payloads:
+            sequential.record(payload)
+        batched.record_batch(payloads)
+        assert batched.violations == sequential.violations
+        assert len(batched.violations) == 4
+
+    def test_strict_batch_raises_at_first_violation_and_records_prefix(self):
+        auditor = CongestAuditor(num_nodes=4, factor=1, strict=True)
+        big = list(range(100))
+        with pytest.raises(ValueError, match="CONGEST violation"):
+            auditor.record_batch([1, big, 2])
+        # Everything up to and including the violator is recorded, the
+        # tail is not — exactly like sequential strict record() calls.
+        assert auditor.messages_recorded == 2
+        assert auditor.total_bits == message_size_bits(1) + message_size_bits(big)
+        assert auditor.violations == [message_size_bits(big)]
+
+    def test_empty_batch_is_a_noop(self):
+        auditor = CongestAuditor(num_nodes=256, factor=4)
+        assert auditor.record_batch([]) == 0
+        assert auditor.messages_recorded == 0
+        assert auditor.max_bits == 0

@@ -62,18 +62,114 @@ class NeverTerminates(NodeAlgorithm):
         return False
 
 
+_OUT_OF_RANGE = object()  # sentinel: send on a numeric but out-of-range port
+
+
 class BadPortAlgorithm(NodeAlgorithm):
+    def __init__(self, port_key=_OUT_OF_RANGE):
+        self.port_key = port_key
+
     def initialize(self, ctx):
         return {"done": False}
 
     def send(self, ctx, state, round_index):
-        return {ctx.degree + 5: 1}
+        key = ctx.degree + 5 if self.port_key is _OUT_OF_RANGE else self.port_key
+        return {key: 1}
 
     def receive(self, ctx, state, inbox, round_index):
         state["done"] = True
 
     def finished(self, ctx, state):
         return state["done"]
+
+
+class EarlyFinisher(NodeAlgorithm):
+    """Node index 0 finishes after one round; the rest keep sending.
+
+    The late messages the finished node observes are recorded per round,
+    snapshotted out of the pooled inbox view.
+    """
+
+    def initialize(self, ctx):
+        return {"rounds_done": 0, "late": {}, "early": ctx.node == 0}
+
+    def send(self, ctx, state, round_index):
+        return {port: ctx.node_id for port in range(ctx.degree)}
+
+    def receive(self, ctx, state, inbox, round_index):
+        if state["early"] and state["rounds_done"] >= 1:
+            state["late"][round_index] = inbox.to_dict()
+        state["rounds_done"] += 1
+
+    def finished(self, ctx, state):
+        return state["rounds_done"] >= (1 if state["early"] else 3)
+
+    def output(self, ctx, state):
+        return state["late"]
+
+
+class OneShotSender(NodeAlgorithm):
+    """Sends only in round 0, then idles for two more rounds.
+
+    Records what the inbox looked like every round — rounds 1 and 2 must
+    be empty, i.e. the pooled buffers may not leak round-0 payloads.
+    """
+
+    def initialize(self, ctx):
+        return {"rounds_done": 0, "seen": []}
+
+    def send(self, ctx, state, round_index):
+        if round_index == 0:
+            return {port: 7 for port in range(ctx.degree)}
+        return {}
+
+    def receive(self, ctx, state, inbox, round_index):
+        state["seen"].append((len(inbox), bool(inbox), inbox.values()))
+        state["rounds_done"] += 1
+
+    def finished(self, ctx, state):
+        return state["rounds_done"] >= 3
+
+    def output(self, ctx, state):
+        return state["seen"]
+
+
+class InboxApiProbe(NodeAlgorithm):
+    """Exercises the full mapping API of the pooled inbox view."""
+
+    def initialize(self, ctx):
+        return {"done": False, "probe": None}
+
+    def send(self, ctx, state, round_index):
+        return {port: 10 + port for port in range(ctx.degree)}
+
+    def receive(self, ctx, state, inbox, round_index):
+        if inbox:
+            missing_raises = False
+            try:
+                inbox[ctx.degree + 1]
+            except KeyError:
+                missing_raises = True
+            state["probe"] = {
+                "len": len(inbox),
+                "keys": inbox.keys(),
+                "iter": list(inbox),
+                "items": inbox.items(),
+                "values": inbox.values(),
+                "first": inbox[0],
+                "get_missing": inbox.get(99, "default"),
+                "contains": 0 in inbox,
+                "missing": 99 in inbox,
+                "missing_raises": missing_raises,
+                "dict": inbox.to_dict(),
+            }
+        state["done"] = True
+
+    def finished(self, ctx, state):
+        return state["done"]
+
+    def output(self, ctx, state):
+        return state["probe"]
 
 
 class TestSimulator:
@@ -118,6 +214,98 @@ class TestSimulator:
         network = SynchronousNetwork(graph)
         with pytest.raises(ValueError, match="invalid port"):
             network.run(BadPortAlgorithm())
+
+    def test_invalid_port_reports_node_id_and_round(self):
+        # The error names the stable node identifier (not the internal
+        # node index) and the round in which the bad send happened.
+        graph = generators.graph_with_scrambled_ids(generators.cycle_graph(4), seed=3)
+        assert graph.node_id(0) != 0  # the scramble must actually move id 0
+        network = SynchronousNetwork(graph)
+        with pytest.raises(ValueError) as excinfo:
+            network.run(BadPortAlgorithm())
+        message = str(excinfo.value)
+        assert f"node {graph.node_id(0)} " in message
+        assert "round 0" in message
+        assert "valid ports are 0..1" in message
+
+    @pytest.mark.parametrize("bad_key", ["north", 1.5, (0,), None])
+    def test_non_int_port_key_raises_type_error(self, bad_key):
+        graph = generators.cycle_graph(4)
+        network = SynchronousNetwork(graph)
+        with pytest.raises(TypeError, match="ports must be integers"):
+            network.run(BadPortAlgorithm(port_key=bad_key))
+
+    def test_index_like_port_keys_are_accepted(self):
+        numpy = pytest.importorskip("numpy")
+
+        class NumpyPortSender(NodeAlgorithm):
+            def initialize(self, ctx):
+                return {"got": None}
+
+            def send(self, ctx, state, round_index):
+                return {numpy.int64(port): ctx.node_id for port in range(ctx.degree)}
+
+            def receive(self, ctx, state, inbox, round_index):
+                state["got"] = inbox.values()
+
+            def finished(self, ctx, state):
+                return state["got"] is not None
+
+            def output(self, ctx, state):
+                return state["got"]
+
+        graph = generators.cycle_graph(4)
+        outputs, metrics = SynchronousNetwork(graph).run(NumpyPortSender())
+        assert metrics.messages == 8
+        assert all(len(got) == 2 for got in outputs)
+
+
+class TestEdgeSemantics:
+    def test_late_messages_reach_finished_nodes(self):
+        graph = generators.cycle_graph(4)
+        outputs, metrics = SynchronousNetwork(graph).run(EarlyFinisher())
+        assert metrics.rounds == 3
+        # Node 0 finished after round 0 but still observed the messages
+        # its (still running) neighbors sent in rounds 1 and 2.
+        expected = {0: graph.node_id(1), 1: graph.node_id(3)}
+        assert outputs[0] == {1: expected, 2: expected}
+        assert all(out == {} for out in outputs[1:])
+
+    def test_terminating_exactly_at_max_rounds_is_not_an_error(self):
+        graph = generators.cycle_graph(8)
+        outputs, metrics = SynchronousNetwork(graph).run(MaxIdFlooding(hops=4), max_rounds=4)
+        assert metrics.rounds == 4
+        assert all(out == 7 for out in outputs)
+
+    def test_one_round_short_of_termination_raises(self):
+        graph = generators.cycle_graph(8)
+        with pytest.raises(RuntimeError, match="within 3 rounds"):
+            SynchronousNetwork(graph).run(MaxIdFlooding(hops=4), max_rounds=3)
+
+    def test_pooled_inbox_does_not_leak_between_rounds(self):
+        graph = generators.cycle_graph(6)
+        outputs, _metrics = SynchronousNetwork(graph).run(OneShotSender())
+        for seen in outputs:
+            assert seen == [(2, True, [7, 7]), (0, False, []), (0, False, [])]
+
+    def test_inbox_view_mapping_api(self):
+        graph = generators.path_graph(3)
+        outputs, _metrics = SynchronousNetwork(graph).run(InboxApiProbe())
+        probe = outputs[0]  # endpoint: degree 1, one message on port 0
+        assert probe["len"] == 1
+        assert probe["keys"] == [0]
+        assert probe["iter"] == [0]
+        assert probe["items"] == [(0, 10)]
+        assert probe["values"] == [10]
+        assert probe["first"] == 10
+        assert probe["get_missing"] == "default"
+        assert probe["contains"] is True
+        assert probe["missing"] is False
+        assert probe["missing_raises"] is True
+        assert probe["dict"] == {0: 10}
+        middle = outputs[1]  # degree 2: a message on each port
+        assert middle["len"] == 2
+        assert middle["items"] == [(0, 10), (1, 10)]
 
 
 class TestLinialOnSimulator:

@@ -91,6 +91,23 @@ class TestEdgeAccessors:
         ids = [graph.edge_id(e) for e in graph.edges()]
         assert len(set(ids)) == graph.num_edges
 
+    def test_reverse_port_and_slot_arrays_are_consistent(self):
+        # Irregular graph: degrees 3, 2, 2, 2, 1.
+        graph = Graph(5, [(0, 1), (0, 2), (0, 3), (1, 2), (3, 4)])
+        xadj, adj = graph.adjacency_csr()
+        rev_port = graph.reverse_port_csr()
+        rev_slot = graph.reverse_slot_csr()
+        assert len(rev_port) == len(rev_slot) == len(adj)
+        for v in graph.nodes():
+            for p, i in enumerate(range(xadj[v], xadj[v + 1])):
+                w = adj[i]
+                # The reverse port points back at v in w's row …
+                assert adj[xadj[w] + rev_port[i]] == v
+                # … and the reverse slot is its absolute position.
+                assert rev_slot[i] == xadj[w] + rev_port[i]
+                # Reversing twice returns to the original slot.
+                assert rev_slot[rev_slot[i]] == xadj[v] + p
+
 
 class TestSubgraphHelpers:
     def test_edge_subgraph_degrees(self):

@@ -1,11 +1,13 @@
-"""Wall-clock smoke budget for the hot path (``pytest -m perf_smoke``).
+"""Wall-clock smoke budgets for the hot paths (``pytest -m perf_smoke``).
 
-One fast assertion wired into the tier-1 run: the E1 Δ=16 sweep cell
-must finish well inside a generous cap.  The cap is ~20× the current
-measured time (≈30 ms on the reference machine), so it only trips on a
-genuine complexity regression (e.g. reintroducing a per-level rescan),
-not on machine noise.  ``benchmarks/run_benchmarks.py`` holds the full
-before/after trajectory.
+Fast assertions wired into the tier-1 run: the E1 Δ=16 sweep cell and
+the E8 Linial-on-simulator cell at n = 10⁴ must finish well inside
+generous caps.  Each cap is ~15–20× the current measured time (≈30 ms
+for E1, ≈150 ms for E8 on the reference machine), so it only trips on a
+genuine complexity regression (e.g. reintroducing a per-level rescan, or
+a per-message dict on the simulator's message plane), not on machine
+noise.  ``benchmarks/run_benchmarks.py`` holds the full before/after
+trajectory.
 """
 
 from __future__ import annotations
@@ -15,10 +17,19 @@ import time
 import pytest
 
 from repro import api
+from repro.coloring.linial import LinialNodeAlgorithm
+from repro.distributed.model import Model
+from repro.distributed.network import SynchronousNetwork
 from repro.graphs import generators
+from repro.graphs.identifiers import id_space_size
+from repro.verification.checkers import is_proper_vertex_coloring
 
 #: Generous wall-clock cap for one E1 Δ=16 run (seconds).
 E1_DELTA16_BUDGET_SECONDS = 2.0
+
+#: Generous wall-clock cap for one E8 Linial run at n = 10⁴ (seconds;
+#: graph generation stays outside the timer, like in the benchmarks).
+E8_N10K_BUDGET_SECONDS = 3.0
 
 
 @pytest.mark.perf_smoke
@@ -31,4 +42,23 @@ def test_e1_delta16_within_budget():
     assert outcome.num_colors <= 2 * 16 - 1
     assert wall < E1_DELTA16_BUDGET_SECONDS, (
         f"E1 Δ=16 took {wall:.3f}s, over the {E1_DELTA16_BUDGET_SECONDS}s smoke budget"
+    )
+
+
+@pytest.mark.perf_smoke
+def test_e8_linial_n10k_within_budget():
+    n = 10_000
+    graph = generators.graph_with_scrambled_ids(
+        generators.random_regular_graph(n, 4, seed=n), seed=n, id_space_factor=8
+    )
+    network = SynchronousNetwork(
+        graph, model=Model.CONGEST, global_knowledge={"id_space": id_space_size(graph)}
+    )
+    start = time.perf_counter()
+    colors, metrics = network.run(LinialNodeAlgorithm())
+    wall = time.perf_counter() - start
+    assert is_proper_vertex_coloring(graph, colors)
+    assert metrics.congest_violations == 0
+    assert wall < E8_N10K_BUDGET_SECONDS, (
+        f"E8 n=10⁴ took {wall:.3f}s, over the {E8_N10K_BUDGET_SECONDS}s smoke budget"
     )
