@@ -131,7 +131,13 @@ def _congest_cell(n: int, delta: int, seed: int) -> Callable[[], PreparedRun]:
 
 
 def _linial_network_cell(n: int) -> Callable[[], PreparedRun]:
-    """E8: message-passing Linial on the simulator; returns (rounds, messages)."""
+    """E8: message-passing Linial on the simulator; returns (rounds, messages).
+
+    ``LinialNodeAlgorithm`` declares ``batched_send``, so the run goes
+    through the batched send plane (broadcasts written straight into the
+    flat slot buffer); the differential matrix pins it bit-identical to
+    the dict plane.
+    """
 
     def prepare() -> PreparedRun:
         graph = generators.graph_with_scrambled_ids(

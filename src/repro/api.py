@@ -50,10 +50,18 @@ def color_edges_local(
     graph: Graph,
     instance: Optional[ListEdgeColoringInstance] = None,
     params: Optional[parameters.PracticalParameters] = None,
+    scan_path: str = "auto",
 ) -> EdgeColoringOutcome:
-    """(2Δ−1)-edge coloring / (degree+1)-list edge coloring in the LOCAL model (Theorem 1.1)."""
+    """(2Δ−1)-edge coloring / (degree+1)-list edge coloring in the LOCAL model (Theorem 1.1).
+
+    ``scan_path`` selects the orientation engine every defective split
+    runs on (``"auto"`` / ``"numpy"`` / ``"python"``); the forced engines
+    are bit-identical, so the knob only matters for perf and testing.
+    """
     tracker = RoundTracker()
-    result = list_edge_coloring(graph, instance=instance, params=params, tracker=tracker)
+    result = list_edge_coloring(
+        graph, instance=instance, params=params, tracker=tracker, scan_path=scan_path
+    )
     return EdgeColoringOutcome(
         algorithm="local-list-coloring",
         colors=result.colors,
@@ -73,10 +81,17 @@ def color_edges_congest(
     graph: Graph,
     epsilon: float = 0.5,
     params: Optional[parameters.PracticalParameters] = None,
+    scan_path: str = "auto",
 ) -> EdgeColoringOutcome:
-    """(8+ε)Δ-edge coloring in the CONGEST model (Theorem 1.2 / 6.3)."""
+    """(8+ε)Δ-edge coloring in the CONGEST model (Theorem 1.2 / 6.3).
+
+    ``scan_path`` selects the orientation engine (see
+    :func:`color_edges_local`).
+    """
     tracker = RoundTracker()
-    result = congest_edge_coloring(graph, epsilon=epsilon, params=params, tracker=tracker)
+    result = congest_edge_coloring(
+        graph, epsilon=epsilon, params=params, tracker=tracker, scan_path=scan_path
+    )
     return EdgeColoringOutcome(
         algorithm="congest-8eps",
         colors=result.colors,
@@ -98,6 +113,7 @@ def color_edges_bipartite(
     bipartition: Optional[Bipartition] = None,
     epsilon: float = 0.25,
     params: Optional[parameters.PracticalParameters] = None,
+    scan_path: str = "auto",
 ) -> EdgeColoringOutcome:
     """(2+ε)Δ-edge coloring of a 2-colored bipartite graph (Lemma 6.1)."""
     if bipartition is None:
@@ -106,7 +122,7 @@ def color_edges_bipartite(
             raise ValueError("the graph is not bipartite; provide a bipartition or use another algorithm")
     tracker = RoundTracker()
     result = bipartite_edge_coloring(
-        graph, bipartition, epsilon=epsilon, params=params, tracker=tracker
+        graph, bipartition, epsilon=epsilon, params=params, tracker=tracker, scan_path=scan_path
     )
     return EdgeColoringOutcome(
         algorithm="bipartite-2eps",

@@ -18,6 +18,7 @@ from __future__ import annotations
 from typing import Dict, Iterable, List, Optional, Sequence, Set
 
 from repro.coloring.color_reduction import polynomial_step, reduction_schedule, shared_eval_cache
+from repro.core.engine import _np, resolve_use_numpy
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.core import Graph
 
@@ -69,6 +70,7 @@ def greedy_edge_coloring_by_classes(
     edge_set: Optional[Set[int]] = None,
     existing_colors: Optional[Dict[int, int]] = None,
     tracker: Optional[RoundTracker] = None,
+    used_colors: Optional[Sequence[Set[int]]] = None,
 ) -> Dict[int, int]:
     """Greedy list edge coloring scheduled by the classes of ``schedule``.
 
@@ -85,13 +87,20 @@ def greedy_edge_coloring_by_classes(
             ``{0, ..., palette_size - 1}`` with ``palette_size`` defaulting
             to ``2Δ − 1``.
         tracker: one round is charged per non-empty schedule class.
+        used_colors: optional caller-owned per-node used-color sets,
+            indexed by node and exactly reflecting ``existing_colors``.
+            When given, availability reads them directly and assignments
+            are added **in place** (callers running many greedy passes
+            against one growing coloring share the sets instead of
+            rebuilding per pass).  Requires that no target edge is
+            already colored — sets track color presence only, so they
+            cannot express re-coloring over an existing entry.
 
     Returns the new colors, keyed by edge index.
     """
     targets = set(schedule.keys()) if edge_set is None else set(edge_set)
     if palette_size is None:
         palette_size = max(1, 2 * graph.max_degree - 1)
-    colored: Dict[int, int] = dict(existing_colors) if existing_colors else {}
     result: Dict[int, int] = {}
     # Group the targets by schedule class in one pass (the per-class
     # choices are simultaneous, so the order within a class is free).
@@ -99,29 +108,64 @@ def greedy_edge_coloring_by_classes(
     for e in sorted(targets):
         by_class.setdefault(schedule[e], []).append(e)
     edge_u, edge_v = graph.endpoint_arrays()
-    # Two equivalent availability strategies: scan the adjacent-edge row
-    # per query (cheap for few targets), or maintain per-node used-color
-    # sets (cheap when the targets outnumber the pre-colored edges).
-    # The sets only track color *presence*, so they cannot express a
-    # target edge being re-colored over an existing entry — if any
-    # target is already colored, stay on the (always exact) scan path.
-    offsets, flat = graph.edge_adjacency_csr()
-    use_node_sets = len(targets) * 4 > len(colored) and not any(
-        e in colored for e in targets
-    )
-    if use_node_sets:
-        used_at: List[set] = [set() for _ in range(graph.num_nodes)]
-        for colored_edge, color in colored.items():
-            used_at[edge_u[colored_edge]].add(color)
-            used_at[edge_v[colored_edge]].add(color)
+    # Availability via maintained per-node used-color sets: an edge's
+    # blocked colors are exactly those used at its two endpoints, so no
+    # adjacent-edge row is sliced per query.  The sets either come from
+    # the caller (``used_colors``) or are built lazily on first touch
+    # from the node's incidence row (only nodes incident to a target ever
+    # pay), then kept current as colors are assigned.  The sets only
+    # track color *presence*, so they cannot express a target edge being
+    # re-colored over an existing entry — if any target is already
+    # colored, stay on the (always exact) per-edge scan over the
+    # precomputed line-graph rows.
+    if used_colors is not None:
+        if existing_colors and any(e in existing_colors for e in targets):
+            raise ValueError(
+                "used_colors requires that no target edge is already colored"
+            )
+        colored: Dict[int, int] = {}  # shared-set mode neither reads nor writes it
+        use_node_sets = True
+        used_at = used_colors
+
+        def used_set(node: int) -> Set[int]:
+            return used_at[node]
+
+    else:
+        colored = dict(existing_colors) if existing_colors else {}
+        use_node_sets = not any(e in colored for e in targets)
+        if use_node_sets:
+            xadj, inc = graph.incidence_csr()
+            lazy_sets: Dict[int, set] = {}
+            used_at = lazy_sets
+            # When no colors pre-exist, every color ever assigned went to
+            # a target edge, and choosing that target's color built both
+            # endpoint sets first — so a node reaching the lazy build can
+            # have no colored incident edge and the incidence scan is
+            # skipped.  Pre-existing colors make the scan load them.
+            scan_on_build = bool(colored)
+
+            def used_set(node: int) -> Set[int]:
+                used = lazy_sets.get(node)
+                if used is None:
+                    used = set()
+                    if scan_on_build:
+                        for f in inc[xadj[node] : xadj[node + 1]]:
+                            color = colored.get(f)
+                            if color is not None:
+                                used.add(color)
+                    lazy_sets[node] = used
+                return used
+
+        else:
+            offsets, flat = graph.edge_adjacency_csr()
     for cls in sorted(by_class):
         members = by_class[cls]
         round_choices: Dict[int, int] = {}
         for e in members:
             candidates: Iterable[int] = lists[e] if lists is not None else range(palette_size)
             if use_node_sets:
-                used_u = used_at[edge_u[e]]
-                used_v = used_at[edge_v[e]]
+                used_u = used_set(edge_u[e])
+                used_v = used_set(edge_v[e])
                 choice = next(
                     (c for c in candidates if c not in used_u and c not in used_v), None
                 )
@@ -136,7 +180,10 @@ def greedy_edge_coloring_by_classes(
                 raise ValueError(f"edge {e} has no available color; its list/palette is too small")
             round_choices[e] = choice
         for e, c in round_choices.items():
-            colored[e] = c
+            if used_colors is None:
+                # The lazy builds and the scan fallback read ``colored``;
+                # caller-owned sets are the only state the shared mode keeps.
+                colored[e] = c
             result[e] = c
             if use_node_sets:
                 used_at[edge_u[e]].add(c)
@@ -146,16 +193,115 @@ def greedy_edge_coloring_by_classes(
     return result
 
 
+def _linial_rows_python(
+    colors: List[int],
+    rows: List[List[int]],
+    schedule: Sequence[tuple],
+    tracker: Optional[RoundTracker],
+) -> List[int]:
+    """Reference engine for the line-graph Linial steps (one position per edge)."""
+    for q, d in schedule:
+        cache = shared_eval_cache(q, d)
+        new_colors: List[int] = []
+        for position, row in enumerate(rows):
+            new_colors.append(
+                polynomial_step(colors[position], [colors[j] for j in row], q, d, cache)
+            )
+        colors = new_colors
+        if tracker is not None:
+            tracker.charge(1, "linial")
+    return colors
+
+
+def _linial_rows_numpy(
+    colors: List[int],
+    rows: List[List[int]],
+    schedule: Sequence[tuple],
+    tracker: Optional[RoundTracker],
+) -> List[int]:
+    """Vectorized twin of :func:`_linial_rows_python` (bit-identical).
+
+    Per reduction step, the polynomial values of *all* positions at the
+    candidate point ``x`` are evaluated in one base-q digit sweep
+    (exact ``int64`` arithmetic — the same ``%``/``//``/modmul chain as
+    :func:`repro.coloring.color_reduction.polynomial_value`), and the
+    per-position conflict checks collapse to one segmented comparison
+    over the flattened rows.  Every position picks the same smallest
+    conflict-free ``x`` the reference engine picks.
+    """
+    np = _np
+    num = len(colors)
+    counts = np.fromiter((len(row) for row in rows), dtype=np.int64, count=num)
+    offsets = np.zeros(num + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    flat = np.fromiter(
+        (j for row in rows for j in row), dtype=np.int64, count=int(offsets[-1])
+    )
+    colors_np = np.array(colors, dtype=np.int64)
+    nonempty = counts > 0
+    nonempty_offsets = offsets[:-1][nonempty]
+    has_rows = bool(nonempty.any())
+    for q, d in schedule:
+        # Base-q digits, decomposed once per step; a value at ``x`` is
+        # then one multiply-add sweep.  Digits and powers are < q, so the
+        # unreduced sum stays far inside int64 and one final ``% q``
+        # matches the reference's iterative modular chain exactly.
+        digits = []
+        remaining = colors_np.copy()
+        for _ in range(d + 1):
+            digits.append(remaining % q)
+            remaining //= q
+        result = np.empty(num, dtype=np.int64)
+        unresolved = np.arange(num, dtype=np.int64)
+        for x in range(q):
+            # Once only a few stragglers remain, per-position rescans are
+            # cheaper than further full-width sweeps; polynomial_step
+            # picks the same smallest conflict-free point.
+            if unresolved.size * 16 < num and x >= 2:
+                break
+            value = digits[0].copy()
+            power = 1
+            for i in range(1, d + 1):
+                power = (power * x) % q
+                np.add(value, digits[i] * power, out=value)
+            value %= q
+            # Positions whose value collides with a row neighbor's value.
+            conflicted = np.zeros(num, dtype=bool)
+            if has_rows:
+                eq = value[flat] == np.repeat(value, counts)
+                conflicted[nonempty] = np.add.reduceat(eq, nonempty_offsets) > 0
+            free = unresolved[~conflicted[unresolved]]
+            result[free] = x * q + value[free]
+            unresolved = unresolved[conflicted[unresolved]]
+            if not unresolved.size:
+                break
+        if unresolved.size:
+            cache = shared_eval_cache(q, d)
+            colors_list = colors_np.tolist()
+            for p in unresolved.tolist():
+                result[p] = polynomial_step(
+                    colors_list[p], [colors_list[j] for j in rows[p]], q, d, cache
+                )
+        colors_np = result
+        if tracker is not None:
+            tracker.charge(1, "linial")
+    return colors_np.tolist()
+
+
 def proper_edge_schedule(
     graph: Graph,
     edge_set: Iterable[int],
     tracker: Optional[RoundTracker] = None,
+    scan_path: str = "auto",
 ) -> Dict[int, int]:
     """A proper O(d̄²)-coloring of the edges in ``edge_set``, usable as a greedy schedule.
 
     ``d̄`` is the maximum edge degree *within* ``edge_set``.  The schedule
     is computed by running Linial's algorithm on the line graph of the
     subgraph induced by ``edge_set`` (O(log* n) charged rounds).
+    ``scan_path`` selects the reduction-step engine exactly like the
+    orientation knob (``"auto"`` / ``"numpy"`` / ``"python"``); both
+    engines produce bit-identical schedules.
     """
     edge_list = sorted(set(edge_set))
     if not edge_list:
@@ -198,9 +344,15 @@ def proper_edge_schedule(
             a, b = b, a
         colors.append(a * id_base + b)
     space = max(colors) + 1
-    degree_bound = max(
-        len(incident[u]) + len(incident[v]) - 2 for u, v in endpoints
-    )
+    degree_bound = 0
+    for u, v in endpoints:
+        d = len(incident[u]) + len(incident[v]) - 2
+        if d > degree_bound:
+            degree_bound = d
+    schedule = reduction_schedule(space, max(1, degree_bound))
+    if not schedule:
+        # The identifier colors are already minimal: no rows needed.
+        return {edge_list[position]: colors[position] for position in range(len(edge_list))}
     # Merged line-graph rows (each position's adjacent positions),
     # built once and reused by every reduction step.
     rows: List[List[int]] = []
@@ -208,15 +360,18 @@ def proper_edge_schedule(
         row = [j for j in incident[u] if j != position]
         row.extend(j for j in incident[v] if j != position)
         rows.append(row)
-    for q, d in reduction_schedule(space, max(1, degree_bound)):
-        cache = shared_eval_cache(q, d)
-        new_colors: List[int] = []
-        for position, row in enumerate(rows):
-            new_colors.append(
-                polynomial_step(colors[position], [colors[j] for j in row], q, d, cache)
-            )
-        colors = new_colors
-        if tracker is not None:
-            tracker.charge(1, "linial")
+    use_np = resolve_use_numpy(scan_path, len(edge_list))
+    if use_np:
+        # The vectorized engine works in int64; its largest intermediates
+        # are the initial identifier colors and (d+1)·q² (unreduced
+        # polynomial sum).  Simulatable instances are orders of magnitude
+        # below the bound — this guards the pathological huge-id-space
+        # case back onto arbitrary-precision python ints.
+        if space >= 2**62 or max((d + 1) * q * q for q, d in schedule) >= 2**62:
+            use_np = False
+    if use_np:
+        colors = _linial_rows_numpy(colors, rows, schedule, tracker)
+    else:
+        colors = _linial_rows_python(colors, rows, schedule, tracker)
     return {edge_list[position]: colors[position] for position in range(len(edge_list))}
 

@@ -15,6 +15,24 @@ verbatim; all parameters (ν, k_φ, δ_φ, α_v(φ)) come from
 :mod:`repro.core.parameters`.  The algorithm operates on an explicit
 ``edge_set`` so that the recursive color-space-splitting algorithms can
 run it on subgraphs without re-indexing edges.
+
+Two interchangeable phase-loop engines are provided, selected by the
+``scan_path`` knob (or the ``REPRO_SCAN_PATH`` environment variable in
+``"auto"`` mode):
+
+* the **pure-python reference twin** — a direct transcription of the
+  seven steps with incremental violation tracking; and
+* the **vectorized engine** — proposal, conflict-resolution (per-node
+  ``k_φ`` capping) and accept all run as numpy array ops over the
+  instance's flat endpoint arrays: the proposal direction is one masked
+  comparison, the per-node accept cap is a stable argsort by target node
+  plus a group-rank cut, and the accept step is applied with scatter
+  ops.  Only the (rare) token dropping repair games stay in python.
+
+Both engines are required to produce bit-identical orientations,
+in-degrees, phase counts and round charges on every instance; the
+differential test matrix (``tests/test_differential_paths.py``)
+cross-checks them end to end.
 """
 
 from __future__ import annotations
@@ -23,20 +41,16 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.core import parameters
+from repro.core.engine import NUMPY_SCAN_THRESHOLD, _np, resolve_use_numpy
 from repro.core.token_dropping import ROUNDS_PER_PHASE, _token_dropping_core
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.bipartite import Bipartition
 from repro.graphs.core import Graph
 
-try:  # numpy accelerates the per-phase participation scans when present.
-    import numpy as _np
-except ImportError:  # pragma: no cover - the pure-python path is equivalent
-    _np = None
-
-#: Instance size (edges) above which the vectorized numpy scan path
-#: engages in ``scan_path="auto"`` mode.  Below it, per-op numpy dispatch
-#: overhead makes the pure-python scan faster.
-NUMPY_SCAN_THRESHOLD = 384
+# Engine selection (numpy handle, size threshold, REPRO_SCAN_PATH env
+# override) is shared with the other vectorized/reference twins — see
+# :mod:`repro.core.engine`.
+_resolve_use_numpy = resolve_use_numpy
 
 
 @dataclass
@@ -139,126 +153,64 @@ def instance_arrays(
     return static_deg, edge_degrees, o_u, o_v
 
 
-def compute_balanced_orientation(
-    graph: Graph,
-    bipartition: Bipartition,
-    eta: Dict[int, float],
-    epsilon: float,
-    edge_set: Optional[Iterable[int]] = None,
-    nu: Optional[float] = None,
-    tracker: Optional[RoundTracker] = None,
-    max_phases: Optional[int] = None,
-    scan_path: str = "auto",
-    _precomputed: Optional[
-        Tuple[List[int], List[int], Dict[int, int], List[int], List[int], List[float]]
-    ] = None,
-) -> BalancedOrientationResult:
-    """Compute a generalized balanced edge orientation (Theorem 5.6).
+def _fast_forward_phases(
+    phase: int,
+    phase_budget: int,
+    max_unor: int,
+    has_violated: bool,
+    resolved_nu: float,
+    bar_delta: int,
+    local_tracker: RoundTracker,
+) -> Tuple[int, int, int]:
+    """Replay the charges of proposal-free phases arithmetically.
 
-    Args:
-        graph: the host graph.
-        bipartition: 2-coloring of the nodes; every edge of the instance
-            must be bichromatic.
-        eta: per-edge thresholds η_e (Definition 5.2), keyed by edge index.
-        epsilon: target slack ε of the orientation; ν defaults to ε/8.
-        edge_set: the instance's edges (defaults to all edges of ``graph``).
-        nu: optional override of the phase parameter ν (clamped to (0, 1/8]).
-        tracker: optional round tracker.
-        max_phases: optional cap on the number of orientation phases
-            (defaults to the analytic O(log Δ̄ / ν) phase count).
-        scan_path: which per-phase participation-scan implementation to
-            use: ``"auto"`` (numpy when available and the instance has at
-            least :data:`NUMPY_SCAN_THRESHOLD` edges, pure python
-            otherwise), ``"numpy"`` (force the vectorized scan; raises
-            ``RuntimeError`` when numpy is unavailable) or ``"python"``
-            (force the pure-python scan).  Both paths are required to
-            produce bit-identical orientations — the knob exists so tests
-            can cross-check them on the same instance.
-        _precomputed: internal fast path for
-            :func:`repro.core.defective_edge_coloring.
-            generalized_defective_two_edge_coloring`, which has already
-            computed ``(edges, static_deg, edge_degrees, o_u, o_v,
-            eta_arr)`` — ``eta`` is then ignored in favor of the dense
-            ``eta_arr``.
-
-    Returns a :class:`BalancedOrientationResult` covering every edge of
-    the instance.
+    A phase without participating edges orients nothing, moves no token
+    and leaves every violation flag unchanged — it only affects the round
+    account, and so does every following phase until the decaying
+    threshold drops below the current maximum unoriented edge degree.
+    Returns ``(next_phase, phases_run, extra_proposal_rounds)``; shared
+    verbatim by both engines.
     """
-    local_tracker = RoundTracker()
-    n = graph.num_nodes
+    target = phase_budget + 1
+    if max_unor > 0:
+        for p in range(phase + 1, phase_budget + 1):
+            if (1.0 - resolved_nu) ** p * bar_delta < max_unor:
+                target = p
+                break
+    stop = min(target, phase_budget + 1)
+    if has_violated:
+        for p in range(phase, stop):
+            k_p = parameters.k_phase(resolved_nu, bar_delta, p)
+            delta_p = min(parameters.delta_phase(resolved_nu, bar_delta, p), k_p)
+            game_p = max(0, k_p // delta_p - 1)
+            local_tracker.charge(
+                max(1, ROUNDS_PER_PHASE * game_p), "orientation-token-dropping"
+            )
+    return target, min(target - 1, phase_budget), 2 * (stop - phase)
+
+
+def _phase_loop_python(
+    graph: Graph,
+    n: int,
+    edges: List[int],
+    o_u: List[int],
+    o_v: List[int],
+    eta_arr: List[float],
+    static_deg: List[int],
+    edge_degrees: Dict[int, int],
+    bar_delta: int,
+    resolved_nu: float,
+    phase_budget: int,
+    local_tracker: RoundTracker,
+) -> Tuple[Dict[int, Tuple[int, int]], List[int], int]:
+    """The pure-python reference engine (the seven steps, incremental)."""
     edge_u, edge_v = graph.endpoint_arrays()
-
-    eta_arr: Optional[List[float]] = None
-    if _precomputed is not None:
-        edges, static_deg, edge_degrees, o_u, o_v, eta_arr = _precomputed
-    else:
-        edges = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
-        static_deg, edge_degrees, o_u, o_v = instance_arrays(graph, bipartition, edges)
-
-    bar_delta = max(edge_degrees.values(), default=0)
-
-    if bar_delta <= 0:
-        # Trivial instance: orient everything U -> V.
-        orientation = {}
-        x = [0] * n
-        for e in edges:
-            orientation[e] = (o_u[e], o_v[e])
-            x[o_v[e]] += 1
-        return BalancedOrientationResult(
-            orientation=orientation,
-            in_degrees=x,
-            phases=0,
-            rounds=0,
-            nu=0.0,
-            bar_delta=0,
-            edge_degrees=edge_degrees,
-        )
-
-    resolved_nu = nu if nu is not None else parameters.nu_from_epsilon(epsilon)
-    resolved_nu = min(parameters.NU_UPPER_BOUND, max(1e-6, resolved_nu))
-    phase_budget = (
-        max_phases
-        if max_phases is not None
-        else parameters.orientation_phase_count(resolved_nu, bar_delta) + 1
-    )
-
-    # Dense η for O(1) lookups in the phase loops (supplied directly by
-    # the defective-coloring wrapper on the fast path).
-    if eta_arr is None:
-        eta_arr = [0.0] * graph.num_edges
-        for e in edges:
-            eta_arr[e] = eta[e]
 
     # Unoriented edges: a compact ascending list compacted during the
     # per-phase scan, plus a flag array for O(1) membership.
     unoriented_list: List[int] = list(edges)
     unoriented_count = len(unoriented_list)
     oriented_flag = bytearray(graph.num_edges)
-    # Vectorized scan state (numpy path): per-instance-edge id/endpoint
-    # arrays plus a zero-copy view of the orientation flags.  Per-op
-    # dispatch overhead makes numpy a net loss on small instances, so the
-    # vector path only engages above a size floor.
-    if scan_path == "auto":
-        use_np = _np is not None and len(edges) >= NUMPY_SCAN_THRESHOLD
-    elif scan_path == "numpy":
-        if _np is None:
-            raise RuntimeError("scan_path='numpy' requested but numpy is unavailable")
-        use_np = True
-    elif scan_path == "python":
-        use_np = False
-    else:
-        raise ValueError(
-            f"unknown scan_path {scan_path!r}: expected 'auto', 'numpy' or 'python'"
-        )
-    if use_np:
-        ids_np = _np.fromiter(edges, dtype=_np.int64, count=len(edges))
-        ue_np = _np.fromiter(
-            (edge_u[e] for e in edges), dtype=_np.int64, count=len(edges)
-        )
-        ve_np = _np.fromiter(
-            (edge_v[e] for e in edges), dtype=_np.int64, count=len(edges)
-        )
-        flags_np = _np.frombuffer(oriented_flag, dtype=_np.uint8)
     orientation: Dict[int, Tuple[int, int]] = {}
     x = [0] * n  # in-degrees
     unor_deg = list(static_deg)  # node degrees among unoriented instance edges
@@ -330,27 +282,25 @@ def compute_balanced_orientation(
 
         # Steps 1 + 2 fused: scan the unoriented edges once, and for each
         # participating edge (degree above the threshold) record its
-        # proposal immediately.  Ascending edge order falls out of both
-        # scan variants, so the per-node proposal lists are ascending
-        # without sorting.  The chosen direction is recorded as one byte
-        # per edge (1 = U→V, 2 = V→U); the (tail, head) tuple is only
-        # materialized for accepted edges.  ``max_unor`` (the largest
-        # unoriented edge degree) is only needed by the fast-forward.
+        # proposal immediately.  Ascending edge order falls out of the
+        # scan, so the per-node proposal lists are ascending without
+        # sorting.  The chosen direction is recorded as one byte per edge
+        # (1 = U→V, 2 = V→U); the (tail, head) tuple is only materialized
+        # for accepted edges.  Degrees are integers, so ``d > threshold``
+        # is equivalent to comparing against ⌊threshold⌋ (int-int
+        # compares are cheaper).  ``max_unor`` (the largest unoriented
+        # edge degree) is only needed by the fast-forward.
         proposals: Dict[int, List[int]] = {}
         num_participating = 0
         max_unor = 0
-        if use_np:
-            unor_np = _np.asarray(unor_deg, dtype=_np.int64)
-            d_np = unor_np[ue_np] + unor_np[ve_np] - 2
-            alive_np = flags_np[ids_np] == 0
-            eligible = alive_np & (d_np > threshold)
-            participating = ids_np[eligible].tolist()
-            num_participating = len(participating)
-            if not num_participating:
-                alive_degrees = d_np[alive_np]
-                if alive_degrees.size:
-                    max_unor = int(alive_degrees.max())
-            for e in participating:
+        threshold_floor = int(threshold)
+        alive: List[int] = []
+        for e in unoriented_list:
+            if oriented_flag[e]:
+                continue
+            alive.append(e)
+            if unor_deg[edge_u[e]] + unor_deg[edge_v[e]] - 2 > threshold_floor:
+                num_participating += 1
                 u = o_u[e]
                 v = o_v[e]
                 if x_old[v] - x_old[u] <= eta_arr[e]:
@@ -364,67 +314,23 @@ def compute_balanced_orientation(
                     proposals[target] = [e]
                 else:
                     bucket.append(e)
-        else:
-            # Pure-python fallback: scan, compact the unoriented list,
-            # and build the proposals in the same pass.  Degrees are
-            # integers, so ``d > threshold`` is equivalent to comparing
-            # against ⌊threshold⌋ (int-int compares are cheaper).
-            threshold_floor = int(threshold)
-            alive: List[int] = []
-            for e in unoriented_list:
-                if oriented_flag[e]:
-                    continue
-                alive.append(e)
-                if unor_deg[edge_u[e]] + unor_deg[edge_v[e]] - 2 > threshold_floor:
-                    num_participating += 1
-                    u = o_u[e]
-                    v = o_v[e]
-                    if x_old[v] - x_old[u] <= eta_arr[e]:
-                        target = v
-                        dir_flag[e] = 1
-                    else:
-                        target = u
-                        dir_flag[e] = 2
-                    bucket = proposals.get(target)
-                    if bucket is None:
-                        proposals[target] = [e]
-                    else:
-                        bucket.append(e)
-            unoriented_list = alive
-            if not num_participating:
-                # max degree is only needed by the fast-forward below.
-                for e in alive:
-                    d = unor_deg[edge_u[e]] + unor_deg[edge_v[e]] - 2
-                    if d > max_unor:
-                        max_unor = d
-
+        unoriented_list = alive
         if not num_participating:
-            # No proposals this phase, so no edge is oriented, no token
-            # ever moves (the repair game starts with zero tokens and no
-            # node can reach the activity threshold α_v + δ ≥ 2), and the
-            # violation flags cannot change — the phase affects only the
-            # round account.  The same holds for every following phase
-            # until the decaying threshold drops below the current
-            # maximum unoriented edge degree, so replay those phases'
-            # charges arithmetically and fast-forward.
-            target = phase_budget + 1
-            if max_unor > 0:
-                for p in range(phase + 1, phase_budget + 1):
-                    if (1.0 - resolved_nu) ** p * bar_delta < max_unor:
-                        target = p
-                        break
-            stop = min(target, phase_budget + 1)
-            proposal_rounds += 2 * (stop - phase)
-            if violated_set:
-                for p in range(phase, stop):
-                    k_p = parameters.k_phase(resolved_nu, bar_delta, p)
-                    delta_p = min(parameters.delta_phase(resolved_nu, bar_delta, p), k_p)
-                    game_p = max(0, k_p // delta_p - 1)
-                    local_tracker.charge(
-                        max(1, ROUNDS_PER_PHASE * game_p), "orientation-token-dropping"
-                    )
-            phases_run = min(target - 1, phase_budget)
-            phase = target
+            # max degree is only needed by the fast-forward below.
+            for e in alive:
+                d = unor_deg[edge_u[e]] + unor_deg[edge_v[e]] - 2
+                if d > max_unor:
+                    max_unor = d
+            phase, phases_run, extra = _fast_forward_phases(
+                phase,
+                phase_budget,
+                max_unor,
+                bool(violated_set),
+                resolved_nu,
+                bar_delta,
+                local_tracker,
+            )
+            proposal_rounds += extra
             continue
 
         # The repair game of step 6 needs the phase-start α values; step 4
@@ -563,6 +469,354 @@ def compute_balanced_orientation(
             orientation[e] = (o_u[e], o_v[e])
             x[o_v[e]] += 1
         local_tracker.charge(1, "orientation-final")
+
+    return orientation, x, phases_run
+
+
+def _phase_loop_numpy(
+    graph: Graph,
+    n: int,
+    edges: List[int],
+    o_u: List[int],
+    o_v: List[int],
+    eta_arr: List[float],
+    static_deg: List[int],
+    bar_delta: int,
+    resolved_nu: float,
+    phase_budget: int,
+    local_tracker: RoundTracker,
+) -> Tuple[Dict[int, Tuple[int, int]], List[int], int]:
+    """The vectorized proposal/accept engine.
+
+    State lives in flat arrays aligned with the (ascending) instance edge
+    list: per phase, participation, proposal direction, the per-node
+    ``k_φ`` accept cap (stable argsort by target node + group-rank cut)
+    and the accept step all run as array ops.  The violation flags of
+    step 5 are recomputed from the phase-start in-degrees in one masked
+    comparison — the python twin maintains the same set incrementally.
+    Only the token dropping repair games (step 6, already sparse) run in
+    python.  Every branch mirrors the reference engine exactly, including
+    the fast-forward over proposal-free phases and all round charges.
+    """
+    np = _np
+    num = len(edges)
+    ids = np.fromiter(edges, dtype=np.int64, count=num)
+    edge_u_np, edge_v_np = graph.endpoint_arrays_np()
+    eu = edge_u_np[ids]
+    ev = edge_v_np[ids]
+    ou = np.fromiter((o_u[e] for e in edges), dtype=np.int64, count=num)
+    ov = np.fromiter((o_v[e] for e in edges), dtype=np.int64, count=num)
+    eta_np = np.fromiter((eta_arr[e] for e in edges), dtype=np.float64, count=num)
+    sd = np.asarray(static_deg, dtype=np.int64)
+    dege = sd[eu] + sd[ev] - 2  # static edge degrees within the instance
+
+    x = np.zeros(n, dtype=np.int64)  # in-degrees
+    unor = sd.copy()  # node degrees among unoriented instance edges
+    dirb = np.zeros(num, dtype=np.int8)  # 1 = U→V, 2 = V→U (0: unoriented)
+    oriented = np.zeros(num, dtype=bool)
+    seq = np.full(num, -1, dtype=np.int64)  # position in orientation order
+    d_minus = np.full(n, bar_delta, dtype=np.int64)
+    alpha_memo: Dict[int, int] = {}
+    unoriented_count = num
+    seq_counter = 0
+    phases_run = 0
+    proposal_rounds = 0
+    phase = 1
+    while phase <= phase_budget:
+        if not unoriented_count:
+            break
+        phases_run = phase
+        threshold = (1.0 - resolved_nu) ** phase * bar_delta
+
+        # Phase-start snapshot: x is only mutated after every read below.
+        xu = x[ou]
+        xv = x[ov]
+        diff = xv - xu
+        # Step 5 input: previously oriented edges violating their η
+        # constraint under the phase-start in-degrees.
+        viol_mask = oriented & np.where(dirb == 1, diff > eta_np, (xu - xv) > -eta_np)
+        has_violated = bool(viol_mask.any())
+
+        # Steps 1 + 2: participation scan + proposal directions.
+        d_now = unor[eu] + unor[ev] - 2
+        alive = ~oriented
+        part = np.nonzero(alive & (d_now > threshold))[0]
+        if not part.size:
+            alive_d = d_now[alive]
+            max_unor = int(alive_d.max()) if alive_d.size else 0
+            phase, phases_run, extra = _fast_forward_phases(
+                phase,
+                phase_budget,
+                max_unor,
+                has_violated,
+                resolved_nu,
+                bar_delta,
+                local_tracker,
+            )
+            proposal_rounds += extra
+            continue
+
+        cond = diff[part] <= eta_np[part]
+        ptarget = np.where(cond, ov[part], ou[part])
+        pdir = np.where(cond, np.int8(1), np.int8(2))
+
+        # Step 3: per-node accept cap.  A stable argsort by target node
+        # groups each node's proposals while preserving ascending edge
+        # order within the group (the instance edge list is ascending),
+        # so cutting each group at rank k_φ reproduces the reference
+        # "smallest edge indices first" choice — and concatenating the
+        # groups in argsort order reproduces the ascending-node accepted
+        # order the repair game's inputs depend on.
+        k_phi = parameters.k_phase(resolved_nu, bar_delta, phase)
+        order = np.argsort(ptarget, kind="stable")
+        tsort = ptarget[order]
+        newgrp = np.empty(tsort.size, dtype=bool)
+        newgrp[0] = True
+        np.not_equal(tsort[1:], tsort[:-1], out=newgrp[1:])
+        grp = np.cumsum(newgrp) - 1
+        starts = np.nonzero(newgrp)[0]
+        rank = np.arange(tsort.size, dtype=np.int64) - starts[grp]
+        acc_order = order[rank < k_phi]
+        acc = part[acc_order]  # accepted positions, accepted-list order
+        acc_dir = pdir[acc_order]
+        capped = np.minimum(np.bincount(grp), k_phi)
+        max_accepted = int(capped.max())
+        group_nodes = tsort[starts]
+
+        # The repair game needs the phase-start α (a function of d⁻);
+        # decide now — all inputs are phase-start values — and snapshot
+        # d⁻ only when the game will actually run.
+        delta_phi = parameters.delta_phase(resolved_nu, bar_delta, phase)
+        delta_use = min(delta_phi, k_phi)
+        game_phases = max(0, k_phi // delta_use - 1)
+        run_game = (
+            has_violated and game_phases > 0 and min(k_phi, max_accepted) >= 2
+        )
+        if run_game:
+            d_minus_old = d_minus.copy()
+
+        # Step 4: orient the accepted edges (scatter ops).
+        heads = np.where(acc_dir == 1, ov[acc], ou[acc])
+        dirb[acc] = acc_dir
+        oriented[acc] = True
+        seq[acc] = np.arange(seq_counter, seq_counter + acc.size, dtype=np.int64)
+        seq_counter += int(acc.size)
+        np.add.at(x, heads, 1)
+        ends = np.concatenate((eu[acc], ev[acc]))
+        np.subtract.at(unor, ends, 1)
+        np.minimum.at(d_minus, ends, np.concatenate((dege[acc], dege[acc])))
+        unoriented_count -= int(acc.size)
+        proposal_rounds += 2
+
+        # Steps 5 + 6: the repair game (see the reference engine for the
+        # two cheap no-op checks).
+        if not has_violated:
+            phase += 1
+            continue
+        if not run_game:
+            local_tracker.charge(
+                max(1, ROUNDS_PER_PHASE * game_phases), "orientation-token-dropping"
+            )
+            phase += 1
+            continue
+
+        viol_pos = np.nonzero(viol_mask)[0]
+        viol_sorted = viol_pos[np.argsort(seq[viol_pos])]  # orientation order
+        vdir = dirb[viol_sorted]
+        vtail = np.where(vdir == 1, ou[viol_sorted], ov[viol_sorted])
+        vhead = np.where(vdir == 1, ov[viol_sorted], ou[viol_sorted])
+        # The game arc runs opposite to the orientation: head -> tail.
+        game_tails = vhead.tolist()
+        arc_receivers = vtail.tolist()
+        in_map: Dict[int, List[int]] = {}
+        deg_count: Dict[int, int] = {}
+        for index in range(len(game_tails)):
+            o_head = game_tails[index]
+            o_tail = arc_receivers[index]
+            in_map.setdefault(o_tail, []).append(index)
+            deg_count[o_head] = deg_count.get(o_head, 0) + 1
+            deg_count[o_tail] = deg_count.get(o_tail, 0) + 1
+        initial_tokens = [0] * n
+        for node, count in zip(group_nodes.tolist(), capped.tolist()):
+            initial_tokens[node] = count
+        # Phase-start α, reconstructed per distinct d⁻ value.
+        uniq, inv = np.unique(d_minus_old, return_inverse=True)
+        alpha_uniq = np.empty(uniq.size, dtype=np.int64)
+        for i, degree in enumerate(uniq.tolist()):
+            alpha = alpha_memo.get(degree)
+            if alpha is None:
+                alpha = parameters.alpha_node(resolved_nu, bar_delta, degree)
+                alpha_memo[degree] = alpha
+            alpha_uniq[i] = alpha
+        alpha_old = alpha_uniq[inv].tolist()
+
+        _x, _y, moved_arcs, _arc_moves, game_phases = _token_dropping_core(
+            n=n,
+            tails=game_tails,
+            in_map=in_map,
+            degrees=deg_count,
+            k=k_phi,
+            initial_tokens=initial_tokens,
+            alphas=alpha_old,
+            delta=delta_use,
+        )
+        local_tracker.charge(
+            max(1, ROUNDS_PER_PHASE * game_phases), "orientation-token-dropping"
+        )
+
+        # Step 7: flip every edge over which a token moved.
+        if moved_arcs:
+            moved = np.fromiter(moved_arcs, dtype=np.int64, count=len(moved_arcs))
+            flip_pos = viol_sorted[moved]
+            np.subtract.at(x, vhead[moved], 1)
+            np.add.at(x, vtail[moved], 1)
+            dirb[flip_pos] = 3 - dirb[flip_pos]
+        phase += 1
+
+    if proposal_rounds:
+        local_tracker.charge(proposal_rounds, "orientation-proposals")
+
+    # Materialize the orientation dict with the reference engine's
+    # insertion order: oriented edges in orientation order, then the
+    # remaining edges (oriented U → V) ascending.
+    orientation: Dict[int, Tuple[int, int]] = {}
+    opos = np.nonzero(seq >= 0)[0]
+    if opos.size:
+        opos = opos[np.argsort(seq[opos])]
+        for e, d, a, b in zip(
+            ids[opos].tolist(), dirb[opos].tolist(), ou[opos].tolist(), ov[opos].tolist()
+        ):
+            orientation[e] = (a, b) if d == 1 else (b, a)
+    if unoriented_count:
+        rem = np.nonzero(~oriented)[0]
+        np.add.at(x, ov[rem], 1)
+        for e, a, b in zip(ids[rem].tolist(), ou[rem].tolist(), ov[rem].tolist()):
+            orientation[e] = (a, b)
+        local_tracker.charge(1, "orientation-final")
+
+    return orientation, x.tolist(), phases_run
+
+
+def compute_balanced_orientation(
+    graph: Graph,
+    bipartition: Bipartition,
+    eta: Dict[int, float],
+    epsilon: float,
+    edge_set: Optional[Iterable[int]] = None,
+    nu: Optional[float] = None,
+    tracker: Optional[RoundTracker] = None,
+    max_phases: Optional[int] = None,
+    scan_path: str = "auto",
+    _precomputed: Optional[
+        Tuple[List[int], List[int], Dict[int, int], List[int], List[int], List[float]]
+    ] = None,
+) -> BalancedOrientationResult:
+    """Compute a generalized balanced edge orientation (Theorem 5.6).
+
+    Args:
+        graph: the host graph.
+        bipartition: 2-coloring of the nodes; every edge of the instance
+            must be bichromatic.
+        eta: per-edge thresholds η_e (Definition 5.2), keyed by edge index.
+        epsilon: target slack ε of the orientation; ν defaults to ε/8.
+        edge_set: the instance's edges (defaults to all edges of ``graph``).
+        nu: optional override of the phase parameter ν (clamped to (0, 1/8]).
+        tracker: optional round tracker.
+        max_phases: optional cap on the number of orientation phases
+            (defaults to the analytic O(log Δ̄ / ν) phase count).
+        scan_path: which phase-loop engine to use: ``"auto"`` (the
+            vectorized numpy engine when numpy is available and the
+            instance has at least :data:`NUMPY_SCAN_THRESHOLD` edges —
+            overridable via the ``REPRO_SCAN_PATH`` environment variable
+            — pure python otherwise), ``"numpy"`` (force the vectorized
+            engine; raises ``RuntimeError`` when numpy is unavailable) or
+            ``"python"`` (force the pure-python reference engine).  Both
+            engines are required to produce bit-identical results — the
+            knob exists so tests can cross-check them on the same
+            instance.
+        _precomputed: internal fast path for
+            :func:`repro.core.defective_edge_coloring.
+            generalized_defective_two_edge_coloring`, which has already
+            computed ``(edges, static_deg, edge_degrees, o_u, o_v,
+            eta_arr)`` — ``eta`` is then ignored in favor of the dense
+            ``eta_arr``.
+
+    Returns a :class:`BalancedOrientationResult` covering every edge of
+    the instance.
+    """
+    local_tracker = RoundTracker()
+    n = graph.num_nodes
+
+    eta_arr: Optional[List[float]] = None
+    if _precomputed is not None:
+        edges, static_deg, edge_degrees, o_u, o_v, eta_arr = _precomputed
+    else:
+        edges = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
+        static_deg, edge_degrees, o_u, o_v = instance_arrays(graph, bipartition, edges)
+
+    bar_delta = max(edge_degrees.values(), default=0)
+
+    if bar_delta <= 0:
+        # Trivial instance: orient everything U -> V.
+        orientation = {}
+        x = [0] * n
+        for e in edges:
+            orientation[e] = (o_u[e], o_v[e])
+            x[o_v[e]] += 1
+        return BalancedOrientationResult(
+            orientation=orientation,
+            in_degrees=x,
+            phases=0,
+            rounds=0,
+            nu=0.0,
+            bar_delta=0,
+            edge_degrees=edge_degrees,
+        )
+
+    resolved_nu = nu if nu is not None else parameters.nu_from_epsilon(epsilon)
+    resolved_nu = min(parameters.NU_UPPER_BOUND, max(1e-6, resolved_nu))
+    phase_budget = (
+        max_phases
+        if max_phases is not None
+        else parameters.orientation_phase_count(resolved_nu, bar_delta) + 1
+    )
+
+    # Dense η for O(1) lookups in the phase loops (supplied directly by
+    # the defective-coloring wrapper on the fast path).
+    if eta_arr is None:
+        eta_arr = [0.0] * graph.num_edges
+        for e in edges:
+            eta_arr[e] = eta[e]
+
+    if _resolve_use_numpy(scan_path, len(edges)):
+        orientation, x, phases_run = _phase_loop_numpy(
+            graph,
+            n,
+            edges,
+            o_u,
+            o_v,
+            eta_arr,
+            static_deg,
+            bar_delta,
+            resolved_nu,
+            phase_budget,
+            local_tracker,
+        )
+    else:
+        orientation, x, phases_run = _phase_loop_python(
+            graph,
+            n,
+            edges,
+            o_u,
+            o_v,
+            eta_arr,
+            static_deg,
+            edge_degrees,
+            bar_delta,
+            resolved_nu,
+            phase_budget,
+            local_tracker,
+        )
 
     if tracker is not None:
         tracker.merge(local_tracker)

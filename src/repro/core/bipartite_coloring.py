@@ -65,14 +65,13 @@ def _degrees_within(graph: Graph, edges: Iterable[int]) -> Tuple[List[int], Dict
     """Node degrees and edge degrees restricted to ``edges``."""
     node_deg = [0] * graph.num_nodes
     edge_list = list(edges)
+    edge_u, edge_v = graph.endpoint_arrays()
     for e in edge_list:
-        u, v = graph.edge_endpoints(e)
-        node_deg[u] += 1
-        node_deg[v] += 1
-    edge_deg = {}
-    for e in edge_list:
-        u, v = graph.edge_endpoints(e)
-        edge_deg[e] = node_deg[u] + node_deg[v] - 2
+        node_deg[edge_u[e]] += 1
+        node_deg[edge_v[e]] += 1
+    edge_deg = {
+        e: node_deg[edge_u[e]] + node_deg[edge_v[e]] - 2 for e in edge_list
+    }
     return node_deg, edge_deg
 
 
@@ -84,6 +83,7 @@ def bipartite_edge_coloring(
     levels: Optional[int] = None,
     params: Optional[parameters.PracticalParameters] = None,
     tracker: Optional[RoundTracker] = None,
+    scan_path: str = "auto",
 ) -> BipartiteColoringResult:
     """Color the (bichromatic) edges of a 2-colored bipartite graph with ~(2+ε)Δ colors.
 
@@ -98,6 +98,8 @@ def bipartite_edge_coloring(
             :func:`repro.core.parameters.lemma61_recursion_depth`).
         params: practical parameter overrides.
         tracker: optional round tracker.
+        scan_path: orientation engine selector, forwarded to every
+            defective split (``"auto"`` / ``"numpy"`` / ``"python"``).
     """
     params = params or parameters.DEFAULT_PARAMETERS
     edges: List[int] = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
@@ -151,6 +153,7 @@ def bipartite_edge_coloring(
                 beta=params.beta(bar_delta),
                 nu=params.resolved_nu(),
                 tracker=part_tracker,
+                scan_path=scan_path,
             )
             level_rounds = max(level_rounds, part_tracker.total)
             defect_history.append(split.max_defect())
@@ -173,7 +176,9 @@ def bipartite_edge_coloring(
         if not part:
             continue
         part_tracker = RoundTracker()
-        schedule = proper_edge_schedule(graph, part, tracker=part_tracker)
+        schedule = proper_edge_schedule(
+            graph, part, tracker=part_tracker, scan_path=scan_path
+        )
         local = greedy_edge_coloring_by_classes(
             graph,
             schedule,

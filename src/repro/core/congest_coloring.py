@@ -68,6 +68,7 @@ def congest_edge_coloring(
     epsilon: float = 0.5,
     params: Optional[parameters.PracticalParameters] = None,
     tracker: Optional[RoundTracker] = None,
+    scan_path: str = "auto",
 ) -> CongestColoringResult:
     """Compute an O(Δ)-edge coloring following Theorem 6.3.
 
@@ -76,6 +77,8 @@ def congest_edge_coloring(
         epsilon: the ε of Theorem 6.3 (the bound is (8+ε)Δ).
         params: practical parameter overrides.
         tracker: optional round tracker.
+        scan_path: orientation engine selector, forwarded to every
+            defective split (``"auto"`` / ``"numpy"`` / ``"python"``).
     """
     params = params or parameters.DEFAULT_PARAMETERS
     own = RoundTracker()
@@ -119,13 +122,15 @@ def congest_edge_coloring(
             proper_coloring=vertex_colors,
             proper_num_colors=vertex_color_count,
             tracker=own,
+            scan_path=scan_path,
         )
 
+        edge_u, edge_v = graph.endpoint_arrays()
         for side_a, side_b in _PAIRINGS:
             bip_edges = []
             for e in uncolored:
-                u, v = graph.edge_endpoints(e)
-                cu, cv = classes[u], classes[v]
+                cu = classes[edge_u[e]]
+                cv = classes[edge_v[e]]
                 if (cu in side_a and cv in side_b) or (cu in side_b and cv in side_a):
                     bip_edges.append(e)
             if not bip_edges:
@@ -140,6 +145,7 @@ def congest_edge_coloring(
                 edge_set=bip_edges,
                 params=params,
                 tracker=own,
+                scan_path=scan_path,
             )
             palette = allocator.allocate(result.palette_size)
             for e, c in result.colors.items():
@@ -155,7 +161,9 @@ def congest_edge_coloring(
             u, v = graph.edge_endpoints(e)
             remaining_edge_degree = max(remaining_edge_degree, _nd[u] + _nd[v] - 2)
         palette = allocator.allocate(remaining_edge_degree + 1)
-        schedule = proper_edge_schedule(graph, uncolored, tracker=own)
+        schedule = proper_edge_schedule(
+            graph, uncolored, tracker=own, scan_path=scan_path
+        )
         local = greedy_edge_coloring_by_classes(
             graph,
             schedule,

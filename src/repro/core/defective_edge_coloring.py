@@ -229,12 +229,48 @@ def generalized_defective_two_edge_coloring(
     )
 
 
-def measure_defects(graph: Graph, colors: Dict[int, int], edges: Iterable[int]) -> Dict[int, int]:
-    """Number of same-colored neighboring edges for every edge of the instance."""
+def measure_defects(
+    graph: Graph,
+    colors: Dict[int, int],
+    edges: Iterable[int],
+    scan_path: str = "auto",
+) -> Dict[int, int]:
+    """Number of same-colored neighboring edges for every edge of the instance.
+
+    ``scan_path`` selects the counting engine like every other knob of
+    this family (``"auto"`` / ``"numpy"`` / ``"python"``; bit-identical
+    results — the lazily computed ``DefectiveTwoColoringResult.defects``
+    uses ``"auto"``, steerable via ``REPRO_SCAN_PATH``).
+    """
     edge_list = list(edges)
-    edge_u, edge_v = graph.endpoint_arrays()
+    from repro.core.engine import _np, resolve_use_numpy
+
+    if resolve_use_numpy(scan_path, len(edge_list)):
+        # Vectorized (node, color) counting: color values are factorized
+        # through np.unique, so any int color space works; counts and
+        # defects are plain int arithmetic either way (bit-identical).
+        np = _np
+        ids = np.fromiter(edge_list, dtype=np.int64, count=len(edge_list))
+        edge_u_np, edge_v_np = graph.endpoint_arrays_np()
+        cvals = np.fromiter(
+            (colors[e] for e in edge_list), dtype=np.int64, count=len(edge_list)
+        )
+        _uniq, code = np.unique(cvals, return_inverse=True)
+        num_codes = int(_uniq.size)
+        # The bincount below is O(n · distinct colors); that is only a
+        # win for the few-color inputs the defective splits produce
+        # (RED/BLUE).  Near-injective colorings fall through to the
+        # O(m) dict counter.
+        if num_codes * graph.num_nodes <= max(4096, 8 * len(edge_list)):
+            eu = edge_u_np[ids]
+            ev = edge_v_np[ids]
+            keys = np.concatenate((eu, ev)) * num_codes + np.concatenate((code, code))
+            counts = np.bincount(keys)
+            per_edge = counts[eu * num_codes + code] + counts[ev * num_codes + code] - 2
+            return dict(zip(edge_list, per_edge.tolist()))
     # Count per (node, color) to avoid quadratic scans.
     per_node_color: Dict[Tuple[int, int], int] = {}
+    edge_u, edge_v = graph.endpoint_arrays()
     for e in edge_list:
         c = colors[e]
         ku = (edge_u[e], c)

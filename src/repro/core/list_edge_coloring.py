@@ -118,21 +118,6 @@ def _max_edge_degree_within(graph: Graph, edges: Sequence[int]) -> int:
     return best
 
 
-def _available(
-    graph: Graph, lists: Dict[int, Sequence[int]], e: int, coloring: Dict[int, int]
-) -> List[int]:
-    """Colors of ``lists[e]`` not used by already-colored adjacent edges.
-
-    The adjacent-edge row comes from the precomputed flat line-graph
-    arrays (one slice, no list rebuilding).
-    """
-    offsets, flat = graph.edge_adjacency_csr()
-    used = {coloring[f] for f in flat[offsets[e] : offsets[e + 1]] if f in coloring}
-    if not used:
-        return list(lists[e])
-    return [c for c in lists[e] if c not in used]
-
-
 # ---------------------------------------------------------------------------- Lemma D.2
 def solve_relaxed_instance(
     graph: Graph,
@@ -142,6 +127,9 @@ def solve_relaxed_instance(
     existing_colors: Optional[Dict[int, int]] = None,
     params: Optional[parameters.PracticalParameters] = None,
     tracker: Optional[RoundTracker] = None,
+    scan_path: str = "auto",
+    _lists_sorted: Optional[bool] = None,
+    _used_colors: Optional[List[Set[int]]] = None,
 ) -> Dict[int, int]:
     """Color every edge of a bipartite list instance from its list (Lemma D.2).
 
@@ -162,6 +150,17 @@ def solve_relaxed_instance(
             to seed the greedy passes; the lists must already exclude them).
         params: practical parameter overrides.
         tracker: optional round tracker.
+        scan_path: orientation engine selector, forwarded to
+            :func:`repro.core.defective_edge_coloring.
+            generalized_defective_two_edge_coloring` for every split.
+        _lists_sorted: internal hint from callers that know every input
+            list is ascending (skips the sortedness detection pass);
+            ``None`` means "detect".
+        _used_colors: internal fast path from
+            :func:`partially_color_bipartite`: caller-owned per-node
+            used-color sets exactly reflecting ``existing_colors``,
+            shared with (and maintained by) the greedy passes so they
+            never rebuild availability state.  Updated in place.
 
     Returns the colors chosen for the instance edges.
     """
@@ -190,10 +189,16 @@ def solve_relaxed_instance(
     # instead of rebuilding every list color-by-color against a set —
     # and non-surviving edges never materialize a filtered list at all.
     # One O(total list mass) pass here detects sortedness; unsorted
-    # callers fall back to the generic per-color filter.
-    lists_sorted = all(
-        all(lst[i] <= lst[i + 1] for i in range(len(lst) - 1))
-        for lst in (lists[e] for e in edges)
+    # callers fall back to the generic per-color filter.  Callers that
+    # already know (the Lemma D.3 substitute filters sorted instance
+    # lists order-preservingly) pass the hint and skip the pass.
+    lists_sorted = (
+        _lists_sorted
+        if _lists_sorted is not None
+        else all(
+            all(lst[i] <= lst[i + 1] for i in range(len(lst) - 1))
+            for lst in (lists[e] for e in edges)
+        )
     )
 
     # Lists are never mutated in place (each split level filters into
@@ -239,6 +244,7 @@ def solve_relaxed_instance(
                 beta=params.beta(max(part_degrees.values(), default=0)),
                 nu=params.resolved_nu(),
                 tracker=part_tracker,
+                scan_path=scan_path,
             )
             level_rounds = max(level_rounds, part_tracker.total)
             # ``left_colors`` is a prefix of the sorted union, so membership
@@ -290,7 +296,9 @@ def solve_relaxed_instance(
             continue
         batch_edges = [e for e, _lst in batch]
         batch_lists = {e: lst for e, lst in batch}
-        schedule = proper_edge_schedule(graph, batch_edges, tracker=own)
+        schedule = proper_edge_schedule(
+            graph, batch_edges, tracker=own, scan_path=scan_path
+        )
         new = greedy_edge_coloring_by_classes(
             graph,
             schedule,
@@ -298,6 +306,7 @@ def solve_relaxed_instance(
             edge_set=set(batch_edges),
             existing_colors=assigned,
             tracker=own,
+            used_colors=_used_colors,
         )
         assigned.update(new)
         result.update(new)
@@ -316,6 +325,7 @@ def partially_color_bipartite(
     coloring: Dict[int, int],
     params: Optional[parameters.PracticalParameters] = None,
     tracker: Optional[RoundTracker] = None,
+    scan_path: str = "auto",
 ) -> Dict[int, int]:
     """Partially color a bipartite piece so that its uncolored degree drops (Lemma D.3).
 
@@ -326,6 +336,8 @@ def partially_color_bipartite(
     ``params.list_slack`` times its uncolored within-part degree (and at
     least that degree + 1).  Edges skipped this way already have a small
     uncolored degree, which is the degree-reduction guarantee.
+    ``scan_path`` selects the orientation engine of every defective
+    split (``"auto"`` / ``"numpy"`` / ``"python"``).
 
     Returns the newly assigned colors (``coloring`` itself is not modified).
     """
@@ -357,6 +369,7 @@ def partially_color_bipartite(
                 beta=params.beta(part_max_degree),
                 nu=params.resolved_nu(),
                 tracker=part_tracker,
+                scan_path=scan_path,
             )
             level_rounds = max(level_rounds, part_tracker.total)
             next_parts.append(sorted(split.red_edges))
@@ -410,6 +423,14 @@ def partially_color_bipartite(
             existing_colors=working,
             params=params,
             tracker=own,
+            scan_path=scan_path,
+            # The participant lists are order-preserving filters of the
+            # instance lists, so the instance's cached answer applies.
+            _lists_sorted=True if instance.lists_are_sorted() else None,
+            # The solver's greedy passes share (and maintain) the same
+            # per-node used-color sets, so the post-call update below is
+            # an idempotent re-add.
+            _used_colors=used_at,
         )
         working.update(new)
         newly.update(new)
@@ -428,6 +449,7 @@ def list_edge_coloring(
     instance: Optional[ListEdgeColoringInstance] = None,
     params: Optional[parameters.PracticalParameters] = None,
     tracker: Optional[RoundTracker] = None,
+    scan_path: str = "auto",
 ) -> ListColoringResult:
     """Solve the (degree+1)-list edge coloring problem (Theorems 1.1 / D.4).
 
@@ -437,6 +459,9 @@ def list_edge_coloring(
             instance, in which case the output is a (2Δ−1)-edge coloring.
         params: practical parameter overrides.
         tracker: optional round tracker.
+        scan_path: orientation engine selector (``"auto"`` / ``"numpy"``
+            / ``"python"``), forwarded to every defective split the
+            recursion performs; both forced engines are bit-identical.
 
     Raises ``ValueError`` if the instance violates the (degree+1) condition.
     """
@@ -489,6 +514,7 @@ def list_edge_coloring(
             proper_coloring=vertex_colors,
             proper_num_colors=vertex_color_count,
             tracker=own,
+            scan_path=scan_path,
         )
         # Bucket the uncolored edges by their (unordered) class pair in
         # one pass; the pairs are edge-disjoint, so the per-pair lists
@@ -520,20 +546,20 @@ def list_edge_coloring(
                     coloring,
                     params=params,
                     tracker=own,
+                    scan_path=scan_path,
                 )
                 coloring.update(new)
         uncolored = [e for e in uncolored if e not in coloring]
 
-    # Final stage: the uncolored graph has small degree; greedy from the lists.
+    # Final stage: the uncolored graph has small degree; greedy from the
+    # instance lists (the greedy pass filters against its own per-node
+    # used-color sets, so no pre-filtered availability lists are needed).
     if uncolored:
-        available_lists = {
-            e: _available(graph, instance.lists, e, coloring) for e in uncolored
-        }
-        schedule = proper_edge_schedule(graph, uncolored, tracker=own)
+        schedule = proper_edge_schedule(graph, uncolored, tracker=own, scan_path=scan_path)
         new = greedy_edge_coloring_by_classes(
             graph,
             schedule,
-            lists=available_lists,
+            lists=instance.lists,
             edge_set=set(uncolored),
             existing_colors=coloring,
             tracker=own,

@@ -56,6 +56,30 @@ class ListEdgeColoringInstance:
                     if not (0 <= c < space):
                         raise ValueError(f"color {c} of edge {e} outside the color space")
 
+    # ------------------------------------------------------------------ sortedness
+    def lists_are_sorted(self) -> bool:
+        """Whether every list is ascending (computed once, then cached).
+
+        The Lemma D.2 solver splits color spaces by value; on sorted
+        lists that is one bisect per edge instead of a per-color filter.
+        All downstream filtering is order-preserving, so callers that
+        derive their lists from this instance can forward the cached
+        answer instead of re-detecting per call.
+        """
+        cached = getattr(self, "_lists_sorted_cache", None)
+        if cached is None:
+            cached = all(
+                all(lst[i] <= lst[i + 1] for i in range(len(lst) - 1))
+                for lst in self.lists.values()
+            )
+            self._lists_sorted_cache = cached
+        return cached
+
+    def mark_lists_sorted(self) -> None:
+        """Record that every list is ascending (constructors that build
+        the lists sorted call this to skip the detection pass)."""
+        self._lists_sorted_cache = True
+
     # ------------------------------------------------------------------ degrees
     def node_degrees(self) -> List[int]:
         """Node degrees counting only instance edges."""
@@ -149,10 +173,13 @@ def uniform_instance(graph: Graph, num_colors: Optional[int] = None) -> ListEdge
     palette = list(range(num_colors))
     lists = {e: list(palette) for e in graph.edges()}
     # Every list is a fresh copy of the same in-range palette: skip the
-    # per-list range validation.
-    return ListEdgeColoringInstance(
+    # per-list range validation, and pre-answer the (ascending by
+    # construction) sortedness query the Lemma D.2 solver asks.
+    instance = ListEdgeColoringInstance(
         graph=graph, lists=lists, color_space=num_colors, validate=False
     )
+    instance.mark_lists_sorted()
+    return instance
 
 
 def degree_plus_one_instance(

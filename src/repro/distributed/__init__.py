@@ -13,13 +13,20 @@ sizes estimated by :func:`message_size_bits` (see
 :mod:`repro.distributed.messages` for the encoding).  Audit results land
 in :class:`ExecutionMetrics` (``max_message_bits``,
 ``congest_violations``); LOCAL runs skip the audit.
+
+Algorithms send either through per-round ``send()`` dicts or — on the
+batched send plane — by writing payloads straight into the flat
+slot-indexed round buffer through an :class:`OutboxWriter` view (see the
+batched-send contract on :class:`NodeAlgorithm`: slot ownership,
+``None``-payload semantics, audit equivalence).  The two planes are
+bit-identical in outputs and metrics.
 """
 
 from repro.distributed.model import Model, congest_bit_budget
 from repro.distributed.rounds import RoundTracker
 from repro.distributed.messages import CongestAuditor, message_size_bits
 from repro.distributed.metrics import ExecutionMetrics
-from repro.distributed.network import PortInbox, SynchronousNetwork
+from repro.distributed.network import OutboxWriter, PortInbox, SynchronousNetwork
 from repro.distributed.algorithms import NodeAlgorithm
 
 __all__ = [
@@ -29,6 +36,7 @@ __all__ = [
     "CongestAuditor",
     "message_size_bits",
     "ExecutionMetrics",
+    "OutboxWriter",
     "PortInbox",
     "SynchronousNetwork",
     "NodeAlgorithm",

@@ -46,7 +46,39 @@ class NodeAlgorithm:
     Subclasses override :meth:`initialize`, :meth:`send`, :meth:`receive`
     and :meth:`finished`.  Messages are addressed by *port*: the position
     of the neighbor in ``NodeContext.neighbor_ids``.
+
+    **Batched send contract.**  The simulator offers two send planes.
+    On the default *dict* plane it calls :meth:`send` and routes the
+    returned per-port dict.  On the *batched* plane it calls
+    :meth:`send_batch` with a pooled
+    :class:`repro.distributed.network.OutboxWriter` bound to the node's
+    slots, and the algorithm writes payloads straight into the flat
+    slot-indexed round buffer — no per-round dict is ever built.  The
+    contract:
+
+    * the writer is only valid for the duration of the ``send_batch``
+      call, and only for the bound node's ports (*slot ownership*: port
+      ``p`` of node ``v`` owns exactly one buffer slot per round, and no
+      other node can write it);
+    * writing ``None`` is a no-op — exactly like omitting the port from
+      (or storing ``None`` in) a ``send()`` dict, a ``None`` payload is
+      *not sent*: it is neither delivered, nor counted, nor audited;
+    * each port should be written at most once per round (a second write
+      overwrites the payload but both writes count as sent messages);
+    * metrics and CONGEST auditing are bit-identical across the two
+      planes (*audit equivalence*): same message counts, same
+      ``max_message_bits``, same ordered violation list.
+
+    Algorithms with a native batched implementation set the class
+    attribute ``batched_send = True`` (the simulator's ``"auto"`` mode
+    then picks the batched plane) and override :meth:`send_batch`; the
+    default implementation bridges to :meth:`send`, so *any* algorithm
+    can be forced onto either plane for differential testing.
     """
+
+    #: Whether the simulator's ``"auto"`` send plane should use
+    #: :meth:`send_batch` (native batched implementations set this).
+    batched_send = False
 
     def initialize(self, ctx: NodeContext) -> Dict[str, Any]:
         """Initial local state of the node."""
@@ -55,6 +87,19 @@ class NodeAlgorithm:
     def send(self, ctx: NodeContext, state: Dict[str, Any], round_index: int) -> Dict[int, Any]:
         """Messages to send this round, keyed by port.  Missing ports send nothing."""
         return {}
+
+    def send_batch(
+        self, ctx: NodeContext, state: Dict[str, Any], round_index: int, outbox: Any
+    ) -> None:
+        """Write this round's messages into ``outbox`` (an ``OutboxWriter``).
+
+        The default bridges to :meth:`send`, so every algorithm runs on
+        the batched plane; native implementations override this (see the
+        class docstring for the contract) and typically use
+        ``outbox.broadcast(payload)`` or ``outbox[port] = payload``.
+        """
+        for port, payload in self.send(ctx, state, round_index).items():
+            outbox[port] = payload
 
     def receive(
         self,

@@ -14,22 +14,24 @@ would take:
 The estimates only need to be accurate up to constant factors — the
 CONGEST bound itself is O(log n) bits.
 
-Two auditing entry points are provided.  :meth:`CongestAuditor.record`
+Three auditing entry points are provided.  :meth:`CongestAuditor.record`
 sizes one payload at a time; :meth:`CongestAuditor.record_batch` sizes a
 whole round of payloads in one call, memoizing the size of repeated
 scalar payloads (distributed algorithms overwhelmingly resend the same
-few values — colors, identifiers — to every neighbor), which is what the
-simulator's batched message plane uses.  Both maintain exactly the same
-counters: per-payload sizes, totals, the running maximum and the ordered
-violation list are bit-identical whichever entry point delivered the
-payloads.
+few values — colors, identifiers — to every neighbor); and
+:meth:`CongestAuditor.record_batch_grouped` takes ``(payload, count)``
+pairs so a broadcast is sized **once** and accounted arithmetically —
+this is what the simulator's batched send plane emits.  All three
+maintain exactly the same counters: per-payload sizes, totals, the
+running maximum and the ordered violation list are bit-identical
+whichever entry point delivered the payloads.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from functools import cached_property
-from typing import Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 from repro.distributed.model import congest_bit_budget
 
@@ -140,6 +142,65 @@ class CongestAuditor:
                         f"CONGEST violation: message of {bits} bits exceeds budget of {budget} bits"
                     )
         self.messages_recorded += count
+        self.total_bits += total
+        if batch_max > self.max_bits:
+            self.max_bits = batch_max
+        return batch_max
+
+    def record_batch_grouped(self, groups: Iterable[Tuple[Any, int]]) -> int:
+        """Record ``(payload, count)`` pairs; returns the batch maximum.
+
+        Equivalent to calling :meth:`record` ``count`` times per pair, in
+        pair order — identical ``messages_recorded`` / ``total_bits`` /
+        ``max_bits`` counters and an identical violation list (a
+        violating payload appends its size ``count`` times) — but each
+        distinct payload is sized exactly once.  This is the entry point
+        of the simulator's batched send plane, where a broadcast arrives
+        as one pair instead of ``degree`` repeated payloads; the
+        equivalence is what makes batched and per-message auditing
+        bit-identical.  In strict mode the raise happens at the first
+        violating payload, with every payload up to and including it
+        recorded (the remainder of its group is not).
+
+        Returns 0 for an empty iterable (``max_bits`` is untouched).
+        """
+        budget = self.budget_bits
+        violations = self.violations
+        memo: Dict[Any, int] = {}
+        count_total = 0
+        total = 0
+        batch_max = 0
+        for payload, count in groups:
+            if count <= 0:
+                continue
+            # Same memo discipline as record_batch: exact int/str only
+            # (bool/float compare equal to ints but size differently).
+            kind = type(payload)
+            if kind is int or kind is str:
+                bits = memo.get(payload)
+                if bits is None:
+                    bits = message_size_bits(payload)
+                    memo[payload] = bits
+            else:
+                bits = message_size_bits(payload)
+            if bits > batch_max:
+                batch_max = bits
+            if bits > budget:
+                if self.strict:
+                    count_total += 1
+                    total += bits
+                    violations.append(bits)
+                    self.messages_recorded += count_total
+                    self.total_bits += total
+                    if batch_max > self.max_bits:
+                        self.max_bits = batch_max
+                    raise ValueError(
+                        f"CONGEST violation: message of {bits} bits exceeds budget of {budget} bits"
+                    )
+                violations.extend([bits] * count)
+            count_total += count
+            total += bits * count
+        self.messages_recorded += count_total
         self.total_bits += total
         if batch_max > self.max_bits:
             self.max_bits = batch_max

@@ -18,11 +18,25 @@ slot from the precomputed reverse-slot array
 (:meth:`repro.graphs.core.Graph.reverse_slot_csr`) — and a single write;
 no ``(v, w)`` dict lookups, no per-node inbox dicts.  ``receive()`` is
 handed a pooled :class:`PortInbox` view of the node's buffer row instead
-of a fresh dict, and CONGEST auditing sizes each round's payloads in one
-batched call (:meth:`repro.distributed.messages.CongestAuditor.
-record_batch`) instead of per message.  All observable behaviour —
-delivery order, metrics, violation lists — is identical to the
-dict-based plane.
+of a fresh dict.
+
+Two *send planes* feed the buffer (the ``send_plane`` knob of
+:meth:`SynchronousNetwork.run`):
+
+* the **dict plane** — the compatibility path: every round each node's
+  ``send()`` returns a per-port dict that the simulator routes;
+* the **batched plane** — each node's ``send_batch()`` receives a pooled
+  :class:`OutboxWriter` bound to the node's slots and writes payloads
+  straight into the destination slots of the round buffer.  A broadcast
+  is one tight loop over the node's reverse-slot row, and its CONGEST
+  audit is a single ``(payload, count)`` group
+  (:meth:`repro.distributed.messages.CongestAuditor.
+  record_batch_grouped`) instead of ``degree`` repeated payloads.
+
+All observable behaviour — delivery order, metrics, violation lists — is
+identical across the two planes (and to the historical per-message
+implementation); the differential matrix in
+``tests/test_differential_paths.py`` pins the equivalence.
 
 Message-size accounting semantics (CONGEST mode): every non-``None``
 payload delivered in a round is sized by
@@ -30,7 +44,9 @@ payload delivered in a round is sized by
 ``congest_factor * ceil(log2 n)`` bits; ``metrics.max_message_bits``
 holds the largest observed size and ``metrics.congest_violations``
 counts the payloads over budget.  LOCAL runs skip the audit entirely
-(``congest_budget_bits`` is ``None``).
+(``congest_budget_bits`` is ``None``).  ``None`` payloads are never
+sent: they are not delivered, not counted in ``metrics.messages`` and
+not audited, on either plane.
 """
 
 from __future__ import annotations
@@ -143,6 +159,128 @@ class PortInbox:
         return f"PortInbox({self.to_dict()!r})"
 
 
+class OutboxWriter:
+    """A write-only, port-keyed view of one node's outgoing slots.
+
+    The batched-send counterpart of :class:`PortInbox`: the simulator
+    pools **one** instance per run and rebinds it to each unfinished node
+    before calling ``send_batch()``.  Writes go straight to the
+    destination slot of the flat round buffer (via the graph's
+    reverse-slot array), so sending a message is one list write — no
+    per-round dict, no routing pass.
+
+    Contract (see :class:`repro.distributed.algorithms.NodeAlgorithm`):
+    the view is only valid during the ``send_batch`` call it was passed
+    to; ``None`` payloads are not sent; each port should be written at
+    most once per round.  ``writer[port] = payload`` sends on one port;
+    :meth:`broadcast` sends the same payload on every port and audits it
+    as a single ``(payload, count)`` group — arithmetically identical to
+    ``degree`` per-message audits.
+    """
+
+    __slots__ = (
+        "_buf",
+        "_adj",
+        "_rev_slot",
+        "_touched",
+        "_receivers",
+        "_groups",
+        "_contexts",
+        "_base",
+        "_end",
+        "_node",
+        "_round",
+        "sent",
+    )
+
+    def __init__(
+        self,
+        buf: List[Any],
+        adj: List[int],
+        rev_slot: List[int],
+        touched: List[int],
+        receivers: Optional[set],
+        groups: Optional[List[Tuple[Any, int]]],
+        contexts: List["NodeContext"],
+    ) -> None:
+        self._buf = buf
+        self._adj = adj
+        self._rev_slot = rev_slot
+        self._touched = touched
+        self._receivers = receivers  # None while no node is finished yet
+        self._groups = groups  # None when auditing is off (LOCAL mode)
+        self._contexts = contexts  # error messages resolve node ids lazily
+        self._base = 0
+        self._end = 0
+        self._node = 0
+        self._round = 0
+        self.sent = 0
+
+    def _bind(self, base: int, end: int, node: int, round_index: int) -> "OutboxWriter":
+        """Point the view at one node's slot row (simulator internal)."""
+        self._base = base
+        self._end = end
+        self._node = node
+        self._round = round_index
+        return self
+
+    @property
+    def degree(self) -> int:
+        """Number of ports of the bound node."""
+        return self._end - self._base
+
+    def __setitem__(self, port: Any, payload: Any) -> None:
+        """Send ``payload`` on ``port`` (a ``None`` payload sends nothing)."""
+        if type(port) is not int:
+            try:
+                port = operator.index(port)
+            except TypeError:
+                raise TypeError(
+                    f"node {self._contexts[self._node].node_id} keyed an outbox "
+                    f"entry with {port!r} in round {self._round}: ports must be "
+                    f"integers"
+                ) from None
+        slot = self._base + port
+        if port < 0 or slot >= self._end:
+            raise ValueError(
+                f"node {self._contexts[self._node].node_id} sent on invalid port "
+                f"{port} in round {self._round}: valid ports are "
+                f"0..{self._end - self._base - 1}"
+            )
+        if payload is None:
+            return
+        dest = self._rev_slot[slot]
+        self._buf[dest] = payload
+        self._touched.append(dest)
+        if self._receivers is not None:
+            self._receivers.add(self._adj[slot])
+        self.sent += 1
+        if self._groups is not None:
+            self._groups.append((payload, 1))
+
+    send = __setitem__
+
+    def broadcast(self, payload: Any) -> None:
+        """Send ``payload`` on every port (no-op for ``None`` or degree 0)."""
+        base = self._base
+        end = self._end
+        if payload is None or base == end:
+            return
+        buf = self._buf
+        row = self._rev_slot[base:end]
+        for dest in row:
+            buf[dest] = payload
+        self._touched.extend(row)
+        if self._receivers is not None:
+            self._receivers.update(self._adj[base:end])
+        self.sent += end - base
+        if self._groups is not None:
+            self._groups.append((payload, end - base))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"OutboxWriter(node={self._node}, ports={self._end - self._base})"
+
+
 class SynchronousNetwork:
     """A network of nodes executing one algorithm in synchronous rounds."""
 
@@ -228,6 +366,7 @@ class SynchronousNetwork:
         self,
         algorithm: NodeAlgorithm,
         max_rounds: int = 10_000,
+        send_plane: str = "auto",
     ) -> Tuple[List[Any], ExecutionMetrics]:
         """Run ``algorithm`` on every node until all nodes are finished.
 
@@ -235,6 +374,15 @@ class SynchronousNetwork:
         ``RuntimeError`` if the algorithm does not terminate within
         ``max_rounds`` rounds (an algorithm that finishes in exactly
         ``max_rounds`` rounds terminates normally).
+
+        ``send_plane`` selects how outgoing messages enter the round
+        buffer: ``"dict"`` calls ``algorithm.send()`` and routes the
+        returned per-port dicts; ``"batched"`` hands a pooled
+        :class:`OutboxWriter` to ``algorithm.send_batch()`` (every
+        algorithm supports this — the base class bridges to ``send()``);
+        ``"auto"`` picks the batched plane when the algorithm declares
+        ``batched_send = True`` and the dict plane otherwise.  Both
+        planes produce bit-identical outputs and metrics.
 
         The simulator tracks the set of unfinished nodes instead of
         re-querying every node each round: a node reporting finished is
@@ -248,6 +396,16 @@ class SynchronousNetwork:
         call.  Only the slots written this round are cleared afterwards,
         so a round costs O(messages), not O(m).
         """
+        if send_plane == "auto":
+            use_batched = bool(getattr(algorithm, "batched_send", False))
+        elif send_plane == "batched":
+            use_batched = True
+        elif send_plane == "dict":
+            use_batched = False
+        else:
+            raise ValueError(
+                f"unknown send_plane {send_plane!r}: expected 'auto', 'batched' or 'dict'"
+            )
         contexts = self._contexts
         states = [algorithm.initialize(ctx) for ctx in contexts]
         auditor = self._auditor
@@ -257,66 +415,90 @@ class SynchronousNetwork:
         xadj = self._xadj
         adj = self._adj
         rev_slot = self._rev_slot
-        n = self._graph.num_nodes
 
         # The message plane: one payload slot per (node, port) direction,
         # plus the bookkeeping to clear and deliver in O(messages).
         inbox_buf: List[Any] = [None] * len(adj)
         touched: List[int] = []  # slots written this round
-        receivers: List[int] = []  # nodes with >= 1 message this round
-        received_round = [-1] * n  # round stamp of the last message per node
+        receivers: set = set()  # nodes with >= 1 message this round
         inbox = PortInbox(inbox_buf)
-        batch: List[Any] = []  # this round's payloads for the CONGEST audit
+        batch: List[Any] = []  # dict plane: this round's payloads for the audit
+        groups: Optional[List[Tuple[Any, int]]] = [] if auditor is not None else None
+        writer = OutboxWriter(
+            inbox_buf, adj, rev_slot, touched, receivers, groups, contexts
+        )
 
         unfinished = [
             v for v, ctx in enumerate(contexts) if not algorithm.finished(ctx, states[v])
         ]
+        n = self._graph.num_nodes
+        blank: List[Any] = [None] * len(adj)
         rounds = 0
         while unfinished:
             if rounds >= max_rounds:
                 raise RuntimeError(f"algorithm did not terminate within {max_rounds} rounds")
-            sent = 0
-            for v in unfinished:
-                outbox = algorithm.send(contexts[v], states[v], rounds)
-                if not outbox:
-                    continue
-                base = xadj[v]
-                degree = xadj[v + 1] - base
-                for port, payload in outbox.items():
-                    if type(port) is not int:
-                        port = self._coerce_port(v, port, rounds)
-                    if port < 0 or port >= degree:
-                        raise ValueError(
-                            f"node {contexts[v].node_id} sent on invalid port "
-                            f"{port} in round {rounds}: valid ports are "
-                            f"0..{degree - 1}"
-                        )
-                    if payload is None:
+            # Receiver tracking only matters for late delivery to nodes
+            # that are already finished at round start; while every node
+            # is still running, skip the per-message set updates.
+            track_receivers = len(unfinished) < n
+            if use_batched:
+                writer._receivers = receivers if track_receivers else None
+                writer.sent = 0
+                for v in unfinished:
+                    algorithm.send_batch(
+                        contexts[v],
+                        states[v],
+                        rounds,
+                        writer._bind(xadj[v], xadj[v + 1], v, rounds),
+                    )
+                metrics.messages += writer.sent
+                if groups:
+                    batch_max = auditor.record_batch_grouped(groups)
+                    if batch_max > metrics.max_message_bits:
+                        metrics.max_message_bits = batch_max
+                    groups.clear()
+            else:
+                sent = 0
+                for v in unfinished:
+                    outbox = algorithm.send(contexts[v], states[v], rounds)
+                    if not outbox:
                         continue
-                    slot = base + port
-                    target = adj[slot]
-                    dest = rev_slot[slot]
-                    inbox_buf[dest] = payload
-                    touched.append(dest)
-                    if received_round[target] != rounds:
-                        received_round[target] = rounds
-                        receivers.append(target)
-                    sent += 1
-                    if auditor is not None:
-                        batch.append(payload)
-            metrics.messages += sent
-            if batch:
-                batch_max = auditor.record_batch(batch)
-                if batch_max > metrics.max_message_bits:
-                    metrics.max_message_bits = batch_max
-                batch.clear()
+                    base = xadj[v]
+                    degree = xadj[v + 1] - base
+                    for port, payload in outbox.items():
+                        if type(port) is not int:
+                            port = self._coerce_port(v, port, rounds)
+                        if port < 0 or port >= degree:
+                            raise ValueError(
+                                f"node {contexts[v].node_id} sent on invalid port "
+                                f"{port} in round {rounds}: valid ports are "
+                                f"0..{degree - 1}"
+                            )
+                        if payload is None:
+                            continue
+                        slot = base + port
+                        dest = rev_slot[slot]
+                        inbox_buf[dest] = payload
+                        touched.append(dest)
+                        if track_receivers:
+                            receivers.add(adj[slot])
+                        sent += 1
+                        if auditor is not None:
+                            batch.append(payload)
+                metrics.messages += sent
+                if batch:
+                    batch_max = auditor.record_batch(batch)
+                    if batch_max > metrics.max_message_bits:
+                        metrics.max_message_bits = batch_max
+                    batch.clear()
+            receive = algorithm.receive
             for v in unfinished:
-                algorithm.receive(
-                    contexts[v],
-                    states[v],
-                    inbox._bind(xadj[v], xadj[v + 1] - xadj[v]),
-                    rounds,
-                )
+                # Inlined PortInbox._bind (one attribute pair instead of a
+                # method call per node per round).
+                start = xadj[v]
+                inbox._start = start
+                inbox._degree = xadj[v + 1] - start
+                receive(contexts[v], states[v], inbox, rounds)
             if receivers:
                 # Finished nodes still observe late messages addressed to them.
                 unfinished_set = set(unfinished)
@@ -329,8 +511,13 @@ class SynchronousNetwork:
                             rounds,
                         )
                 receivers.clear()
-            for slot in touched:
-                inbox_buf[slot] = None
+            # Clearing: O(messages) slot resets, or one C-level copy of
+            # the blank row when most of the buffer was written anyway.
+            if 2 * len(touched) >= len(inbox_buf):
+                inbox_buf[:] = blank
+            else:
+                for slot in touched:
+                    inbox_buf[slot] = None
             touched.clear()
             unfinished = [
                 v for v in unfinished if not algorithm.finished(contexts[v], states[v])

@@ -156,6 +156,7 @@ class Graph:
         self._eadj: Optional[List[int]] = None
         self._rev_port: Optional[List[int]] = None
         self._rev_slot: Optional[List[int]] = None
+        self._endpoints_np = None
 
     # ------------------------------------------------------------------ nodes
     @property
@@ -285,6 +286,24 @@ class Graph:
         these instead of per-edge :meth:`edge_endpoints` tuple unpacking.
         """
         return self._edge_u, self._edge_v
+
+    def endpoint_arrays_np(self):
+        """Numpy ``int64`` copies of the endpoint arrays, built once.
+
+        The vectorized orientation engine gathers per-instance endpoint
+        arrays with one fancy-index instead of a python loop per call;
+        the arrays are cached on the graph so repeated orientation calls
+        on subsets of the same host graph share them.  Requires numpy
+        (the caller guards on availability).  Shared — do not mutate.
+        """
+        if self._endpoints_np is None:
+            import numpy as np
+
+            self._endpoints_np = (
+                np.asarray(self._edge_u, dtype=np.int64),
+                np.asarray(self._edge_v, dtype=np.int64),
+            )
+        return self._endpoints_np
 
     def edge_index(self, u: int, v: int) -> int:
         """Edge index of the edge between ``u`` and ``v``.

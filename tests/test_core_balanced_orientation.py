@@ -113,8 +113,8 @@ class TestScanPathCrossCheck:
     where auto mode would *not* have picked them.
     """
 
-    # (nodes, degree) -> edges = nodes * degree / 2: 32 and 128 edges sit
-    # below the 384-edge threshold, 512 and 768 above it.
+    # (nodes, degree) -> edges = nodes * degree / 2: 32 edges sit below
+    # the engine threshold, 128, 512 and 768 at or above it.
     CASES = [(16, 4), (32, 8), (64, 16), (96, 16)]
 
     @staticmethod
@@ -125,7 +125,9 @@ class TestScanPathCrossCheck:
     @pytest.mark.parametrize("nodes,degree", CASES)
     def test_numpy_and_python_paths_bit_identical(self, nodes, degree):
         graph, bipartition = generators.regular_bipartite_graph(nodes, degree, seed=nodes + degree)
-        assert (graph.num_edges >= NUMPY_SCAN_THRESHOLD) == (nodes * degree // 2 >= 384)
+        assert (graph.num_edges >= NUMPY_SCAN_THRESHOLD) == (
+            nodes * degree // 2 >= NUMPY_SCAN_THRESHOLD
+        )
         eta = self.varied_eta(graph)
         results = {}
         for path in ("python", "numpy"):

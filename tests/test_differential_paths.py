@@ -1,0 +1,372 @@
+"""Differential test matrix: every fast path against its reference twin.
+
+The PR 3 engines — the vectorized orientation proposal/accept loop, the
+vectorized line-graph Linial schedule, and the simulator's batched send
+plane — each ship with a pure-python reference twin.  This matrix runs a
+seeded randomized sweep (varying n, Δ, bipartite/general topology, both
+sides of the engine-size threshold and of the legacy 384-edge mark) and
+asserts the twins are **bit-identical**: same colorings, orientations,
+round counts and CONGEST metrics, down to dict contents and violation
+lists.  CI runs the matrix twice more with ``REPRO_SCAN_PATH`` forcing
+each engine across the whole suite.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+import repro.core.balanced_orientation as balanced_orientation
+from repro.coloring.greedy import proper_edge_schedule
+from repro.coloring.linial import LinialNodeAlgorithm
+from repro.core.balanced_orientation import (
+    NUMPY_SCAN_THRESHOLD,
+    _np,
+    compute_balanced_orientation,
+)
+from repro.distributed.algorithms import NodeAlgorithm
+from repro.distributed.model import Model
+from repro.distributed.network import SynchronousNetwork
+from repro.distributed.rounds import RoundTracker
+from repro.graphs import generators
+from repro.graphs.identifiers import id_space_size
+from repro.verification.checkers import is_proper_edge_coloring
+
+requires_numpy = pytest.mark.skipif(_np is None, reason="numpy not installed")
+
+#: (kind, n, Δ) cells of the sweep; edge counts 32..640 cross both the
+#: current engine threshold (NUMPY_SCAN_THRESHOLD = 128 edges) and the
+#: legacy 384-edge mark the scan-only path used.
+GRAPH_CELLS = [
+    ("bipartite", 16, 4),  # 32 edges
+    ("bipartite", 32, 8),  # 128 edges
+    ("bipartite", 48, 12),  # 288 edges
+    ("bipartite", 64, 16),  # 512 edges
+    ("general", 24, 4),  # 48 edges
+    ("general", 32, 10),  # 160 edges
+    ("general", 48, 16),  # 384 edges
+    ("general", 64, 20),  # 640 edges
+]
+
+assert any(n * d // 2 < NUMPY_SCAN_THRESHOLD for _k, n, d in GRAPH_CELLS)
+assert any(NUMPY_SCAN_THRESHOLD <= n * d // 2 < 384 for _k, n, d in GRAPH_CELLS)
+assert any(n * d // 2 >= 384 for _k, n, d in GRAPH_CELLS)
+
+
+def _make_graph(kind: str, n: int, delta: int, seed: int):
+    if kind == "bipartite":
+        graph, _bip = generators.regular_bipartite_graph(n, delta, seed=seed)
+        return graph
+    return generators.random_regular_graph(n, delta, seed=seed)
+
+
+def _outcome_fingerprint(outcome):
+    return (
+        outcome.colors,
+        outcome.num_colors,
+        outcome.bound,
+        outcome.rounds,
+        outcome.is_proper,
+        outcome.details,
+    )
+
+
+@requires_numpy
+class TestOrientationEngineMatrix:
+    """compute_balanced_orientation: numpy engine vs python reference."""
+
+    @pytest.mark.parametrize("n,delta", [(16, 4), (32, 8), (48, 12), (64, 16), (96, 16)])
+    @pytest.mark.parametrize("nu", [None, 0.03, 0.125])
+    def test_engines_bit_identical(self, n, delta, nu):
+        graph, bipartition = generators.regular_bipartite_graph(n, delta, seed=n + delta)
+        eta = {e: 0.5 * (e % 5) - 1.0 for e in graph.edges()}
+        results = {}
+        for path in ("python", "numpy"):
+            tracker = RoundTracker()
+            r = compute_balanced_orientation(
+                graph, bipartition, eta, epsilon=0.25, nu=nu, tracker=tracker, scan_path=path
+            )
+            results[path] = (
+                r.orientation,
+                list(r.orientation.items()),  # insertion order too
+                r.in_degrees,
+                r.phases,
+                r.rounds,
+                r.nu,
+                r.bar_delta,
+                tracker.breakdown,
+            )
+        assert results["python"] == results["numpy"]
+
+    @pytest.mark.parametrize("stride", [2, 3])
+    def test_engines_bit_identical_on_subsets(self, stride):
+        graph, bipartition = generators.regular_bipartite_graph(48, 12, seed=9)
+        subset = sorted(set(graph.edges()) - set(range(0, graph.num_edges, stride)))
+        eta = {e: float(e % 3) - 1.0 for e in subset}
+        py = compute_balanced_orientation(
+            graph, bipartition, eta, epsilon=0.5, edge_set=subset, scan_path="python"
+        )
+        np_ = compute_balanced_orientation(
+            graph, bipartition, eta, epsilon=0.5, edge_set=subset, scan_path="numpy"
+        )
+        assert py.orientation == np_.orientation
+        assert list(py.orientation.items()) == list(np_.orientation.items())
+        assert py.in_degrees == np_.in_degrees
+        assert (py.phases, py.rounds) == (np_.phases, np_.rounds)
+
+    def test_env_override_steers_auto_mode(self, monkeypatch):
+        from repro.core import engine
+
+        monkeypatch.setattr(engine, "_ENV_SCAN_PATH", "python")
+        assert engine.resolve_use_numpy("auto", 10**6) is False
+        monkeypatch.setattr(engine, "_ENV_SCAN_PATH", "numpy")
+        assert engine.resolve_use_numpy("auto", 1) is True
+        # Explicit arguments always win over the environment.
+        assert engine.resolve_use_numpy("python", 10**6) is False
+
+
+@requires_numpy
+class TestScheduleEngineMatrix:
+    """proper_edge_schedule: vectorized Linial steps vs reference."""
+
+    @pytest.mark.parametrize("kind,n,delta", GRAPH_CELLS)
+    def test_schedules_bit_identical(self, kind, n, delta):
+        graph = _make_graph(kind, n, delta, seed=3 * n + delta)
+        for subset in (list(graph.edges()), list(graph.edges())[::2]):
+            a = proper_edge_schedule(graph, subset, scan_path="python")
+            b = proper_edge_schedule(graph, subset, scan_path="numpy")
+            assert a == b
+
+    def test_round_charges_identical(self):
+        graph = _make_graph("general", 48, 16, seed=1)
+        charges = {}
+        for path in ("python", "numpy"):
+            tracker = RoundTracker()
+            proper_edge_schedule(graph, list(graph.edges()), tracker=tracker, scan_path=path)
+            charges[path] = tracker.breakdown
+        assert charges["python"] == charges["numpy"]
+
+
+@requires_numpy
+class TestDefectiveReductionMatrix:
+    """polynomial_defective_reduction: vectorized min-conflict vs reference."""
+
+    @pytest.mark.parametrize("n,delta", [(64, 8), (128, 16), (160, 24)])
+    def test_engines_bit_identical(self, n, delta):
+        from repro.coloring.defective_vertex import polynomial_defective_reduction
+        from repro.coloring.linial import linial_vertex_coloring
+
+        graph = generators.random_regular_graph(n, delta, seed=n + delta)
+        colors, count = linial_vertex_coloring(graph)
+        for target in (1, max(1, delta // 3), delta):
+            py = polynomial_defective_reduction(
+                graph, colors, count, target_defect=target, scan_path="python"
+            )
+            np_ = polynomial_defective_reduction(
+                graph, colors, count, target_defect=target, scan_path="numpy"
+            )
+            assert py == np_
+
+
+@requires_numpy
+class TestPipelineScanPathMatrix:
+    """Full Theorem D.4 / 6.3 pipelines under both orientation engines."""
+
+    @pytest.mark.parametrize("kind,n,delta", GRAPH_CELLS)
+    def test_local_pipeline_bit_identical(self, kind, n, delta):
+        graph = _make_graph(kind, n, delta, seed=7 * n + delta)
+        py = api.color_edges_local(graph, scan_path="python")
+        np_ = api.color_edges_local(graph, scan_path="numpy")
+        assert _outcome_fingerprint(py) == _outcome_fingerprint(np_)
+        assert py.is_proper
+        assert is_proper_edge_coloring(graph, py.colors)
+
+    @pytest.mark.parametrize("kind,n,delta", GRAPH_CELLS[1::2])
+    def test_congest_pipeline_bit_identical(self, kind, n, delta):
+        # The CONGEST pipeline's fingerprint covers its round breakdown —
+        # the CONGEST cost accounting — as well as the palette details.
+        graph = _make_graph(kind, n, delta, seed=11 * n + delta)
+        py = api.color_edges_congest(graph, epsilon=0.5, scan_path="python")
+        np_ = api.color_edges_congest(graph, epsilon=0.5, scan_path="numpy")
+        assert _outcome_fingerprint(py) == _outcome_fingerprint(np_)
+        assert py.is_proper
+
+    def test_list_instance_pipeline_bit_identical(self):
+        graph = generators.random_regular_graph(48, 10, seed=5)
+        lists, space = generators.list_edge_coloring_lists(graph, slack=1.0, seed=7)
+        from repro.core.slack import ListEdgeColoringInstance
+
+        def run(path):
+            instance = ListEdgeColoringInstance(
+                graph, {e: list(lists[e]) for e in graph.edges()}, space
+            )
+            return api.color_edges_local(graph, instance=instance, scan_path=path)
+
+        assert _outcome_fingerprint(run("python")) == _outcome_fingerprint(run("numpy"))
+
+
+class _SelectivePortAlgorithm(NodeAlgorithm):
+    """A dict-plane algorithm with ragged sends, ``None`` payloads, mixed
+    payload types and staggered termination — exercises slot semantics,
+    late delivery and audit equivalence through the default bridge."""
+
+    def initialize(self, ctx):
+        return {"log": [], "round": 0}
+
+    def send(self, ctx, state, round_index):
+        outbox = {}
+        for port in range(ctx.degree):
+            if (port + round_index + ctx.node) % 3 == 0:
+                outbox[port] = None  # explicitly not sent
+            elif (port + round_index) % 2 == 0:
+                outbox[port] = ctx.node_id * 10 + round_index
+            else:
+                outbox[port] = (ctx.node_id, "r", round_index)
+        return outbox
+
+    def receive(self, ctx, state, inbox, round_index):
+        state["log"].append((round_index, inbox.to_dict()))
+        state["round"] = round_index + 1
+
+    def finished(self, ctx, state):
+        return state["round"] > ctx.node % 3
+
+    def output(self, ctx, state):
+        return state["log"]
+
+
+class _BroadcastAlgorithm(NodeAlgorithm):
+    """Native batched broadcaster (mirrors LinialNodeAlgorithm's shape)."""
+
+    batched_send = True
+    ROUNDS = 3
+
+    def initialize(self, ctx):
+        return {"seen": [], "round": 0}
+
+    def send(self, ctx, state, round_index):
+        return {port: ctx.node_id + round_index for port in range(ctx.degree)}
+
+    def send_batch(self, ctx, state, round_index, outbox):
+        outbox.broadcast(ctx.node_id + round_index)
+
+    def receive(self, ctx, state, inbox, round_index):
+        state["seen"].append(list(inbox.values()))
+        state["round"] = round_index + 1
+
+    def finished(self, ctx, state):
+        return state["round"] >= self.ROUNDS
+
+    def output(self, ctx, state):
+        return state["seen"]
+
+
+def _metrics_fingerprint(metrics):
+    return (
+        metrics.rounds,
+        metrics.messages,
+        metrics.max_message_bits,
+        metrics.congest_violations,
+        metrics.congest_budget_bits,
+    )
+
+
+class TestSendPlaneMatrix:
+    """Batched vs dict send planes: bit-identical outputs and metrics."""
+
+    @pytest.mark.parametrize("n", [64, 256])
+    @pytest.mark.parametrize("model", [Model.LOCAL, Model.CONGEST])
+    def test_linial_planes_bit_identical(self, n, model):
+        graph = generators.graph_with_scrambled_ids(
+            generators.random_regular_graph(n, 4, seed=n), seed=n, id_space_factor=8
+        )
+        network = SynchronousNetwork(
+            graph, model=model, global_knowledge={"id_space": id_space_size(graph)}
+        )
+        out_dict, m_dict = network.run(LinialNodeAlgorithm(), send_plane="dict")
+        out_batched, m_batched = network.run(LinialNodeAlgorithm(), send_plane="batched")
+        out_auto, m_auto = network.run(LinialNodeAlgorithm())  # auto -> batched
+        assert out_dict == out_batched == out_auto
+        assert (
+            _metrics_fingerprint(m_dict)
+            == _metrics_fingerprint(m_batched)
+            == _metrics_fingerprint(m_auto)
+        )
+
+    @pytest.mark.parametrize("kind,n,delta", [("general", 24, 4), ("bipartite", 32, 8), ("general", 32, 10)])
+    def test_selective_sends_bridge_bit_identical(self, kind, n, delta):
+        # Ragged ports, None payloads, tuples/strings, staggered finishes
+        # (late delivery to finished nodes) through the send() bridge.
+        graph = _make_graph(kind, n, delta, seed=n + delta)
+
+        def run(plane):
+            # Fresh network per plane: the CONGEST auditor accumulates
+            # across runs of one network by design.
+            network = SynchronousNetwork(graph, model=Model.CONGEST, congest_factor=2)
+            return network.run(_SelectivePortAlgorithm(), send_plane=plane)
+
+        out_dict, m_dict = run("dict")
+        out_batched, m_batched = run("batched")
+        assert out_dict == out_batched
+        assert _metrics_fingerprint(m_dict) == _metrics_fingerprint(m_batched)
+        # The ragged payloads overflow the tightened budget somewhere —
+        # otherwise the violation-list comparison would be vacuous.
+        assert m_dict.congest_violations > 0
+
+    def test_native_broadcast_planes_bit_identical(self):
+        graph = generators.random_regular_graph(48, 6, seed=2)
+        network = SynchronousNetwork(graph, model=Model.CONGEST)
+        out_dict, m_dict = network.run(_BroadcastAlgorithm(), send_plane="dict")
+        out_batched, m_batched = network.run(_BroadcastAlgorithm(), send_plane="batched")
+        assert out_dict == out_batched
+        assert _metrics_fingerprint(m_dict) == _metrics_fingerprint(m_batched)
+
+    def test_auditor_state_identical_across_planes(self):
+        graph = generators.random_regular_graph(24, 4, seed=3)
+
+        def run(plane):
+            network = SynchronousNetwork(graph, model=Model.CONGEST, congest_factor=2)
+            network.run(_SelectivePortAlgorithm(), send_plane=plane)
+            auditor = network._auditor
+            return (
+                auditor.messages_recorded,
+                auditor.total_bits,
+                auditor.max_bits,
+                auditor.violations,
+            )
+
+        assert run("dict") == run("batched")
+
+    def test_unknown_send_plane_rejected(self):
+        graph = generators.path_graph(4)
+        network = SynchronousNetwork(graph)
+        with pytest.raises(ValueError, match="send_plane"):
+            network.run(LinialNodeAlgorithm(), send_plane="pigeon")
+
+    @pytest.mark.parametrize("plane", ["dict", "batched"])
+    def test_invalid_port_errors_match(self, plane):
+        class BadPort(NodeAlgorithm):
+            def send(self, ctx, state, round_index):
+                return {99: 1}
+
+            def finished(self, ctx, state):
+                return False
+
+        graph = generators.path_graph(4)
+        network = SynchronousNetwork(graph)
+        with pytest.raises(ValueError, match="invalid port 99"):
+            network.run(BadPort(), send_plane=plane, max_rounds=2)
+
+    @pytest.mark.parametrize("plane", ["dict", "batched"])
+    def test_non_integer_port_errors_match(self, plane):
+        class BadKey(NodeAlgorithm):
+            def send(self, ctx, state, round_index):
+                return {"north": 1}
+
+            def finished(self, ctx, state):
+                return False
+
+        graph = generators.path_graph(4)
+        network = SynchronousNetwork(graph)
+        with pytest.raises(TypeError, match="ports must be integers"):
+            network.run(BadKey(), send_plane=plane, max_rounds=2)
