@@ -6,113 +6,77 @@
     orientation phases but a coarser balance.
 (c) Recursion depth of Lemma 6.1: deeper recursion means smaller leaf
     degrees (fewer colors per part) at the price of more rounds.
+
+The workload is the registered ``e10_ablation`` scenario of
+:mod:`repro.runtime`; the cross-cell monotonicity asserts stay here.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.analysis.tables import format_table
-from repro.core.balanced_orientation import compute_balanced_orientation
-from repro.core.bipartite_coloring import bipartite_edge_coloring
-from repro.core.token_dropping import (
-    TokenDroppingGame,
-    layered_dag,
-    run_token_dropping,
-    uniform_alpha,
-)
-from repro.graphs import generators
+from repro.runtime import get, run_scenario_results
 
 
-def _run_delta_ablation():
-    rows = []
-    graph = layered_dag(8, 24, connect=3)
-    k = 24
-    tokens = [0] * graph.num_nodes
-    for i in range(24):
-        tokens[7 * 24 + i] = k
-    for delta in (1, 2, 4, 8):
-        game = TokenDroppingGame(
-            graph=graph,
-            k=k,
-            initial_tokens=list(tokens),
-            alpha=uniform_alpha(graph.num_nodes, delta),
-            delta=delta,
-        )
-        result = run_token_dropping(game)
-        worst_active_gap = 0
-        for a in result.active_arcs():
-            arc = graph.arc(a)
-            worst_active_gap = max(worst_active_gap, result.tokens[arc.tail] - result.tokens[arc.head])
-        rows.append(
-            {
-                "delta": delta,
-                "phases (≈k/δ)": result.phases,
-                "rounds": result.rounds,
-                "worst active-arc gap": worst_active_gap,
-                "slack violations": len(result.slack_violations()),
-            }
-        )
-    return rows
+def _results(kind):
+    # Restrict to the ablation under test so each benchmark number only
+    # times its own cells (cache keys depend on cell params alone).
+    spec = get("e10_ablation")
+    sub = dataclasses.replace(
+        spec, cells=tuple(c for c in spec.cells if c.params["ablation"] == kind)
+    )
+    return run_scenario_results(sub)
 
 
 def test_e10_token_dropping_delta_tradeoff(benchmark, record_table):
-    rows = benchmark.pedantic(_run_delta_ablation, rounds=1, iterations=1)
+    results = benchmark.pedantic(_results, args=("token_delta",), rounds=1, iterations=1)
+    rows = [
+        {
+            "delta": r["delta"],
+            "phases (≈k/δ)": r["phases"],
+            "rounds": r["rounds"],
+            "worst active-arc gap": r["worst_active_gap"],
+            "slack violations": r["slack_violations"],
+        }
+        for r in results
+    ]
     record_table("E10_delta_tradeoff", format_table(rows))
     phases = [row["phases (≈k/δ)"] for row in rows]
     assert phases == sorted(phases, reverse=True)
     assert all(row["slack violations"] == 0 for row in rows)
 
 
-def _run_nu_ablation():
-    graph, bipartition = generators.regular_bipartite_graph(48, 12, seed=41)
-    eta = {e: 0.0 for e in graph.edges()}
-    rows = []
-    for nu in (0.02, 0.05, 0.125):
-        result = compute_balanced_orientation(graph, bipartition, eta, epsilon=8 * nu, nu=nu)
-        worst = 0
-        for e in graph.edges():
-            u, v = bipartition.orient_edge(graph, e)
-            tail, head = result.orientation[e]
-            gap = result.in_degrees[v] - result.in_degrees[u]
-            worst = max(worst, gap if (tail, head) == (u, v) else -gap)
-        rows.append(
-            {
-                "nu": nu,
-                "phases": result.phases,
-                "rounds": result.rounds,
-                "worst imbalance": worst,
-            }
-        )
-    return rows
-
-
 def test_e10_orientation_nu_tradeoff(benchmark, record_table):
-    rows = benchmark.pedantic(_run_nu_ablation, rounds=1, iterations=1)
+    results = benchmark.pedantic(_results, args=("orientation_nu",), rounds=1, iterations=1)
+    rows = [
+        {
+            "nu": r["nu"],
+            "phases": r["phases"],
+            "rounds": r["rounds"],
+            "worst imbalance": r["worst_imbalance"],
+        }
+        for r in results
+    ]
     record_table("E10_nu_tradeoff", format_table(rows))
     rounds = [row["rounds"] for row in rows]
     # Larger ν → fewer phases → fewer rounds.
     assert rounds == sorted(rounds, reverse=True)
 
 
-def _run_depth_ablation():
-    graph, bipartition = generators.regular_bipartite_graph(64, 16, seed=43)
-    rows = []
-    for levels in (0, 1, 2, 3):
-        result = bipartite_edge_coloring(graph, bipartition, epsilon=0.5, levels=levels)
-        rows.append(
-            {
-                "levels": levels,
-                "parts": result.part_count,
-                "max leaf degree": result.max_leaf_degree,
-                "colors": result.num_colors,
-                "palette": result.palette_size,
-                "rounds": result.rounds,
-            }
-        )
-    return rows
-
-
 def test_e10_recursion_depth_tradeoff(benchmark, record_table):
-    rows = benchmark.pedantic(_run_depth_ablation, rounds=1, iterations=1)
+    results = benchmark.pedantic(_results, args=("recursion_depth",), rounds=1, iterations=1)
+    rows = [
+        {
+            "levels": r["levels"],
+            "parts": r["parts"],
+            "max leaf degree": r["max_leaf_degree"],
+            "colors": r["colors"],
+            "palette": r["palette"],
+            "rounds": r["rounds"],
+        }
+        for r in results
+    ]
     record_table("E10_depth_tradeoff", format_table(rows))
     # Deeper recursion shrinks the leaf degree monotonically.
     leaf_degrees = [row["max leaf degree"] for row in rows]

@@ -6,74 +6,61 @@ color classes — so the paper's edge-coloring improvements carry over to
 maximal matching.  The benchmark runs the full pipelines (paper coloring
 + reduction) and checks maximality, matching the "all four problems can be
 solved in C rounds given a C-coloring" statement.
+
+The workload is the registered ``e11_classic_reductions`` scenario of
+:mod:`repro.runtime`.
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.analysis.tables import format_table
-from repro.classic.matching import maximal_matching_from_edge_coloring
-from repro.classic.mis import maximal_independent_set
-from repro.core.list_edge_coloring import list_edge_coloring
-from repro.distributed.rounds import RoundTracker
-from repro.graphs import generators
-from repro.verification.checkers import is_maximal_independent_set, is_maximal_matching
-
-DELTAS = (8, 16)
-NODES = 96
+from repro.runtime import get, run_scenario_results
 
 
-def _run_matching_pipeline():
-    rows = []
-    for delta in DELTAS:
-        graph = generators.random_regular_graph(NODES, delta, seed=delta + 5)
-        coloring_tracker = RoundTracker()
-        coloring = list_edge_coloring(graph, tracker=coloring_tracker)
-        reduction_tracker = RoundTracker()
-        matching = maximal_matching_from_edge_coloring(
-            graph, coloring.colors, tracker=reduction_tracker
-        )
-        rows.append(
-            {
-                "delta": delta,
-                "coloring colors C": coloring.num_colors,
-                "coloring rounds": coloring_tracker.total,
-                "reduction rounds": reduction_tracker.total,
-                "reduction ≤ C": reduction_tracker.total <= coloring.num_colors,
-                "matching size": len(matching),
-                "maximal": is_maximal_matching(graph, matching),
-            }
-        )
-    return rows
+def _results(pipeline):
+    # Restrict to the pipeline under test so each benchmark number only
+    # times its own cells (cache keys depend on cell params alone).
+    spec = get("e11_classic_reductions")
+    sub = dataclasses.replace(
+        spec, cells=tuple(c for c in spec.cells if c.params["pipeline"] == pipeline)
+    )
+    return run_scenario_results(sub)
 
 
 def test_e11_matching_from_edge_coloring(benchmark, record_table):
-    rows = benchmark.pedantic(_run_matching_pipeline, rounds=1, iterations=1)
+    results = benchmark.pedantic(_results, args=("matching",), rounds=1, iterations=1)
+    rows = [
+        {
+            "delta": r["delta"],
+            "coloring colors C": r["coloring_colors"],
+            "coloring rounds": r["coloring_rounds"],
+            "reduction rounds": r["reduction_rounds"],
+            "reduction ≤ C": r["reduction_rounds"] <= r["coloring_colors"],
+            "matching size": r["matching_size"],
+            "maximal": r["maximal"],
+        }
+        for r in results
+    ]
     record_table("E11_matching", format_table(rows))
     for row in rows:
         assert row["maximal"]
         assert row["reduction ≤ C"]
 
 
-def _run_mis_pipeline():
-    rows = []
-    for delta in DELTAS:
-        graph = generators.random_regular_graph(NODES, delta, seed=delta + 6)
-        tracker = RoundTracker()
-        independent, colors = maximal_independent_set(graph, tracker=tracker)
-        rows.append(
-            {
-                "delta": delta,
-                "vertex colors": len(set(colors)),
-                "total rounds": tracker.total,
-                "mis size": len(independent),
-                "maximal": is_maximal_independent_set(graph, independent),
-            }
-        )
-    return rows
-
-
 def test_e11_mis_from_vertex_coloring(benchmark, record_table):
-    rows = benchmark.pedantic(_run_mis_pipeline, rounds=1, iterations=1)
+    results = benchmark.pedantic(_results, args=("mis",), rounds=1, iterations=1)
+    rows = [
+        {
+            "delta": r["delta"],
+            "vertex colors": r["vertex_colors"],
+            "total rounds": r["total_rounds"],
+            "mis size": r["mis_size"],
+            "maximal": r["maximal"],
+        }
+        for r in results
+    ]
     record_table("E11_mis", format_table(rows))
     for row in rows:
         assert row["maximal"]

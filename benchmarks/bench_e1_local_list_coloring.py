@@ -4,41 +4,31 @@ Claim reproduced: the LOCAL algorithm colors every graph with at most
 2Δ−1 colors (and arbitrary (degree+1)-lists from their lists), and its
 round count grows polylogarithmically in Δ — compared against the
 O(Δ² + log* n) greedy baseline in experiment E6.
+
+The workload is the registered ``e1_sweep`` / ``e1_list`` scenarios of
+:mod:`repro.runtime` (cells, graph seeds and per-cell verification live
+there); this script only formats the claim table and asserts the bounds.
 """
 
 from __future__ import annotations
 
-from repro import api
 from repro.analysis.tables import format_table
-from repro.core.parameters import theorem_d4_round_bound
-from repro.core.slack import ListEdgeColoringInstance
-from repro.graphs import generators
-from repro.verification.checkers import list_coloring_violations
-
-DELTAS = (4, 8, 16, 24)
-NODES = 96
+from repro.runtime import get, run_scenario_results
 
 
 def _run_sweep():
-    rows = []
-    for delta in DELTAS:
-        graph = generators.random_regular_graph(NODES, delta, seed=delta)
-        outcome = api.color_edges_local(graph)
-        assert outcome.is_proper
-        assert outcome.num_colors <= 2 * delta - 1
-        rows.append(
-            {
-                "delta": delta,
-                "n": graph.num_nodes,
-                "colors": outcome.num_colors,
-                "bound (2Δ−1)": 2 * delta - 1,
-                "rounds": outcome.rounds,
-                "paper bound O(log⁷C·log⁵Δ + log* n)": round(
-                    theorem_d4_round_bound(2 * delta - 1, delta, graph.num_nodes)
-                ),
-            }
-        )
-    return rows
+    results = run_scenario_results(get("e1_sweep"))
+    return [
+        {
+            "delta": r["delta"],
+            "n": r["n"],
+            "colors": r["colors"],
+            "bound (2Δ−1)": r["bound"],
+            "rounds": r["rounds"],
+            "paper bound O(log⁷C·log⁵Δ + log* n)": r["paper_round_bound"],
+        }
+        for r in results
+    ]
 
 
 def test_e1_color_bound_and_round_sweep(benchmark, record_table):
@@ -48,27 +38,23 @@ def test_e1_color_bound_and_round_sweep(benchmark, record_table):
 
 
 def _run_list_instance():
-    graph = generators.random_regular_graph(64, 10, seed=3)
-    lists, space = generators.list_edge_coloring_lists(graph, slack=1.0, seed=7)
-    instance = ListEdgeColoringInstance(graph, {e: lists[e] for e in graph.edges()}, space)
-    outcome = api.color_edges_local(graph, instance=instance)
-    violations = list_coloring_violations(graph, outcome.colors, instance.lists)
-    return outcome, violations
+    # The quick subset of e1_list is the seed-size (Δ=10, n=64) instance.
+    return run_scenario_results(get("e1_list"), quick=True)[0]
 
 
 def test_e1_degree_plus_one_list_instance(benchmark, record_table):
-    outcome, violations = benchmark.pedantic(_run_list_instance, rounds=1, iterations=1)
-    assert outcome.is_proper
-    assert violations == []
+    result = benchmark.pedantic(_run_list_instance, rounds=1, iterations=1)
+    assert result["verified"]
+    assert result["list_violations"] == 0
     record_table(
         "E1_list_instance",
         format_table(
             [
                 {
-                    "instance": "random (degree+1)-lists, Δ=10, n=64",
-                    "colors used": outcome.num_colors,
-                    "rounds": outcome.rounds,
-                    "list violations": len(violations),
+                    "instance": f"random (degree+1)-lists, Δ={result['delta']}, n={result['n']}",
+                    "colors used": result["colors"],
+                    "rounds": result["rounds"],
+                    "list violations": result["list_violations"],
                 }
             ]
         ),

@@ -2,40 +2,32 @@
 
 Claim reproduced: the CONGEST algorithm uses at most (8+ε)Δ colors and
 its round count is polylogarithmic in Δ.
+
+The workload is the registered ``e2_congest`` scenario of
+:mod:`repro.runtime`; this script formats the claim table and asserts
+the color and shape claims.
 """
 
 from __future__ import annotations
 
-from repro import api
 from repro.analysis.complexity import loglog_slope
 from repro.analysis.tables import format_table
-from repro.core.parameters import theorem63_round_bound
-from repro.graphs import generators
-
-DELTAS = (4, 8, 16, 24, 32)
-NODES = 128
-EPSILON = 0.5
+from repro.runtime import get, run_scenario_results
 
 
 def _run_sweep():
-    rows = []
-    for delta in DELTAS:
-        graph = generators.random_regular_graph(NODES, delta, seed=delta + 1)
-        outcome = api.color_edges_congest(graph, epsilon=EPSILON)
-        assert outcome.is_proper
-        rows.append(
-            {
-                "delta": delta,
-                "colors": outcome.num_colors,
-                "palette": outcome.details["palette_size"],
-                "bound (8+ε)Δ": round(outcome.bound, 1),
-                "rounds": outcome.rounds,
-                "paper bound O(log¹²Δ/ε⁶ + log* n)": round(
-                    theorem63_round_bound(EPSILON, delta, NODES)
-                ),
-            }
-        )
-    return rows
+    results = run_scenario_results(get("e2_congest"))
+    return [
+        {
+            "delta": r["delta"],
+            "colors": r["colors"],
+            "palette": r["palette"],
+            "bound (8+ε)Δ": r["bound"],
+            "rounds": r["rounds"],
+            "paper bound O(log¹²Δ/ε⁶ + log* n)": r["paper_round_bound"],
+        }
+        for r in results
+    ]
 
 
 def test_e2_congest_color_bound(benchmark, record_table):

@@ -3,38 +3,32 @@
 Claim reproduced: on bipartite 2-colored graphs the recursive defective
 splitting uses O(Δ) colors (the asymptotic bound is (2+ε)Δ; small graphs
 carry the additive +1 per leaf part), in rounds polylogarithmic in Δ.
+
+The workload is the registered ``e3_bipartite`` scenario of
+:mod:`repro.runtime`; this script formats the claim table and asserts
+the bounds.
 """
 
 from __future__ import annotations
 
-from repro import api
 from repro.analysis.tables import format_table
-from repro.core.parameters import lemma61_round_bound
-from repro.graphs import generators
-
-DELTAS = (4, 8, 16, 24)
-SIDE = 64
-EPSILON = 0.5
+from repro.runtime import get, run_scenario_results
 
 
 def _run_sweep():
-    rows = []
-    for delta in DELTAS:
-        graph, bipartition = generators.regular_bipartite_graph(SIDE, delta, seed=delta + 2)
-        outcome = api.color_edges_bipartite(graph, bipartition, epsilon=EPSILON)
-        assert outcome.is_proper
-        rows.append(
-            {
-                "delta": delta,
-                "colors": outcome.num_colors,
-                "palette": outcome.details["palette_size"],
-                "bound (2+ε)Δ": round(outcome.bound, 1),
-                "leaf parts": outcome.details["part_count"],
-                "rounds": outcome.rounds,
-                "paper bound O(log¹¹Δ/ε⁶)": round(lemma61_round_bound(EPSILON, delta)),
-            }
-        )
-    return rows
+    results = run_scenario_results(get("e3_bipartite"))
+    return [
+        {
+            "delta": r["delta"],
+            "colors": r["colors"],
+            "palette": r["palette"],
+            "bound (2+ε)Δ": r["bound"],
+            "leaf parts": r["part_count"],
+            "rounds": r["rounds"],
+            "paper bound O(log¹¹Δ/ε⁶)": r["paper_round_bound"],
+        }
+        for r in results
+    ]
 
 
 def test_e3_bipartite_color_bound(benchmark, record_table):

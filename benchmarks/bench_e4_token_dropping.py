@@ -3,107 +3,75 @@
 Claims reproduced: the distributed algorithm runs for ⌊k/δ⌋−1 phases
 (i.e. O(k/δ) rounds), never lets a node exceed ``k`` tokens, and every
 still-active arc satisfies the slack bound of Theorem 4.3.
+
+The workload is the registered ``e4_token_dropping`` scenario of
+:mod:`repro.runtime` — four layered-DAG configurations plus the
+ring-of-cliques instance (general directed graphs with cycles are the
+paper's generalization over [14]).
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.analysis.tables import format_table
-from repro.core.token_dropping import (
-    TokenDroppingGame,
-    layered_dag,
-    run_token_dropping,
-    uniform_alpha,
-)
-from repro.graphs.core import DirectedGraph
-
-CONFIGS = (
-    {"layers": 6, "width": 16, "k": 8, "delta": 1},
-    {"layers": 6, "width": 16, "k": 16, "delta": 1},
-    {"layers": 6, "width": 16, "k": 16, "delta": 4},
-    {"layers": 10, "width": 32, "k": 32, "delta": 4},
-)
+from repro.runtime import get, run_scenario_results
 
 
-def _build_game(layers: int, width: int, k: int, delta: int) -> TokenDroppingGame:
-    graph = layered_dag(layers, width, connect=3)
-    tokens = [0] * graph.num_nodes
-    for i in range(width):
-        tokens[(layers - 1) * width + i] = k
-        tokens[(layers - 2) * width + i] = k // 2
-    return TokenDroppingGame(
-        graph=graph,
-        k=k,
-        initial_tokens=tokens,
-        alpha=uniform_alpha(graph.num_nodes, delta),
-        delta=delta,
+def _run_variant(variant):
+    # Restrict the spec to the variant under test so each benchmark
+    # number times only its own cells (cache keys are unaffected —
+    # they depend on the cell params, not on which cells are selected).
+    spec = get("e4_token_dropping")
+    sub = dataclasses.replace(
+        spec, cells=tuple(c for c in spec.cells if c.params["variant"] == variant)
     )
-
-
-def _run_all():
-    rows = []
-    for config in CONFIGS:
-        game = _build_game(**config)
-        result = run_token_dropping(game)
-        rows.append(
-            {
-                "layers": config["layers"],
-                "width": config["width"],
-                "k": config["k"],
-                "delta": config["delta"],
-                "phases": result.phases,
-                "phase bound ⌊k/δ⌋−1": config["k"] // config["delta"] - 1,
-                "max tokens": result.max_tokens(),
-                "moved arcs": len(result.moved_arcs),
-                "slack violations": len(result.slack_violations()),
-            }
-        )
-    return rows
+    return run_scenario_results(sub)
 
 
 def test_e4_token_dropping_guarantees(benchmark, record_table):
-    rows = benchmark.pedantic(_run_all, rounds=1, iterations=1)
-    record_table("E4_token_dropping", format_table(rows))
-    for row in rows:
-        assert row["phases"] == row["phase bound ⌊k/δ⌋−1"]
-        assert row["max tokens"] <= row["k"]
-        assert row["slack violations"] == 0
-
-
-def _run_cyclic_game():
-    # General directed graphs (with cycles) are the paper's generalization
-    # over [14]; measure a ring-of-cliques instance.
-    n = 60
-    arcs = []
-    for v in range(n):
-        arcs.append((v, (v + 1) % n))
-        arcs.append((v, (v + 7) % n))
-        arcs.append(((v + 3) % n, v))
-    graph = DirectedGraph(n, arcs)
-    k = 12
-    tokens = [k if v % 3 == 0 else 0 for v in range(n)]
-    game = TokenDroppingGame(
-        graph=graph, k=k, initial_tokens=tokens, alpha=uniform_alpha(n, 2), delta=2
+    layered = benchmark.pedantic(_run_variant, args=("layered",), rounds=1, iterations=1)
+    record_table(
+        "E4_token_dropping",
+        format_table(
+            [
+                {
+                    "k": r["k"],
+                    "delta": r["delta"],
+                    "phases": r["phases"],
+                    "phase bound ⌊k/δ⌋−1": r["phase_bound"],
+                    "max tokens": r["max_tokens"],
+                    "moved arcs": r["moved_arcs"],
+                    "slack violations": r["slack_violations"],
+                }
+                for r in layered
+            ]
+        ),
     )
-    return game, run_token_dropping(game)
+    for row in layered:
+        assert row["phases"] == row["phase_bound"]
+        assert row["max_tokens"] <= row["k"]
+        assert row["slack_violations"] == 0
 
 
 def test_e4_token_dropping_on_cyclic_graphs(benchmark, record_table):
-    game, result = benchmark.pedantic(_run_cyclic_game, rounds=1, iterations=1)
+    cyclic = benchmark.pedantic(_run_variant, args=("cyclic",), rounds=1, iterations=1)
+    assert len(cyclic) == 1
+    row = cyclic[0]
     record_table(
         "E4_token_dropping_cyclic",
         format_table(
             [
                 {
-                    "nodes": game.graph.num_nodes,
-                    "arcs": game.graph.num_arcs,
-                    "k": game.k,
-                    "delta": game.delta,
-                    "phases": result.phases,
-                    "max tokens": result.max_tokens(),
-                    "slack violations": len(result.slack_violations()),
+                    "nodes": row["nodes"],
+                    "k": row["k"],
+                    "delta": row["delta"],
+                    "phases": row["phases"],
+                    "max tokens": row["max_tokens"],
+                    "slack violations": row["slack_violations"],
                 }
             ]
         ),
     )
-    assert result.max_tokens() <= game.k
-    assert result.slack_violations() == []
+    assert row["max_tokens"] <= row["k"]
+    assert row["slack_violations"] == 0

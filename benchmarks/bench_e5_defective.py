@@ -4,50 +4,46 @@ Claims reproduced: for λ_e = 1/2 the split roughly halves every edge's
 same-colored neighborhood (defect ≈ deg(e)/2 up to (1+ε) and the additive
 β), and the defect bound of Definition 5.1 holds with the analytic β.
 The ε-sweep doubles as the ablation on the orientation slack.
+
+The workload is the registered ``e5_defective`` scenario of
+:mod:`repro.runtime` (half-split ε-sweep plus the Section 7 list-driven
+λ regime).
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.analysis.tables import format_table
-from repro.core import parameters
-from repro.core.defective_edge_coloring import (
-    generalized_defective_two_edge_coloring,
-    half_split_lambdas,
-)
-from repro.graphs import generators
-
-EPSILONS = (1.0, 0.5, 0.25)
-DELTA = 12
-SIDE = 48
+from repro.runtime import get, run_scenario_results
 
 
-def _run_sweep():
-    graph, bipartition = generators.regular_bipartite_graph(SIDE, DELTA, seed=17)
-    bar_delta = graph.max_edge_degree
-    rows = []
-    for epsilon in EPSILONS:
-        result = generalized_defective_two_edge_coloring(
-            graph, bipartition, half_split_lambdas(graph.edges()), epsilon=epsilon
-        )
-        beta = parameters.beta_theoretical(epsilon, bar_delta)
-        rows.append(
-            {
-                "epsilon": epsilon,
-                "edge degree Δ̄": bar_delta,
-                "max defect": result.max_defect(),
-                "ideal Δ̄/2": bar_delta // 2,
-                "(1+ε)Δ̄/2": round((1 + epsilon) * bar_delta / 2, 1),
-                "analytic 2β": round(2 * beta),
-                "violations vs Def. 5.1": len(result.violations(beta=2 * beta)),
-                "orientation phases": result.orientation.phases,
-                "rounds": result.rounds,
-            }
-        )
-    return rows
+def _run_variant(variant):
+    # Restrict to the variant under test so each benchmark number only
+    # times its own cells (cache keys depend on cell params alone).
+    spec = get("e5_defective")
+    sub = dataclasses.replace(
+        spec, cells=tuple(c for c in spec.cells if c.params["variant"] == variant)
+    )
+    return run_scenario_results(sub)
 
 
 def test_e5_defective_two_coloring_quality(benchmark, record_table):
-    rows = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    half = benchmark.pedantic(_run_variant, args=("half",), rounds=1, iterations=1)
+    rows = [
+        {
+            "epsilon": r["epsilon"],
+            "edge degree Δ̄": r["edge_degree"],
+            "max defect": r["max_defect"],
+            "ideal Δ̄/2": r["edge_degree"] // 2,
+            "(1+ε)Δ̄/2": round((1 + r["epsilon"]) * r["edge_degree"] / 2, 1),
+            "analytic 2β": r["analytic_two_beta"],
+            "violations vs Def. 5.1": r["violations"],
+            "orientation phases": r["orientation_phases"],
+            "rounds": r["rounds"],
+        }
+        for r in half
+    ]
     record_table("E5_defective_two_coloring", format_table(rows))
     for row in rows:
         # Definition 5.1 with the analytic β always holds.
@@ -56,32 +52,21 @@ def test_e5_defective_two_coloring_quality(benchmark, record_table):
         assert row["max defect"] <= 0.85 * row["edge degree Δ̄"]
 
 
-def _run_list_driven():
-    graph, bipartition = generators.regular_bipartite_graph(SIDE, DELTA, seed=23)
-    # Lists concentrated on the left half for half the edges and on the
-    # right half for the rest: λ_e is far from 1/2 (the Section 7 regime).
-    lambdas = {e: (0.8 if e % 2 == 0 else 0.2) for e in graph.edges()}
-    result = generalized_defective_two_edge_coloring(
-        graph, bipartition, lambdas, epsilon=0.5
-    )
-    return graph, result
-
-
 def test_e5_list_driven_lambdas(benchmark, record_table):
-    graph, result = benchmark.pedantic(_run_list_driven, rounds=1, iterations=1)
-    bar_delta = graph.max_edge_degree
-    beta = parameters.beta_theoretical(0.5, bar_delta)
+    driven = benchmark.pedantic(_run_variant, args=("list_driven",), rounds=1, iterations=1)
+    assert len(driven) == 1
+    row = driven[0]
     record_table(
         "E5_list_driven",
         format_table(
             [
                 {
                     "lambda": "0.8 / 0.2 alternating",
-                    "max defect": result.max_defect(),
-                    "edge degree Δ̄": bar_delta,
-                    "violations vs Def. 5.1": len(result.violations(beta=2 * beta)),
+                    "max defect": row["max_defect"],
+                    "edge degree Δ̄": row["edge_degree"],
+                    "violations vs Def. 5.1": row["violations"],
                 }
             ]
         ),
     )
-    assert result.violations(beta=2 * beta) == []
+    assert row["violations"] == 0

@@ -6,72 +6,59 @@ schedule and the linear-in-Δ color reduction.  The log–log slope of the
 round count against Δ quantifies the effective exponent: ≈ 2 for the
 greedy baseline, ≈ 1 for the linear baseline, and well below that for the
 paper's divide-and-conquer algorithms (whose analytic bound is polylog Δ).
+
+The workload is the registered ``e6_round_scaling`` scenario of
+:mod:`repro.runtime`; the cross-cell slope analysis stays here.
 """
 
 from __future__ import annotations
 
-from repro import api
 from repro.analysis.complexity import loglog_slope
 from repro.analysis.tables import format_table
-from repro.baselines.greedy_by_classes import greedy_baseline_edge_coloring
-from repro.baselines.panconesi_rizzi import linear_in_delta_edge_coloring
-from repro.baselines.randomized import randomized_edge_coloring
-from repro.graphs import generators
+from repro.runtime import get, run_scenario_results
 
-DELTAS = (8, 16, 32, 48)
-#: Δ values on which every algorithm's divide-and-conquer machinery is
-#: active (used for the effective-exponent comparison; the smallest Δ is
-#: reported but sits below the practical cutover of the paper's algorithms).
-SLOPE_DELTAS = DELTAS[1:]
-NODES = 128
+ALGORITHMS = (
+    "local-list-coloring",
+    "congest-8eps",
+    "greedy-by-classes",
+    "linear-in-delta",
+    "randomized",
+)
 
 
 def _run_sweep():
-    series = {
-        "local-list-coloring": [],
-        "congest-8eps": [],
-        "greedy-by-classes": [],
-        "linear-in-delta": [],
-        "randomized": [],
-    }
-    rows = []
-    for delta in DELTAS:
-        graph = generators.random_regular_graph(NODES, delta, seed=delta + 3)
-        local = api.color_edges_local(graph)
-        congest = api.color_edges_congest(graph, epsilon=0.5)
-        greedy = greedy_baseline_edge_coloring(graph)
-        linear = linear_in_delta_edge_coloring(graph)
-        rand = randomized_edge_coloring(graph, seed=delta)
-        series["local-list-coloring"].append(local.rounds)
-        series["congest-8eps"].append(congest.rounds)
-        series["greedy-by-classes"].append(greedy.rounds)
-        series["linear-in-delta"].append(linear.rounds)
-        series["randomized"].append(rand.rounds)
-        rows.append(
-            {
-                "delta": delta,
-                "local (2Δ−1)": local.rounds,
-                "congest (8+ε)Δ": congest.rounds,
-                "greedy O(Δ²)": greedy.rounds,
-                "linear O(Δ log Δ)": linear.rounds,
-                "randomized O(log n)": rand.rounds,
-            }
-        )
-    return rows, series
+    results = run_scenario_results(get("e6_round_scaling"))
+    deltas = [r["delta"] for r in results]
+    series = {name: [r["rounds"][name] for r in results] for name in ALGORITHMS}
+    rows = [
+        {
+            "delta": r["delta"],
+            "local (2Δ−1)": r["rounds"]["local-list-coloring"],
+            "congest (8+ε)Δ": r["rounds"]["congest-8eps"],
+            "greedy O(Δ²)": r["rounds"]["greedy-by-classes"],
+            "linear O(Δ log Δ)": r["rounds"]["linear-in-delta"],
+            "randomized O(log n)": r["rounds"]["randomized"],
+        }
+        for r in results
+    ]
+    return rows, deltas, series
 
 
 def test_e6_round_scaling_against_baselines(benchmark, record_table):
-    rows, series = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
-    skip = len(DELTAS) - len(SLOPE_DELTAS)
+    rows, deltas, series = benchmark.pedantic(_run_sweep, rounds=1, iterations=1)
+    # Δ values on which every algorithm's divide-and-conquer machinery is
+    # active (the smallest Δ sits below the practical cutover).
+    slope_deltas = deltas[1:]
+    skip = len(deltas) - len(slope_deltas)
     slopes = {
-        name: loglog_slope(SLOPE_DELTAS, values[skip:]) for name, values in series.items()
+        name: loglog_slope(slope_deltas, values[skip:]) for name, values in series.items()
     }
     table = format_table(rows)
     slope_table = format_table(
         [
             {
                 "algorithm": name,
-                f"loglog slope vs Δ (Δ ≥ {SLOPE_DELTAS[0]})": round(slope, 2),
+                f"loglog slope vs Δ (Δ ≥ {slope_deltas[0]})": round(slope, 2),
             }
             for name, slope in slopes.items()
         ]

@@ -4,41 +4,31 @@ Claim reproduced: for fixed Δ, increasing the network size (and with it
 the identifier space) increases the round counts only through the
 O(log* n) term of the initial coloring — the growth is far slower than
 logarithmic in n.
+
+The workload is the registered ``e7_logstar`` scenario of
+:mod:`repro.runtime`; the cross-cell growth asserts stay here.
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.baselines.greedy_by_classes import greedy_baseline_edge_coloring
-from repro.coloring.linial import linial_vertex_coloring
-from repro.distributed.rounds import RoundTracker
-from repro.graphs import generators
-from repro.graphs.identifiers import log_star
-
-SIZES = (32, 128, 512, 2048)
+from repro.runtime import get, run_scenario_results
 
 
 def _run_sweep():
-    rows = []
-    for n in SIZES:
-        graph = generators.graph_with_scrambled_ids(
-            generators.cycle_graph(n), seed=n, id_space_factor=16
-        )
-        tracker = RoundTracker()
-        _colors, num_colors = linial_vertex_coloring(graph, tracker=tracker)
-        baseline = greedy_baseline_edge_coloring(graph)
-        rows.append(
-            {
-                "n": n,
-                "id space": 16 * n,
-                "log* n": log_star(16 * n),
-                "linial rounds": tracker.total,
-                "linial colors": num_colors,
-                "greedy (2Δ−1) rounds": baseline.rounds,
-                "greedy colors": baseline.num_colors,
-            }
-        )
-    return rows
+    results = run_scenario_results(get("e7_logstar"))
+    return [
+        {
+            "n": r["n"],
+            "id space": r["id_space"],
+            "log* n": r["log_star"],
+            "linial rounds": r["linial_rounds"],
+            "linial colors": r["linial_colors"],
+            "greedy (2Δ−1) rounds": r["greedy_rounds"],
+            "greedy colors": r["greedy_colors"],
+        }
+        for r in results
+    ]
 
 
 def test_e7_log_star_growth(benchmark, record_table):

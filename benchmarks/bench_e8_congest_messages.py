@@ -6,40 +6,39 @@ O(log n) bits.  Two measurements: (a) the message-passing Linial coloring
 simulator; (b) the value ranges handled by the Theorem 6.3 pipeline
 (colors, counters, phase indices), all of which are polynomial in n and
 therefore O(log n)-bit quantities.
+
+The workloads are the registered ``e8_linial`` / ``e8_values`` scenarios
+of :mod:`repro.runtime` (the audit here runs the n ≤ 1024 cells; the
+larger perf cells belong to the e2e harness).
 """
 
 from __future__ import annotations
 
+import dataclasses
+
 from repro.analysis.tables import format_table
-from repro.coloring.linial import LinialNodeAlgorithm
-from repro.core.congest_coloring import congest_edge_coloring
-from repro.distributed.messages import message_size_bits
-from repro.distributed.model import Model, congest_bit_budget
-from repro.distributed.network import SynchronousNetwork
-from repro.graphs import generators
-from repro.graphs.identifiers import id_space_size
+from repro.runtime import get, run_scenario_results
+
+
+def _audit_spec():
+    spec = get("e8_linial")
+    return dataclasses.replace(
+        spec, cells=tuple(c for c in spec.cells if int(c.params["n"]) <= 1024)
+    )
 
 
 def _run_linial_audit():
-    rows = []
-    for n in (64, 256, 1024):
-        graph = generators.graph_with_scrambled_ids(
-            generators.random_regular_graph(n, 4, seed=n), seed=n, id_space_factor=8
-        )
-        network = SynchronousNetwork(
-            graph, model=Model.CONGEST, global_knowledge={"id_space": id_space_size(graph)}
-        )
-        _outputs, metrics = network.run(LinialNodeAlgorithm())
-        rows.append(
-            {
-                "n": n,
-                "budget bits (8·log n)": metrics.congest_budget_bits,
-                "max message bits": metrics.max_message_bits,
-                "messages": metrics.messages,
-                "violations": metrics.congest_violations,
-            }
-        )
-    return rows
+    results = run_scenario_results(_audit_spec())
+    return [
+        {
+            "n": r["n"],
+            "budget bits (8·log n)": r["budget_bits"],
+            "max message bits": r["max_message_bits"],
+            "messages": r["messages"],
+            "violations": r["violations"],
+        }
+        for r in results
+    ]
 
 
 def test_e8_linial_message_audit(benchmark, record_table):
@@ -50,25 +49,16 @@ def test_e8_linial_message_audit(benchmark, record_table):
 
 
 def _run_pipeline_value_audit():
-    graph = generators.random_regular_graph(96, 12, seed=5)
-    result = congest_edge_coloring(graph, epsilon=0.5)
-    budget = congest_bit_budget(graph.num_nodes)
-    values = {
-        "largest color": max(result.colors.values()),
-        "largest node id": max(graph.node_ids),
-        "largest level degree": max(result.level_degrees or [0]),
-        "palette size": result.palette_size,
-    }
-    rows = [
+    result = run_scenario_results(get("e8_values"))[0]
+    return [
         {
             "quantity": name,
-            "value": value,
-            "bits": message_size_bits(int(value)),
-            "budget bits": budget,
+            "value": entry["value"],
+            "bits": entry["bits"],
+            "budget bits": result["budget_bits"],
         }
-        for name, value in values.items()
+        for name, entry in sorted(result["values"].items())
     ]
-    return rows
 
 
 def test_e8_pipeline_values_fit_budget(benchmark, record_table):

@@ -5,43 +5,31 @@ edge from its list for instances with slack S ≥ 1 (the paper analyses
 S ≥ e²; slack only affects rounds here), and the Lemma D.3 substitute
 reduces the uncolored degree of a slack-1 bipartite instance by a large
 factor using a bounded number of sequential solver calls.
+
+The workloads are the registered ``e9_slack`` / ``e9_degree_reduction``
+scenarios of :mod:`repro.runtime`.
 """
 
 from __future__ import annotations
 
 from repro.analysis.tables import format_table
-from repro.core.list_edge_coloring import partially_color_bipartite, solve_relaxed_instance
-from repro.core.slack import ListEdgeColoringInstance, uniform_instance
-from repro.graphs import generators
-from repro.verification.checkers import is_proper_edge_coloring, list_coloring_violations
-
-SLACKS = (1.0, 2.0, 4.0)
-DELTA = 10
-SIDE = 48
+from repro.runtime import get, run_scenario_results
 
 
 def _run_solver_sweep():
-    rows = []
-    for slack in SLACKS:
-        graph, bipartition = generators.regular_bipartite_graph(SIDE, DELTA, seed=int(slack * 10))
-        lists, space = generators.list_edge_coloring_lists(
-            graph, slack=slack, color_space=int(4 * slack * DELTA), seed=int(slack * 7)
-        )
-        instance = ListEdgeColoringInstance(graph, {e: lists[e] for e in graph.edges()}, space)
-        colors = solve_relaxed_instance(graph, bipartition, instance.lists)
-        violations = list_coloring_violations(graph, colors, instance.lists)
-        rows.append(
-            {
-                "slack S": slack,
-                "color space C": space,
-                "edges": graph.num_edges,
-                "colored": len(colors),
-                "proper": is_proper_edge_coloring(graph, colors),
-                "list violations": len(violations),
-                "min slack measured": round(instance.min_slack(), 2),
-            }
-        )
-    return rows
+    results = run_scenario_results(get("e9_slack"))
+    return [
+        {
+            "slack S": r["slack"],
+            "color space C": r["color_space"],
+            "edges": r["edges"],
+            "colored": r["colored"],
+            "proper": r["proper"],
+            "list violations": r["list_violations"],
+            "min slack measured": r["min_slack_measured"],
+        }
+        for r in results
+    ]
 
 
 def test_e9_relaxed_instance_solver(benchmark, record_table):
@@ -54,29 +42,15 @@ def test_e9_relaxed_instance_solver(benchmark, record_table):
 
 
 def _run_degree_reduction():
-    graph, bipartition = generators.regular_bipartite_graph(SIDE, DELTA, seed=31)
-    instance = uniform_instance(graph)
-    bar_delta = graph.max_edge_degree
-    newly = partially_color_bipartite(
-        graph, bipartition, instance, list(graph.edges()), coloring={}
-    )
-    uncolored = [e for e in graph.edges() if e not in newly]
-    if uncolored:
-        degrees = graph.edge_subgraph_degrees(set(uncolored))
-        worst = max(
-            degrees[graph.edge_endpoints(e)[0]] + degrees[graph.edge_endpoints(e)[1]] - 2
-            for e in uncolored
-        )
-    else:
-        worst = 0
+    r = run_scenario_results(get("e9_degree_reduction"))[0]
     return {
-        "edges": graph.num_edges,
-        "initial Δ̄": bar_delta,
-        "colored by one pass": len(newly),
-        "uncolored": len(uncolored),
-        "uncolored Δ̄ after": worst,
-        "reduction factor": round(bar_delta / max(1, worst), 2),
-        "proper": is_proper_edge_coloring(graph, newly, edge_set=list(newly.keys())),
+        "edges": r["edges"],
+        "initial Δ̄": r["initial_edge_degree"],
+        "colored by one pass": r["colored"],
+        "uncolored": r["uncolored"],
+        "uncolored Δ̄ after": r["uncolored_edge_degree"],
+        "reduction factor": r["reduction_factor"],
+        "proper": r["proper"],
     }
 
 

@@ -11,6 +11,15 @@ larger instances (n up to 512 and Δ up to 64 for the Theorem D.4
 pipeline; n up to 10⁴ for the message-passing Linial audit on the
 array-batched simulator) so the perf trajectory of later PRs has both a
 regression floor and headroom.
+
+Role since the :mod:`repro.runtime` migration: the current tree is
+measured through the scenario registry (``e1_sweep`` etc. in
+:mod:`repro.runtime.scenarios`); this module remains the *seed-worktree
+measurement path* — ``run_benchmarks.py --emit-records`` executes it
+against the seed revision's ``repro`` package, so it must only use
+seed-era APIs and must keep its cell grid identical to the registry's
+perf specs (``tests/test_runtime_registry.py`` pins the two grids
+against each other).
 """
 
 from __future__ import annotations

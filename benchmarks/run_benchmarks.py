@@ -21,10 +21,20 @@ every output, and writes ``BENCH_e2e.json`` containing
   loaded machine is not comparable).  ``benchmarks/seed_baseline.json``
   (recorded once at the seed revision) is the fallback when git is
   unavailable.
-* ``summary`` — per-scenario wall totals and before/after speedups.
+* ``summary`` — per-scenario wall totals and before/after speedups,
+* ``env`` — machine/environment metadata (python and numpy versions,
+  platform, cpu count, the ``REPRO_SCAN_PATH`` / ``REPRO_SEND_PLANE``
+  knobs) so cross-PR trajectories are comparable.
 
 Later PRs extend the trajectory by re-running this harness and beating
 the recorded ``after`` numbers.
+
+The current tree is measured through the :mod:`repro.runtime` scenario
+registry (``e1_sweep`` / ``e1_large`` / ``e1_list`` / ``e6_congest`` /
+``e8_linial``); the seed-revision subprocess falls back to the legacy
+:mod:`benchmarks.perf_scenarios` cell table, which only uses seed-era
+APIs — ``tests/test_runtime_registry.py`` pins both grids against each
+other so they cannot drift.
 """
 
 from __future__ import annotations
@@ -55,7 +65,13 @@ OUTPUT_PATH = os.path.join(HERE, "BENCH_e2e.json")
 SEED_TREE = os.path.join(REPO, ".bench_seed_tree")
 
 
-def measure(quick: bool, log=print) -> list:
+def measure_legacy(quick: bool, log=print) -> list:
+    """Measure through the legacy :mod:`benchmarks.perf_scenarios` cells.
+
+    Used for the seed-revision subprocess, whose ``repro`` package
+    predates :mod:`repro.runtime` (the module only touches seed-era
+    APIs by design).
+    """
     warmup()
     records = []
     for cell in scenarios():
@@ -69,6 +85,51 @@ def measure(quick: bool, log=print) -> list:
                 f"{record['wall_seconds']:>8.3f}s  rounds={record['rounds']}"
             )
     return records
+
+
+def measure_runtime(quick: bool, log=print) -> list:
+    """Measure the current tree through the scenario registry.
+
+    Runs the perf scenarios serially (timing cells must not contend for
+    cores) and converts the runtime rows into the legacy
+    ``{scenario, n, delta, wall_seconds, rounds, messages}`` records so
+    the BENCH trajectory stays comparable across PRs.
+    """
+    from repro.runtime import get, run_scenario as run_runtime_scenario
+    from repro.runtime.scenarios import PERF_SCENARIOS
+
+    warmup()
+    records = []
+    for legacy_name, registry_name in PERF_SCENARIOS:
+        report = run_runtime_scenario(get(registry_name), workers=1, quick=quick)
+        for row in report.rows:
+            result = row["result"]
+            record = {
+                "scenario": legacy_name,
+                "n": result["n"],
+                "delta": result.get("delta", row["params"].get("degree", 0)),
+                "wall_seconds": row["timing"]["wall_seconds"],
+                "rounds": result["rounds"],
+                "messages": result.get("messages"),
+                "verified": bool(result.get("verified")),
+            }
+            records.append(record)
+            if log:
+                log(
+                    f"{record['scenario']:>10}  n={record['n']:>4}  Δ={record['delta']:>2}  "
+                    f"{record['wall_seconds']:>8.3f}s  rounds={record['rounds']}"
+                )
+    return records
+
+
+def measure(quick: bool, log=print) -> list:
+    """Measure the package on ``sys.path``: runtime registry when present
+    (the current tree), legacy cells otherwise (the seed worktree)."""
+    try:
+        import repro.runtime  # noqa: F401
+    except ImportError:
+        return measure_legacy(quick, log=log)
+    return measure_runtime(quick, log=log)
 
 
 def measure_seed_live(quick: bool) -> list:
@@ -106,6 +167,37 @@ def measure_seed_live(quick: bool) -> list:
             capture_output=True,
         )
         shutil.rmtree(SEED_TREE, ignore_errors=True)
+
+
+def environment_metadata() -> dict:
+    """Machine/environment fingerprint recorded next to the numbers.
+
+    Wall-clock trajectories are only comparable across PRs when the
+    machine state is known; this pins the interpreter, numpy, platform,
+    core count and the engine knobs the run executed under.
+    """
+    try:
+        import numpy
+
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    # One source of truth for knob resolution: the same resolver the
+    # runtime uses for its cache keys.  The metadata block is only
+    # written for the current tree, where repro.runtime always exists.
+    from repro.runtime.spec import resolve_knobs
+
+    knobs = resolve_knobs()
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "numpy": numpy_version,
+        "scan_path": knobs.scan_path,
+        "send_plane": knobs.send_plane,
+    }
 
 
 def summarize(before: list, after: list) -> dict:
@@ -186,7 +278,7 @@ def main() -> int:
         "summary": summarize(before, records),
         "baseline_source": baseline_source,
         "quick": args.quick,
-        "python": platform.python_version(),
+        "env": environment_metadata(),
     }
     with open(OUTPUT_PATH, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=1, sort_keys=True)

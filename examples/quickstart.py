@@ -20,7 +20,7 @@ from repro import api
 from repro.graphs import generators
 
 
-def main() -> None:
+def main():
     graph = generators.random_regular_graph(n=96, degree=8, seed=42)
     print(f"network: {graph.num_nodes} nodes, {graph.num_edges} links, max degree Δ = {graph.max_degree}")
 
@@ -36,6 +36,10 @@ def main() -> None:
     print("\nround breakdown (top 5 phases):")
     for label, rounds in sorted(breakdown.items(), key=lambda kv: -kv[1])[:5]:
         print(f"  {rounds:6d}  {label}")
+
+    # Returned so the test suite can validate the run with the
+    # verification.checkers invariants.
+    return {"graph": graph, "outcome": outcome}
 
 
 if __name__ == "__main__":

@@ -30,7 +30,7 @@ from repro.baselines.randomized import randomized_edge_coloring
 from repro.graphs import generators
 
 
-def main() -> None:
+def main():
     mesh = generators.power_law_graph(n=150, attachment=4, seed=11)
     delta = mesh.max_degree
     print(f"mesh: {mesh.num_nodes} routers, {mesh.num_edges} links, max degree Δ = {delta}")
@@ -62,6 +62,15 @@ def main() -> None:
         f"\nper-router active slots: max {max(per_node_slots)}, "
         f"median {sorted(per_node_slots)[len(per_node_slots) // 2]}"
     )
+
+    # Returned so the test suite can validate the schedules with the
+    # verification.checkers invariants.
+    return {
+        "mesh": mesh,
+        "congest": congest,
+        "greedy": greedy,
+        "randomized": randomized,
+    }
 
 
 if __name__ == "__main__":

@@ -68,8 +68,15 @@ def run_algorithm_suite(
     parameters: Optional[Dict[str, object]] = None,
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     seed: int = 0,
+    scan_path: str = "auto",
 ) -> List[ExperimentRecord]:
-    """Run the selected algorithms on one graph and collect records."""
+    """Run the selected algorithms on one graph and collect records.
+
+    ``scan_path`` selects the orientation engine of the paper's
+    algorithms (``"auto"`` / ``"numpy"`` / ``"python"``); the forced
+    engines are bit-identical, so the knob only matters for perf and
+    testing (the scenario runtime threads it through for cache keying).
+    """
     parameters = dict(parameters or {})
     records: List[ExperimentRecord] = []
 
@@ -88,10 +95,10 @@ def run_algorithm_suite(
         )
 
     if "local-list-coloring" in algorithms:
-        outcome = api.color_edges_local(graph)
+        outcome = api.color_edges_local(graph, scan_path=scan_path)
         add(outcome.algorithm, outcome.colors, outcome.num_colors, outcome.bound, outcome.rounds)
     if "congest-8eps" in algorithms:
-        outcome = api.color_edges_congest(graph)
+        outcome = api.color_edges_congest(graph, scan_path=scan_path)
         add(outcome.algorithm, outcome.colors, outcome.num_colors, outcome.bound, outcome.rounds)
     if "greedy-by-classes" in algorithms:
         result = greedy_baseline_edge_coloring(graph)
@@ -118,6 +125,7 @@ def sweep(
     parameter_name: str = "value",
     algorithms: Sequence[str] = DEFAULT_ALGORITHMS,
     seed: int = 0,
+    scan_path: str = "auto",
 ) -> List[ExperimentRecord]:
     """Run the algorithm suite over a family of graphs indexed by ``values``."""
     records: List[ExperimentRecord] = []
@@ -130,6 +138,7 @@ def sweep(
                 parameters={parameter_name: value, "n": graph.num_nodes, "delta": graph.max_degree},
                 algorithms=algorithms,
                 seed=seed,
+                scan_path=scan_path,
             )
         )
     return records

@@ -17,6 +17,7 @@ from repro.core.bipartite_coloring import bipartite_edge_coloring
 from repro.core.congest_coloring import congest_edge_coloring
 from repro.core.list_edge_coloring import list_edge_coloring
 from repro.core.slack import ListEdgeColoringInstance
+from repro.distributed.model import Model
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.bipartite import Bipartition, find_bipartition
 from repro.graphs.core import Graph
@@ -105,6 +106,81 @@ def color_edges_congest(
             "level_degrees": result.level_degrees,
             "round_breakdown": tracker.breakdown,
         },
+    )
+
+
+@dataclass
+class MessagePassingOutcome:
+    """Result of one audited run on the synchronous message-passing simulator.
+
+    Attributes:
+        algorithm: short name of the node algorithm that ran.
+        outputs: per-node outputs, indexed by node.
+        rounds: synchronous rounds executed.
+        messages: non-``None`` payloads delivered.
+        max_message_bits: size of the largest audited message.
+        congest_budget_bits: the CONGEST bit budget of the run.
+        congest_violations: number of payloads over budget (0 for a
+            compliant algorithm).
+    """
+
+    algorithm: str
+    outputs: list
+    rounds: int
+    messages: int
+    max_message_bits: int
+    congest_budget_bits: Optional[int]
+    congest_violations: int
+
+
+def build_linial_network(graph: Graph):
+    """A CONGEST-audited simulator network prepared for Linial coloring.
+
+    Split out of :func:`run_linial_network` so perf callers can keep the
+    network construction outside their timed region and reuse one
+    network across repeated runs.
+    """
+    from repro.distributed.network import SynchronousNetwork
+    from repro.graphs.identifiers import id_space_size
+
+    return SynchronousNetwork(
+        graph, model=Model.CONGEST, global_knowledge={"id_space": id_space_size(graph)}
+    )
+
+
+def run_linial_network(
+    graph: Graph,
+    send_plane: str = "auto",
+    network=None,
+) -> MessagePassingOutcome:
+    """Run message-passing Linial coloring under the CONGEST audit (E8).
+
+    ``send_plane`` selects how outgoing messages enter the simulator's
+    round buffer (``"auto"`` / ``"batched"`` / ``"dict"``; see
+    :meth:`repro.distributed.network.SynchronousNetwork.run`) — both
+    planes are bit-identical, so the knob only matters for perf and
+    testing.  ``network`` optionally reuses a prebuilt
+    :func:`build_linial_network` simulator (perf callers keep the
+    construction untimed).
+    """
+    from repro.coloring.linial import LinialNodeAlgorithm
+
+    if network is None:
+        network = build_linial_network(graph)
+    elif network.graph is not graph:
+        raise ValueError(
+            "the prebuilt network was constructed for a different graph; "
+            "pass the graph it was built from (build_linial_network(graph))"
+        )
+    outputs, metrics = network.run(LinialNodeAlgorithm(), send_plane=send_plane)
+    return MessagePassingOutcome(
+        algorithm="linial-message-passing",
+        outputs=outputs,
+        rounds=metrics.rounds,
+        messages=metrics.messages,
+        max_message_bits=metrics.max_message_bits,
+        congest_budget_bits=metrics.congest_budget_bits,
+        congest_violations=metrics.congest_violations,
     )
 
 

@@ -4,11 +4,21 @@ Run one of the edge-coloring algorithms on a generated graph and print a
 summary, e.g.::
 
     repro-edge-coloring --algorithm local --family random-regular --n 64 --degree 8
+
+The ``scenarios`` subcommand family exposes the experiment runtime
+(:mod:`repro.runtime`) — the scenario registry, the sharded executor and
+the JSONL result store::
+
+    python -m repro scenarios list
+    python -m repro scenarios run e1_sweep --workers 4 --resume
+    python -m repro scenarios report e1_sweep
+    python -m repro scenarios diff left.jsonl right.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 from typing import Optional
 
 from repro import api
@@ -39,6 +49,13 @@ def build_graph(family: str, n: int, degree: int, probability: float, seed: int)
 
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "scenarios":
+        from repro.runtime.cli import scenarios_main
+
+        return scenarios_main(argv[1:])
+
     parser = argparse.ArgumentParser(description="Distributed edge coloring reproduction")
     parser.add_argument(
         "--algorithm",

@@ -86,10 +86,22 @@ class ListColoringResult:
 # ---------------------------------------------------------------------------- helpers
 @dataclass
 class _Part:
-    """An edge-disjoint part of the Lemma D.2 recursion with its lists."""
+    """An edge-disjoint part of the Lemma D.2 recursion with its lists.
+
+    ``lists`` maps each edge to a *shared* base list that is never copied
+    down the recursion; ``bounds`` maps the edge to the ``(lo, hi)``
+    window of that list the part is allowed to use.  On the sorted path a
+    level's color-space split only moves a window boundary (one bisect),
+    so the per-level filtered survivor lists of the pre-optimization code
+    never materialize; an edge's window is sliced into a real list at
+    most once, when the edge turns passive and enters a greedy batch.  On
+    the unsorted fallback the filtered copies are rebuilt as before and
+    the window spans the whole copy.
+    """
 
     edges: List[int]
     lists: Dict[int, List[int]]
+    bounds: Dict[int, Tuple[int, int]]
 
 
 def _edge_degrees_within(graph: Graph, edges: Iterable[int]) -> Dict[int, int]:
@@ -185,13 +197,14 @@ def solve_relaxed_instance(
     # when the input lists are sorted (they are, for every instance the
     # pipeline builds — generators emit sorted lists and all downstream
     # filtering preserves order) a level's split reduces to one bisect
-    # per edge plus a slice of the surviving half: O(log|L| + |child|)
-    # instead of rebuilding every list color-by-color against a set —
-    # and non-surviving edges never materialize a filtered list at all.
-    # One O(total list mass) pass here detects sortedness; unsorted
-    # callers fall back to the generic per-color filter.  Callers that
-    # already know (the Lemma D.3 substitute filters sorted instance
-    # lists order-preservingly) pass the hint and skip the pass.
+    # per edge that moves a (lo, hi) window boundary over the *shared*
+    # base list: O(log|L|) per edge, no per-level survivor list is ever
+    # materialized (an edge's window becomes a real slice at most once,
+    # when it turns passive and enters a greedy batch).  One O(total
+    # list mass) pass here detects sortedness; unsorted callers fall
+    # back to the generic per-color filter with full windows.  Callers
+    # that already know (the Lemma D.3 substitute filters sorted
+    # instance lists order-preservingly) pass the hint and skip the pass.
     lists_sorted = (
         _lists_sorted
         if _lists_sorted is not None
@@ -201,39 +214,76 @@ def solve_relaxed_instance(
         )
     )
 
-    # Lists are never mutated in place (each split level filters into
-    # fresh lists), so the initial parts can alias the caller's lists.
-    parts: List[_Part] = [_Part(edges=list(edges), lists={e: lists[e] for e in edges})]
-    passive_levels: List[List[Tuple[int, List[int]]]] = []
+    # Base lists are never mutated in place, so the parts alias the
+    # caller's lists throughout; only the windows change per level.
+    parts: List[_Part] = [
+        _Part(
+            edges=list(edges),
+            lists={e: lists[e] for e in edges},
+            bounds={e: (0, len(lists[e])) for e in edges},
+        )
+    ]
+    #: Passive entries are ``(edge, base_list, lo, hi)`` windows.
+    passive_levels: List[List[Tuple[int, List[int], int, int]]] = []
 
     for _level in range(max_levels):
         if not parts:
             break
         new_parts: List[_Part] = []
-        level_passive: List[Tuple[int, List[int]]] = []
+        level_passive: List[Tuple[int, List[int], int, int]] = []
         # The parts at one level are edge-disjoint and use disjoint color
         # spaces: their defective splits run in parallel, so the level costs
         # the maximum over the parts.
         level_rounds = 0
         for part in parts:
             part_degrees = _edge_degrees_within(graph, part.edges)
+            bounds = part.bounds
             active: List[int] = []
             for e in part.edges:
                 degree = part_degrees[e]
-                list_size = len(part.lists[e])
+                lo, hi = bounds[e]
+                list_size = hi - lo
                 if degree <= params.leaf_degree or list_size < params.passive_slack_threshold * max(1, degree):
-                    level_passive.append((e, part.lists[e]))
+                    level_passive.append((e, part.lists[e], lo, hi))
                 else:
                     active.append(e)
             if not active:
                 continue
             # Split the part's color space in half by value (Section 7).
-            union = sorted({c for e in active for c in part.lists[e]})
+            union_colors: Set[int] = set()
+            for e in active:
+                lst = part.lists[e]
+                lo, hi = bounds[e]
+                for i in range(lo, hi):
+                    union_colors.add(lst[i])
+            union = sorted(union_colors)
             if len(union) <= 1:
-                level_passive.extend((e, part.lists[e]) for e in active)
+                level_passive.extend(
+                    (e, part.lists[e], bounds[e][0], bounds[e][1]) for e in active
+                )
                 continue
-            left_colors = set(union[: len(union) // 2])
-            lambdas = list_driven_lambdas({e: part.lists[e] for e in active}, left_colors, active)
+            split_boundary = union[len(union) // 2]
+            # On the sorted path membership in the left half is just a
+            # value comparison against the boundary; the explicit set is
+            # only needed by the unsorted per-color filters.
+            left_colors = None if lists_sorted else set(union[: len(union) // 2])
+            if lists_sorted:
+                # ``left_colors`` is the set of union colors below the
+                # boundary, so within a sorted window |L ∩ left| is the
+                # bisect cut — same integers, same division as
+                # ``list_driven_lambdas`` on the materialized list.
+                lambdas = {}
+                for e in active:
+                    lo, hi = bounds[e]
+                    if hi == lo:
+                        lambdas[e] = 0.5
+                        continue
+                    cut = bisect_left(part.lists[e], split_boundary, lo, hi)
+                    lambdas[e] = (cut - lo) / (hi - lo)
+            else:
+                lambdas = list_driven_lambdas(
+                    {e: part.lists[e] for e in active}, left_colors, active
+                )
             part_tracker = RoundTracker()
             split = generalized_defective_two_edge_coloring(
                 graph,
@@ -249,7 +299,6 @@ def solve_relaxed_instance(
             level_rounds = max(level_rounds, part_tracker.total)
             # ``left_colors`` is a prefix of the sorted union, so membership
             # is equivalent to being below the first right-half color.
-            boundary = union[len(union) // 2]
             for side_edges in (sorted(split.red_edges), sorted(split.blue_edges)):
                 if not side_edges:
                     continue
@@ -257,36 +306,47 @@ def solve_relaxed_instance(
                 side_degrees = _edge_degrees_within(graph, side_edges)
                 survivors: List[int] = []
                 survivor_lists: Dict[int, List[int]] = {}
+                survivor_bounds: Dict[int, Tuple[int, int]] = {}
                 for e in side_edges:
                     lst = part.lists[e]
+                    lo, hi = bounds[e]
                     if lists_sorted:
-                        cut = bisect_left(lst, boundary)
-                        kept = cut if keep_left else len(lst) - cut
+                        cut = bisect_left(lst, split_boundary, lo, hi)
+                        kept = cut - lo if keep_left else hi - cut
                         if kept >= side_degrees[e] + 1:
                             survivors.append(e)
-                            survivor_lists[e] = lst[:cut] if keep_left else lst[cut:]
+                            survivor_lists[e] = lst
+                            survivor_bounds[e] = (lo, cut) if keep_left else (cut, hi)
                         else:
                             # Correctness net: the split left this edge with
                             # too few colors; keep it at the parent level.
-                            level_passive.append((e, lst))
+                            level_passive.append((e, lst, lo, hi))
                     else:
+                        # Unsorted fallback: windows are always full here,
+                        # so filtering the base list is filtering the window.
                         filtered = [c for c in lst if (c in left_colors) == keep_left]
                         if len(filtered) >= side_degrees[e] + 1:
                             survivors.append(e)
                             survivor_lists[e] = filtered
+                            survivor_bounds[e] = (0, len(filtered))
                         else:
-                            level_passive.append((e, lst))
+                            level_passive.append((e, lst, lo, hi))
                 if survivors:
-                    new_parts.append(_Part(edges=survivors, lists=survivor_lists))
+                    new_parts.append(
+                        _Part(edges=survivors, lists=survivor_lists, bounds=survivor_bounds)
+                    )
         own.charge(level_rounds, "list-solver-split-level")
         passive_levels.append(level_passive)
         parts = new_parts
 
     # Any still-active leaves are colored first (deepest batch).
     if parts:
-        leftover: List[Tuple[int, List[int]]] = []
+        leftover: List[Tuple[int, List[int], int, int]] = []
         for part in parts:
-            leftover.extend((e, part.lists[e]) for e in part.edges)
+            leftover.extend(
+                (e, part.lists[e], part.bounds[e][0], part.bounds[e][1])
+                for e in part.edges
+            )
         passive_levels.append(leftover)
 
     assigned: Dict[int, int] = dict(existing_colors) if existing_colors else {}
@@ -294,8 +354,13 @@ def solve_relaxed_instance(
     for batch in reversed(passive_levels):
         if not batch:
             continue
-        batch_edges = [e for e, _lst in batch]
-        batch_lists = {e: lst for e, lst in batch}
+        batch_edges = [e for e, _lst, _lo, _hi in batch]
+        # The only materialization point: one slice per passive edge
+        # (full windows alias the base list without copying).
+        batch_lists = {
+            e: (lst if lo == 0 and hi == len(lst) else lst[lo:hi])
+            for e, lst, lo, hi in batch
+        }
         schedule = proper_edge_schedule(
             graph, batch_edges, tracker=own, scan_path=scan_path
         )

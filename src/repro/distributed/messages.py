@@ -211,6 +211,18 @@ class CongestAuditor:
         """Whether every recorded message respected the budget."""
         return not self.violations
 
+    def reset(self) -> None:
+        """Clear the recorded counters (not the budget).
+
+        :meth:`SynchronousNetwork.run` resets its auditor at the start of
+        every execution so a reused network reports per-run violation
+        counts instead of accumulating across runs.
+        """
+        self.messages_recorded = 0
+        self.total_bits = 0
+        self.max_bits = 0
+        self.violations.clear()
+
     def summary(self) -> Dict[str, Optional[int]]:
         """A compact summary used by the benchmarks."""
         return {

@@ -409,6 +409,10 @@ class SynchronousNetwork:
         contexts = self._contexts
         states = [algorithm.initialize(ctx) for ctx in contexts]
         auditor = self._auditor
+        if auditor is not None:
+            # Metrics are per-run: a reused network must not accumulate
+            # audit state from earlier executions.
+            auditor.reset()
         metrics = ExecutionMetrics(
             congest_budget_bits=auditor.budget_bits if auditor else None
         )

@@ -1,0 +1,47 @@
+"""Scenario registry and sharded parallel experiment runtime.
+
+The orchestration layer every repository workload runs through:
+
+* :mod:`repro.runtime.spec` — the declarative :class:`ScenarioSpec` /
+  :class:`Cell` model, per-cell seed derivation and content cache keys.
+* :mod:`repro.runtime.registry` — name → spec lookup; the built-in
+  E1–E11 / perf / analysis scenarios register lazily on first use.
+* :mod:`repro.runtime.workloads` — the named cell runners (picklable
+  across worker processes).
+* :mod:`repro.runtime.executor` — the sharded executor: multiprocessing
+  fan-out, serial fallback, resume-from-store.
+* :mod:`repro.runtime.store` — append-only JSONL results with the
+  content-keyed cache and the timing-excluded diff helpers.
+* :mod:`repro.runtime.cli` — the ``scenarios list|run|report|diff``
+  subcommands.
+
+Determinism contract: result rows are bit-identical regardless of worker
+count, shard assignment and execution order (timing fields excluded);
+see :mod:`repro.runtime.spec` for how seeds and cache keys guarantee it.
+"""
+
+from repro.runtime.executor import RunReport, run_scenario, run_scenario_results
+from repro.runtime.registry import REGISTRY, get, names, register
+from repro.runtime.spec import Cell, Knobs, ScenarioSpec, cache_key, cell_seed, resolve_knobs, spec
+from repro.runtime.store import ResultStore, default_store_path, diff_rows, rows_equivalent
+
+__all__ = [
+    "Cell",
+    "Knobs",
+    "REGISTRY",
+    "ResultStore",
+    "RunReport",
+    "ScenarioSpec",
+    "cache_key",
+    "cell_seed",
+    "default_store_path",
+    "diff_rows",
+    "get",
+    "names",
+    "register",
+    "resolve_knobs",
+    "rows_equivalent",
+    "run_scenario",
+    "run_scenario_results",
+    "spec",
+]

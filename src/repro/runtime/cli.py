@@ -1,0 +1,162 @@
+"""``scenarios`` CLI: list, run, report and diff registry scenarios.
+
+Wired into the main entry point (``python -m repro scenarios ...`` or the
+``repro-edge-coloring scenarios ...`` console script)::
+
+    python -m repro scenarios list
+    python -m repro scenarios run e1_sweep --workers 4
+    python -m repro scenarios run e1_sweep --resume        # zero cells second time
+    python -m repro scenarios report e1_sweep
+    python -m repro scenarios diff a.jsonl b.jsonl         # exit 1 on mismatch
+
+``run`` appends rows to the scenario's JSONL store (default
+``benchmarks/results/scenarios/<name>.jsonl`` under the working
+directory, overridable with ``--out`` / ``REPRO_RESULTS_DIR``); ``diff``
+compares two stores modulo the timing fields — the check CI uses to hold
+the workers=1 vs workers=2 determinism contract.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.runtime import registry
+from repro.runtime.executor import run_scenario
+from repro.runtime.spec import resolve_knobs
+from repro.runtime.store import ResultStore, default_store_path, diff_rows
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    specs = registry.REGISTRY.specs()
+    print(f"{'scenario':<24} {'cells':>5} {'quick':>5}  {'runner':<22} title")
+    for spec in specs:
+        if args.tag and args.tag not in spec.tags:
+            continue
+        print(
+            f"{spec.name:<24} {spec.cell_count():>5} {spec.cell_count(quick=True):>5}  "
+            f"{spec.runner:<22} {spec.title}"
+        )
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    spec = registry.get(args.scenario)
+    store = ResultStore(args.out or default_store_path(spec.name))
+    knobs = resolve_knobs(scan_path=args.scan_path, send_plane=args.send_plane)
+    report = run_scenario(
+        spec,
+        workers=args.workers,
+        quick=args.quick,
+        resume=args.resume,
+        store=store,
+        knobs=knobs,
+        log=print if not args.no_progress else None,
+    )
+    print(
+        f"{spec.name}: {report.executed} executed, {report.skipped} cached, "
+        f"{report.wall_seconds:.2f}s wall (workers={args.workers}) -> {store.path}"
+    )
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = args.path
+    if path is None or not path.endswith(".jsonl"):
+        # Treat the argument as a scenario name.
+        name = path or args.scenario
+        if name is None:
+            print("report needs a scenario name or a .jsonl path", file=sys.stderr)
+            return 2
+        path = default_store_path(name)
+    rows = ResultStore(path).rows()
+    if not rows:
+        print(f"no rows in {path}")
+        return 1
+    by_spec = {}
+    for row in rows:
+        by_spec.setdefault(row.get("spec", "?"), []).append(row)
+    for name, spec_rows in sorted(by_spec.items()):
+        walls = []
+        for row in spec_rows:
+            timing = row.get("timing", {})
+            # A recorded 0.0 best-of-N wall is a legitimate value; only
+            # fall back to the whole-cell wall when no per-run wall exists.
+            wall = timing.get("wall_seconds")
+            walls.append(timing.get("cell_wall_seconds", 0.0) if wall is None else wall)
+        verified = sum(1 for row in spec_rows if row.get("result", {}).get("verified"))
+        keys = {row.get("key") for row in spec_rows}
+        print(
+            f"{name}: {len(spec_rows)} rows ({len(keys)} distinct cells), "
+            f"{verified} verified, total wall {sum(w for w in walls if w):.3f}s"
+        )
+        for row in sorted(spec_rows, key=lambda r: (r.get("cell_index", -1), r.get("key", ""))):
+            result = row.get("result", {})
+            headline = {
+                k: result[k]
+                for k in ("n", "delta", "colors", "rounds", "messages")
+                if k in result
+            }
+            wall = row.get("timing", {}).get("wall_seconds")
+            wall_note = f"  {wall}s" if wall is not None else ""
+            print(f"  [{row.get('cell_index')}] {headline}{wall_note}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    left = ResultStore(args.left).rows()
+    right = ResultStore(args.right).rows()
+    problems = diff_rows(left, right)
+    if problems:
+        print(f"{len(problems)} difference(s) (timing excluded):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"identical modulo timing: {len(left)} rows")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro scenarios",
+        description="Scenario registry runtime: declarative experiment orchestration.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list registered scenarios with cell counts")
+    p_list.add_argument("--tag", help="only scenarios carrying this tag")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_run = sub.add_parser("run", help="run a scenario's cells")
+    p_run.add_argument("scenario", help="registry name (see `scenarios list`)")
+    p_run.add_argument("--workers", type=int, default=1, help="worker pool size (1 = serial)")
+    p_run.add_argument("--quick", action="store_true", help="quick cell subset only")
+    p_run.add_argument(
+        "--resume", action="store_true", help="skip cells already in the result store"
+    )
+    p_run.add_argument("--out", help="JSONL store path (default: benchmarks/results/scenarios/)")
+    p_run.add_argument("--scan-path", dest="scan_path", help="orientation engine knob")
+    p_run.add_argument("--send-plane", dest="send_plane", help="simulator send plane knob")
+    p_run.add_argument("--no-progress", action="store_true", help="suppress per-cell lines")
+    p_run.set_defaults(func=_cmd_run)
+
+    p_report = sub.add_parser("report", help="summarize a result store")
+    p_report.add_argument("path", nargs="?", help="scenario name or .jsonl path")
+    p_report.add_argument("--scenario", help="scenario name (alternative to path)")
+    p_report.set_defaults(func=_cmd_report)
+
+    p_diff = sub.add_parser(
+        "diff", help="compare two result stores modulo timing (exit 1 on mismatch)"
+    )
+    p_diff.add_argument("left")
+    p_diff.add_argument("right")
+    p_diff.set_defaults(func=_cmd_diff)
+
+    return parser
+
+
+def scenarios_main(argv: Optional[List[str]] = None) -> int:
+    """Entry point for the ``scenarios`` subcommand family."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)

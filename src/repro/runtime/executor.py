@@ -1,0 +1,186 @@
+"""Sharded scenario executor: fan cells out over a worker pool.
+
+The executor turns a :class:`~repro.runtime.spec.ScenarioSpec` into a
+list of self-contained cell *payloads* (runner name, canonical params,
+derived seed, resolved knobs, cache key — no live objects), dispatches
+them over a ``multiprocessing`` pool (``workers > 1``) or runs them
+inline (``workers <= 1``, the serial debugging fallback), and appends
+each finished row to the :class:`~repro.runtime.store.ResultStore` as it
+completes, in deterministic cell order.
+
+**Determinism.**  Payloads are built in cell-index order and dispatched
+with an *ordered* ``imap`` (chunk size 1), so rows are persisted in the
+same order regardless of which worker computes which cell; per-cell
+seeds are pure functions of the spec (:func:`repro.runtime.spec.cell_seed`),
+so the computed rows themselves are bit-identical across worker counts,
+shard assignments and ``--resume`` continuations.  Only the ``timing``
+field of a row varies between runs, and every comparison helper excludes
+it.
+
+**Resume.**  With ``resume=True`` the executor loads the store's cache
+keys first and skips every cell whose key is already present; a run
+interrupted mid-scenario therefore re-executes only the missing cells,
+and a completed scenario resumes to zero executed cells.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.runtime import workloads
+from repro.runtime.spec import Knobs, ScenarioSpec, cache_key, cell_seed
+from repro.runtime.store import ResultStore
+
+
+@dataclass
+class RunReport:
+    """Outcome of one scenario execution."""
+
+    spec: str
+    executed: int
+    skipped: int
+    rows: List[Dict[str, object]] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def total(self) -> int:
+        return self.executed + self.skipped
+
+
+def _build_payload(spec: ScenarioSpec, index: int, cell, knobs: Knobs) -> Dict[str, object]:
+    """A self-contained, picklable description of one cell execution."""
+    return {
+        "spec": spec.name,
+        "version": spec.version,
+        "runner": spec.runner,
+        "cell_index": index,
+        "params": dict(cell.params),
+        "seed": cell_seed(spec, cell),
+        "repeats": cell.repeats,
+        "knobs": knobs.as_dict(),
+        "key": cache_key(spec, cell, knobs),
+    }
+
+
+def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Run one cell payload and build its result row (worker entry point)."""
+    run = workloads.get_runner(payload["runner"])
+    context = workloads.CellContext(
+        params=payload["params"],
+        seed=payload["seed"],
+        knobs=Knobs(**payload["knobs"]),
+        repeats=payload["repeats"],
+    )
+    start = time.perf_counter()
+    result = run(context)
+    wall = time.perf_counter() - start
+    if not isinstance(result, dict):
+        raise TypeError(
+            f"runner {payload['runner']!r} returned {type(result).__name__}, expected dict"
+        )
+    timing = result.pop("timing", None)
+    timing = dict(timing) if isinstance(timing, dict) else {}
+    timing.setdefault("cell_wall_seconds", round(wall, 4))
+    return {
+        "spec": payload["spec"],
+        "version": payload["version"],
+        "cell_index": payload["cell_index"],
+        "key": payload["key"],
+        "params": payload["params"],
+        "seed": payload["seed"],
+        "knobs": payload["knobs"],
+        "result": result,
+        "timing": timing,
+    }
+
+
+def _pool_context():
+    """Prefer fork (cheap, inherits ad-hoc registrations); fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else "spawn")
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    workers: int = 1,
+    quick: bool = False,
+    resume: bool = False,
+    store: Optional[ResultStore] = None,
+    knobs: Optional[Knobs] = None,
+    log: Optional[Callable[[str], None]] = None,
+) -> RunReport:
+    """Execute a scenario's cells; returns every row (cached and fresh).
+
+    Args:
+        spec: the scenario to run.
+        workers: pool size; ``<= 1`` runs serially in-process (the
+            debugging fallback — no subprocesses involved).
+        quick: restrict to the quick cell subset.
+        resume: skip cells whose cache key is already in ``store``.
+        store: JSONL store to append rows to (and read cached rows
+            from); ``None`` keeps everything in memory.
+        knobs: resolved execution knobs; defaults to the environment
+            (:func:`repro.runtime.spec.resolve_knobs`).
+        log: optional progress sink (one line per cell).
+
+    Returns a :class:`RunReport` whose ``rows`` list every selected cell
+    in cell-index order — freshly computed rows and, under ``resume``,
+    the stored rows of skipped cells.
+    """
+    from repro.runtime.spec import resolve_knobs
+
+    knobs = knobs or resolve_knobs()
+    start = time.perf_counter()
+    payloads = [
+        _build_payload(spec, index, cell, knobs) for index, cell in spec.iter_cells(quick=quick)
+    ]
+
+    cached: Dict[str, Dict[str, object]] = {}
+    if resume and store is not None:
+        stored = store.rows_by_key()
+        cached = {p["key"]: stored[p["key"]] for p in payloads if p["key"] in stored}
+    pending = [p for p in payloads if p["key"] not in cached]
+
+    fresh: Dict[str, Dict[str, object]] = {}
+
+    def record(row: Dict[str, object]) -> None:
+        fresh[row["key"]] = row
+        if store is not None:
+            store.append(row)
+        if log is not None:
+            wall = row["timing"].get("wall_seconds", row["timing"].get("cell_wall_seconds"))
+            log(f"{spec.name}[{row['cell_index']}] {wall}s  {row['result'].get('rounds', '')}")
+
+    if workers > 1 and len(pending) > 1:
+        context = _pool_context()
+        with context.Pool(processes=min(workers, len(pending))) as pool:
+            # Ordered imap with chunksize 1: dynamic load balancing across
+            # the pool, deterministic persistence order.
+            for row in pool.imap(execute_payload, pending, chunksize=1):
+                record(row)
+    else:
+        for payload in pending:
+            record(execute_payload(payload))
+
+    rows = [cached.get(p["key"]) or fresh[p["key"]] for p in payloads]
+    return RunReport(
+        spec=spec.name,
+        executed=len(pending),
+        skipped=len(cached),
+        rows=rows,
+        wall_seconds=round(time.perf_counter() - start, 4),
+    )
+
+
+def run_scenario_results(spec: ScenarioSpec, quick: bool = False, **kwargs) -> List[Dict[str, object]]:
+    """Convenience: run serially and return just the per-cell ``result`` dicts.
+
+    The thin entry point the migrated ``benchmarks/bench_e*.py`` scripts
+    use — each script is now a spec lookup plus assertions over these
+    results.
+    """
+    report = run_scenario(spec, workers=1, quick=quick, **kwargs)
+    return [row["result"] for row in report.rows]

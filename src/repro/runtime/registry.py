@@ -1,0 +1,86 @@
+"""The scenario registry: name → :class:`~repro.runtime.spec.ScenarioSpec`.
+
+Built-in scenarios (the E1–E11 benchmark workloads, the perf suite and
+the analysis comparison sweep) are defined declaratively in
+:mod:`repro.runtime.scenarios` and registered lazily on first lookup, so
+importing the registry stays cheap and free of cycles.  Projects can
+register additional specs at import time with :func:`register`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List
+
+from repro.runtime.spec import ScenarioSpec
+
+
+class ScenarioRegistry:
+    """A mapping of scenario names to specs with duplicate protection."""
+
+    def __init__(self) -> None:
+        self._specs: Dict[str, ScenarioSpec] = {}
+        self._builtin_loaded = False
+
+    def register(self, spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+        """Register ``spec`` under its name; duplicate names are an error."""
+        if not replace and spec.name in self._specs:
+            raise ValueError(f"scenario {spec.name!r} is already registered")
+        self._specs[spec.name] = spec
+        return spec
+
+    def _ensure_builtin(self) -> None:
+        if not self._builtin_loaded:
+            self._builtin_loaded = True
+            # Importing the module registers the built-in specs.
+            from repro.runtime import scenarios  # noqa: F401
+
+    def get(self, name: str) -> ScenarioSpec:
+        """Look up a spec by name; unknown names list the alternatives."""
+        self._ensure_builtin()
+        try:
+            return self._specs[name]
+        except KeyError:
+            known = ", ".join(sorted(self._specs)) or "(none)"
+            raise KeyError(
+                f"unknown scenario {name!r}; registered scenarios: {known}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Sorted registered scenario names."""
+        self._ensure_builtin()
+        return sorted(self._specs)
+
+    def specs(self) -> List[ScenarioSpec]:
+        """All registered specs, sorted by name."""
+        self._ensure_builtin()
+        return [self._specs[name] for name in self.names()]
+
+    def __contains__(self, name: str) -> bool:
+        self._ensure_builtin()
+        return name in self._specs
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self.names())
+
+    def __len__(self) -> int:
+        self._ensure_builtin()
+        return len(self._specs)
+
+
+#: The process-wide registry used by the CLI and the benchmarks.
+REGISTRY = ScenarioRegistry()
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Register a spec in the global registry (module-level convenience)."""
+    return REGISTRY.register(spec, replace=replace)
+
+
+def get(name: str) -> ScenarioSpec:
+    """Look up a spec in the global registry."""
+    return REGISTRY.get(name)
+
+
+def names() -> List[str]:
+    """Sorted names in the global registry."""
+    return REGISTRY.names()

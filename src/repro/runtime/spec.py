@@ -1,0 +1,175 @@
+"""Declarative scenario model: specs, cells, seeds and cache keys.
+
+A :class:`ScenarioSpec` describes one experiment workload as *data*: a
+runner name (resolved against :data:`repro.runtime.workloads.RUNNERS` at
+execution time, so specs stay picklable and JSON-serializable) plus a
+list of :class:`Cell` parameter dicts.  The executor derives everything
+else — per-cell seeds, cache keys, shard assignment — from this data
+alone, which is what makes the runtime deterministic:
+
+**Determinism guarantee.**  A cell's seed is a pure function of the spec
+name, the spec version and the cell's canonical parameters
+(:func:`cell_seed`); a cell's cache key additionally folds in the
+resolved execution knobs (:func:`cache_key`).  Neither depends on worker
+count, shard assignment, execution order, wall-clock time or process
+identity, so running the same spec with ``workers=1``, ``workers=8`` or
+a ``--resume`` continuation produces bit-identical result rows (the
+``timing`` field of a row is the only execution-dependent part and is
+excluded from all comparisons and cache keys).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+
+def canonical_json(value: object) -> str:
+    """Canonical JSON encoding (sorted keys, no whitespace) for hashing."""
+    return json.dumps(value, sort_keys=True, separators=(",", ":"))
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One unit of work of a scenario: a parameter assignment.
+
+    Attributes:
+        params: the cell's parameters (JSON-serializable; identifies the
+            cell within its spec and feeds the seed / cache key).
+        quick: whether the cell belongs to the fast (``--quick``) subset.
+        repeats: timed repetitions for perf cells (the runner reports the
+            best); 1 for correctness-only cells.
+    """
+
+    params: Mapping[str, object]
+    quick: bool = True
+    repeats: int = 1
+
+    def label(self) -> str:
+        """A short human-readable label for progress output."""
+        parts = [f"{k}={v}" for k, v in sorted(self.params.items())]
+        return " ".join(parts) if parts else "(no params)"
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative scenario: a named runner over a list of cells.
+
+    Attributes:
+        name: unique registry name (e.g. ``"e1_sweep"``).
+        title: one-line human description shown by ``scenarios list``.
+        runner: key into :data:`repro.runtime.workloads.RUNNERS`.
+        cells: the parameter grid.
+        version: bumped when the workload semantics change — it is part
+            of every cell's seed and cache key, so a version bump
+            invalidates cached rows.
+        tags: free-form labels (``"perf"``, ``"bench"``, ...).
+    """
+
+    name: str
+    title: str
+    runner: str
+    cells: Tuple[Cell, ...]
+    version: str = "1"
+    tags: Tuple[str, ...] = ()
+
+    def cell_count(self, quick: bool = False) -> int:
+        """Number of cells (restricted to the quick subset if asked)."""
+        if quick:
+            return sum(1 for cell in self.cells if cell.quick)
+        return len(self.cells)
+
+    def iter_cells(self, quick: bool = False):
+        """Yield ``(index, cell)`` pairs, optionally quick-only.
+
+        The index is the cell's position in the *full* grid, so it stays
+        stable whether or not the quick filter is applied.
+        """
+        for index, cell in enumerate(self.cells):
+            if quick and not cell.quick:
+                continue
+            yield index, cell
+
+
+def spec(name, title, runner, cells, version="1", tags=()) -> ScenarioSpec:
+    """Convenience constructor turning plain dicts into :class:`Cell`\\ s."""
+    built = tuple(
+        cell if isinstance(cell, Cell) else Cell(params=dict(cell)) for cell in cells
+    )
+    return ScenarioSpec(
+        name=name,
+        title=title,
+        runner=runner,
+        cells=built,
+        version=version,
+        tags=tuple(tags),
+    )
+
+
+# ---------------------------------------------------------------------- knobs
+@dataclass(frozen=True)
+class Knobs:
+    """Resolved execution knobs threaded into every runner and cache key.
+
+    ``scan_path`` selects the orientation engine (see
+    :mod:`repro.core.engine`); ``send_plane`` selects the simulator send
+    plane (see :mod:`repro.distributed.network`).  Both default to the
+    environment overrides CI uses (``REPRO_SCAN_PATH`` /
+    ``REPRO_SEND_PLANE``) and fall back to ``"auto"``.  The *resolved*
+    values enter the cache key: a row computed under a forced engine is
+    never reused for another engine, even though the engines are
+    bit-identical by contract — the cache key must not encode that proof
+    obligation.
+    """
+
+    scan_path: str = "auto"
+    send_plane: str = "auto"
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"scan_path": self.scan_path, "send_plane": self.send_plane}
+
+
+def resolve_knobs(
+    scan_path: Optional[str] = None, send_plane: Optional[str] = None
+) -> Knobs:
+    """Resolve knobs: explicit argument > environment override > ``auto``."""
+    if scan_path is None:
+        scan_path = os.environ.get("REPRO_SCAN_PATH", "").strip().lower() or "auto"
+    if send_plane is None:
+        send_plane = os.environ.get("REPRO_SEND_PLANE", "").strip().lower() or "auto"
+    return Knobs(scan_path=scan_path, send_plane=send_plane)
+
+
+# ---------------------------------------------------------------------- keys
+def cell_seed(spec: ScenarioSpec, cell: Cell) -> int:
+    """Deterministic per-cell seed: a pure function of (name, version, params).
+
+    Independent of worker count, shard assignment and execution order —
+    the cornerstone of the runtime's bit-identical-results guarantee.
+    """
+    material = f"{spec.name}:{spec.version}:{canonical_json(dict(cell.params))}"
+    digest = hashlib.sha256(material.encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") & 0x7FFFFFFFFFFFFFFF
+
+
+def cache_key(spec: ScenarioSpec, cell: Cell, knobs: Knobs) -> str:
+    """Content key identifying a cell's result row in the store.
+
+    Covers everything that determines the result: spec identity and
+    version, runner name, canonical cell params, the derived seed and
+    the resolved execution knobs.  Timing is deliberately excluded.
+    """
+    material = canonical_json(
+        {
+            "spec": spec.name,
+            "version": spec.version,
+            "runner": spec.runner,
+            "params": dict(cell.params),
+            "seed": cell_seed(spec, cell),
+            "knobs": knobs.as_dict(),
+        }
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()[:24]

@@ -1,0 +1,160 @@
+"""Append-only JSONL result store with a content-keyed cache.
+
+Each line is one result row (canonical JSON: sorted keys, compact
+separators), keyed by the cell's :func:`repro.runtime.spec.cache_key`.
+Appends are flushed per row, so an interrupted run leaves at most one
+truncated trailing line — which :meth:`ResultStore.rows` tolerates and
+a ``--resume`` run simply recomputes.  The store never rewrites
+existing lines: resuming appends only the missing cells.
+
+Row layout::
+
+    {"spec": ..., "version": ..., "cell_index": ..., "key": ...,
+     "params": {...}, "seed": ..., "knobs": {...},
+     "result": {...}, "timing": {...}}
+
+``timing`` is the only execution-dependent field; every comparison
+helper here (:func:`strip_timing`, :func:`diff_rows`) excludes it, which
+is how "bit-identical regardless of worker count" is both defined and
+tested.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Iterable, List, Optional
+
+from repro.runtime.spec import canonical_json
+
+
+class ResultStore:
+    """An append-only JSONL file of result rows."""
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def append(self, row: Dict[str, object]) -> None:
+        """Append one row (canonical JSON) and flush immediately.
+
+        If the file ends in a torn line (interrupted mid-append, no
+        trailing newline), the fragment is truncated away first — that
+        row never completed, its key is not in :meth:`completed_keys`,
+        and leaving it would corrupt the middle of the file once new
+        rows land after it.
+        """
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
+            with open(self.path, "rb+") as handle:
+                handle.seek(-1, os.SEEK_END)
+                if handle.read(1) != b"\n":
+                    handle.seek(0)
+                    content = handle.read()
+                    keep = content.rfind(b"\n") + 1  # 0 when no newline at all
+                    handle.truncate(keep)
+        with open(self.path, "a", encoding="utf-8") as handle:
+            handle.write(canonical_json(row) + "\n")
+            handle.flush()
+
+    def rows(self) -> List[Dict[str, object]]:
+        """All parseable rows; a truncated trailing line is skipped.
+
+        A corrupt line anywhere *other* than the end is an error — it
+        means the file was edited or interleaved, not interrupted.
+        """
+        if not os.path.exists(self.path):
+            return []
+        rows: List[Dict[str, object]] = []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        for lineno, line in enumerate(lines):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                rows.append(json.loads(line))
+            except json.JSONDecodeError:
+                if lineno == len(lines) - 1:
+                    break  # interrupted mid-append; --resume recomputes it
+                raise ValueError(
+                    f"{self.path}:{lineno + 1}: corrupt row in the middle of the store"
+                )
+        return rows
+
+    def completed_keys(self) -> set:
+        """Cache keys of every stored row (for ``--resume`` skipping)."""
+        return {row["key"] for row in self.rows() if "key" in row}
+
+    def rows_by_key(self) -> Dict[str, Dict[str, object]]:
+        """Latest stored row per cache key."""
+        index: Dict[str, Dict[str, object]] = {}
+        for row in self.rows():
+            if "key" in row:
+                index[row["key"]] = row
+        return index
+
+
+def default_store_path(spec_name: str, base_dir: Optional[str] = None) -> str:
+    """Default JSONL location: ``<base>/scenarios/<spec>.jsonl``.
+
+    ``base`` is ``REPRO_RESULTS_DIR`` when set, else
+    ``benchmarks/results`` under the current working directory (the
+    repository-root convention the perf harness already uses).
+    """
+    if base_dir is None:
+        base_dir = os.environ.get("REPRO_RESULTS_DIR") or os.path.join(
+            os.getcwd(), "benchmarks", "results"
+        )
+    return os.path.join(base_dir, "scenarios", f"{spec_name}.jsonl")
+
+
+def strip_timing(row: Dict[str, object]) -> Dict[str, object]:
+    """A row without its execution-dependent ``timing`` field."""
+    return {key: value for key, value in row.items() if key != "timing"}
+
+
+def _sorted_rows(rows: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
+    return sorted(
+        (strip_timing(row) for row in rows),
+        key=lambda row: (row.get("spec", ""), row.get("cell_index", -1), row.get("key", "")),
+    )
+
+
+def diff_rows(
+    left: Iterable[Dict[str, object]], right: Iterable[Dict[str, object]]
+) -> List[str]:
+    """Human-readable differences between two row sets, timing excluded.
+
+    Rows are matched by cache key after deduplication (last occurrence
+    wins, matching :meth:`ResultStore.rows_by_key`), so neither the
+    on-disk order (which depends on completion order under ``--resume``)
+    nor re-appended duplicate rows from repeated non-resume runs matter.
+    Returns an empty list when equivalent.
+    """
+    left_index = {row.get("key"): row for row in _sorted_rows(left)}
+    right_index = {row.get("key"): row for row in _sorted_rows(right)}
+    problems: List[str] = []
+    if len(left_index) != len(right_index):
+        problems.append(
+            f"distinct cell count differs: {len(left_index)} vs {len(right_index)}"
+        )
+    for key in sorted(set(left_index) | set(right_index)):
+        a, b = left_index.get(key), right_index.get(key)
+        if a is None:
+            problems.append(f"key {key}: only in right")
+        elif b is None:
+            problems.append(f"key {key}: only in left")
+        elif a != b:
+            problems.append(
+                f"key {key}: rows differ\n  left:  {canonical_json(a)}\n  right: {canonical_json(b)}"
+            )
+    return problems
+
+
+def rows_equivalent(
+    left: Iterable[Dict[str, object]], right: Iterable[Dict[str, object]]
+) -> bool:
+    """Whether two row sets are bit-identical modulo timing and order."""
+    return not diff_rows(left, right)

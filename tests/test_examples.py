@@ -1,8 +1,11 @@
-"""Smoke tests for the runnable examples.
+"""Smoke and invariant tests for the runnable examples.
 
 Each example is executed in-process (with a smaller workload where the
-module exposes one) and must complete without errors and print the
-headline lines it documents.
+module exposes one), must complete without errors and print the headline
+lines it documents — and its returned artifacts must satisfy the
+:mod:`repro.verification.checkers` invariants (a printed "True" is not a
+verification; the checkers are).  CI additionally smoke-runs every
+script in ``examples/`` as a subprocess.
 """
 
 from __future__ import annotations
@@ -12,6 +15,14 @@ import os
 import sys
 
 import pytest
+
+from repro.core.slack import uniform_instance
+from repro.verification.checkers import (
+    is_maximal_matching,
+    is_proper_edge_coloring,
+    list_coloring_violations,
+    proper_edge_coloring_violations,
+)
 
 EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
 
@@ -28,30 +39,67 @@ def _load_example(name: str):
 class TestExamples:
     def test_quickstart(self, capsys):
         module = _load_example("quickstart")
-        module.main()
+        artifacts = module.main()
         out = capsys.readouterr().out
         assert "proper coloring: True" in out
         assert "colors used" in out
+        # Checker invariants on the returned artifacts: the coloring is
+        # proper, respects the 2Δ−1 bound and the uniform list instance.
+        graph, outcome = artifacts["graph"], artifacts["outcome"]
+        assert is_proper_edge_coloring(graph, outcome.colors)
+        assert outcome.num_colors <= 2 * graph.max_degree - 1
+        assert not list_coloring_violations(
+            graph, outcome.colors, uniform_instance(graph).lists
+        )
 
     def test_switch_scheduling(self, capsys):
         module = _load_example("switch_scheduling")
         graph, bipartition = module.build_demand(ports=16, load=5, seed=1)
         assert graph.max_degree == 5
-        module.main()
+        artifacts = module.main()
         out = capsys.readouterr().out
         assert "conflict-free     : True" in out
+        # The schedule is a proper coloring (no port serves two transfers
+        # in one slot) and every transfer got a slot.
+        demand, outcome = artifacts["graph"], artifacts["outcome"]
+        assert proper_edge_coloring_violations(demand, outcome.colors) == []
+        assert len(outcome.colors) == demand.num_edges
+        assert set(artifacts["greedy"]) == set(demand.edges())
 
     def test_pairing_via_matching(self, capsys):
         module = _load_example("pairing_via_matching")
-        module.main()
+        artifacts = module.main()
         out = capsys.readouterr().out
         assert "maximal matching      : True" in out
+        network, matching = artifacts["network"], artifacts["matching"]
+        assert is_maximal_matching(network, matching)
+        # The reduction's input coloring must itself be proper.
+        assert is_proper_edge_coloring(network, artifacts["edge_colors"])
+
+    def test_wireless_tdma(self, capsys):
+        module = _load_example("wireless_tdma")
+        artifacts = module.main()
+        out = capsys.readouterr().out
+        assert "conflict-free" in out
+        mesh = artifacts["mesh"]
+        # Every schedule printed by the example must be conflict-free and
+        # total — including the baselines it compares against.
+        for key in ("congest", "greedy", "randomized"):
+            outcome = artifacts[key]
+            assert proper_edge_coloring_violations(mesh, outcome.colors) == []
+            assert len(outcome.colors) == mesh.num_edges
+        # The TDMA frame respects the Δ lower bound.
+        assert artifacts["congest"].num_colors >= mesh.max_degree
 
     @pytest.mark.slow
     def test_compare_baselines(self, capsys, monkeypatch):
         module = _load_example("compare_baselines")
         monkeypatch.setattr(sys, "argv", ["compare_baselines.py", "6", "48"])
-        module.main()
+        artifacts = module.main()
         out = capsys.readouterr().out
         assert "local-list-coloring" in out
         assert "randomized" in out
+        # Every suite record must have been verified proper by the
+        # experiment runner's checker pass.
+        assert artifacts["records"]
+        assert all(record.proper for record in artifacts["records"])

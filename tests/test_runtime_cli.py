@@ -1,0 +1,104 @@
+"""Tests for the ``scenarios`` CLI subcommand family."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+class TestScenariosList:
+    def test_lists_all_bench_scenarios_with_cell_counts(self, capsys):
+        assert main(["scenarios", "list"]) == 0
+        out = capsys.readouterr().out
+        for name in (
+            "e1_sweep",
+            "e2_congest",
+            "e3_bipartite",
+            "e4_token_dropping",
+            "e5_defective",
+            "e6_round_scaling",
+            "e7_logstar",
+            "e8_linial",
+            "e9_slack",
+            "e10_ablation",
+            "e11_classic_reductions",
+        ):
+            assert name in out
+        # Cell counts are shown (e10 has 11 cells).
+        line = next(l for l in out.splitlines() if l.startswith("e10_ablation"))
+        assert " 11 " in line
+
+    def test_tag_filter(self, capsys):
+        assert main(["scenarios", "list", "--tag", "perf"]) == 0
+        out = capsys.readouterr().out
+        assert "e1_large" in out
+        assert "e9_slack" not in out
+
+
+class TestScenariosRun:
+    def test_run_writes_store_and_resume_skips(self, tmp_path, capsys):
+        out_path = str(tmp_path / "e4.jsonl")
+        assert main(["scenarios", "run", "e4_token_dropping", "--out", out_path]) == 0
+        first = capsys.readouterr().out
+        assert "5 executed, 0 cached" in first
+        rows = [json.loads(line) for line in open(out_path, encoding="utf-8")]
+        assert len(rows) == 5
+        assert all(row["result"]["verified"] for row in rows)
+        # Resume: zero cells execute the second time.
+        assert main(
+            ["scenarios", "run", "e4_token_dropping", "--resume", "--out", out_path]
+        ) == 0
+        second = capsys.readouterr().out
+        assert "0 executed, 5 cached" in second
+
+    def test_run_quick_subset(self, tmp_path, capsys):
+        out_path = str(tmp_path / "e8v.jsonl")
+        assert main(
+            ["scenarios", "run", "e8_values", "--quick", "--no-progress", "--out", out_path]
+        ) == 0
+        assert "1 executed" in capsys.readouterr().out
+
+
+class TestScenariosReportAndDiff:
+    @pytest.fixture()
+    def two_stores(self, tmp_path, capsys):
+        a = str(tmp_path / "a.jsonl")
+        b = str(tmp_path / "b.jsonl")
+        main(["scenarios", "run", "e9_degree_reduction", "--no-progress", "--out", a])
+        main(["scenarios", "run", "e9_degree_reduction", "--no-progress", "--out", b])
+        capsys.readouterr()
+        return a, b
+
+    def test_report(self, two_stores, capsys):
+        a, _b = two_stores
+        assert main(["scenarios", "report", a]) == 0
+        out = capsys.readouterr().out
+        assert "e9_degree_reduction" in out
+        assert "1 verified" in out
+
+    def test_diff_identical(self, two_stores, capsys):
+        a, b = two_stores
+        assert main(["scenarios", "diff", a, b]) == 0
+        assert "identical modulo timing" in capsys.readouterr().out
+
+    def test_diff_detects_result_change(self, two_stores, capsys):
+        a, b = two_stores
+        rows = [json.loads(line) for line in open(b, encoding="utf-8")]
+        rows[0]["result"]["colored"] += 1
+        with open(b, "w", encoding="utf-8") as handle:
+            for row in rows:
+                handle.write(json.dumps(row, sort_keys=True) + "\n")
+        assert main(["scenarios", "diff", a, b]) == 1
+        assert "rows differ" in capsys.readouterr().out
+
+    def test_report_missing_store(self, tmp_path, capsys):
+        assert main(["scenarios", "report", str(tmp_path / "none.jsonl")]) == 1
+
+
+class TestLegacyCliUnchanged:
+    def test_algorithm_run_still_works(self, capsys):
+        assert main(["--algorithm", "local", "--family", "cycle", "--n", "12"]) == 0
+        assert "local-list-coloring" in capsys.readouterr().out

@@ -1,0 +1,106 @@
+"""Unit tests for the scenario model: seeds, cache keys, knob resolution."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime.spec import (
+    Cell,
+    Knobs,
+    cache_key,
+    canonical_json,
+    cell_seed,
+    resolve_knobs,
+    spec,
+)
+
+
+def _spec(version="1"):
+    return spec(
+        "unit_demo",
+        "unit test spec",
+        "local_coloring",
+        [
+            Cell(params={"n": 8, "delta": 2, "graph_seed": 1}),
+            Cell(params={"n": 16, "delta": 2, "graph_seed": 1}, quick=False, repeats=3),
+        ],
+        version=version,
+    )
+
+
+class TestCellSeed:
+    def test_deterministic_across_calls(self):
+        s = _spec()
+        assert [cell_seed(s, c) for c in s.cells] == [cell_seed(s, c) for c in s.cells]
+
+    def test_distinct_per_cell_and_version(self):
+        s1, s2 = _spec(), _spec(version="2")
+        seeds = {cell_seed(s1, c) for c in s1.cells}
+        assert len(seeds) == 2
+        assert cell_seed(s1, s1.cells[0]) != cell_seed(s2, s2.cells[0])
+
+    def test_param_order_is_irrelevant(self):
+        s = _spec()
+        reordered = Cell(params={"graph_seed": 1, "delta": 2, "n": 8})
+        assert cell_seed(s, reordered) == cell_seed(s, s.cells[0])
+
+    def test_non_negative_63_bit(self):
+        s = _spec()
+        for c in s.cells:
+            assert 0 <= cell_seed(s, c) < 2**63
+
+
+class TestCacheKey:
+    def test_sensitive_to_params_version_and_knobs(self):
+        s1, s2 = _spec(), _spec(version="2")
+        knobs = Knobs()
+        keys = {
+            cache_key(s1, s1.cells[0], knobs),
+            cache_key(s1, s1.cells[1], knobs),
+            cache_key(s2, s2.cells[0], knobs),
+            cache_key(s1, s1.cells[0], Knobs(scan_path="numpy")),
+            cache_key(s1, s1.cells[0], Knobs(send_plane="batched")),
+        }
+        assert len(keys) == 5
+
+    def test_stable(self):
+        s = _spec()
+        assert cache_key(s, s.cells[0], Knobs()) == cache_key(s, s.cells[0], Knobs())
+
+
+class TestKnobs:
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_PATH", "NumPy")
+        monkeypatch.setenv("REPRO_SEND_PLANE", "batched")
+        knobs = resolve_knobs()
+        assert knobs.scan_path == "numpy"
+        assert knobs.send_plane == "batched"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCAN_PATH", "numpy")
+        assert resolve_knobs(scan_path="python").scan_path == "python"
+
+    def test_default_auto(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCAN_PATH", raising=False)
+        monkeypatch.delenv("REPRO_SEND_PLANE", raising=False)
+        assert resolve_knobs() == Knobs(scan_path="auto", send_plane="auto")
+
+
+class TestSpecModel:
+    def test_iter_cells_quick_keeps_full_grid_indices(self):
+        s = _spec()
+        assert [i for i, _ in s.iter_cells()] == [0, 1]
+        assert [i for i, _ in s.iter_cells(quick=True)] == [0]
+        assert s.cell_count() == 2
+        assert s.cell_count(quick=True) == 1
+
+    def test_canonical_json_is_order_free(self):
+        assert canonical_json({"b": 1, "a": [2, 3]}) == canonical_json({"a": [2, 3], "b": 1})
+
+    def test_spec_constructor_accepts_plain_dicts(self):
+        s = spec("d", "t", "r", [{"x": 1}])
+        assert isinstance(s.cells[0], Cell)
+        assert s.cells[0].params == {"x": 1}
+
+    def test_cell_label(self):
+        assert Cell(params={"n": 8, "delta": 2}).label() == "delta=2 n=8"
