@@ -9,7 +9,6 @@ cross-checked against a fresh run.
 from __future__ import annotations
 
 import os
-from typing import Sequence
 
 import pytest
 

@@ -23,8 +23,8 @@ every output, and writes ``BENCH_e2e.json`` containing
   unavailable.
 * ``summary`` — per-scenario wall totals and before/after speedups,
 * ``env`` — machine/environment metadata (python and numpy versions,
-  platform, cpu count, the ``REPRO_SCAN_PATH`` / ``REPRO_SEND_PLANE``
-  knobs) so cross-PR trajectories are comparable.
+  platform, cpu count, the ``REPRO_SCAN_PATH`` / ``REPRO_SEND_PLANE`` /
+  ``REPRO_RECEIVE_PLANE`` knobs) so cross-PR trajectories are comparable.
 
 Later PRs extend the trajectory by re-running this harness and beating
 the recorded ``after`` numbers.
@@ -197,7 +197,57 @@ def environment_metadata() -> dict:
         "numpy": numpy_version,
         "scan_path": knobs.scan_path,
         "send_plane": knobs.send_plane,
+        "receive_plane": knobs.receive_plane,
     }
+
+
+def check_regressions(
+    committed: list, fresh: list, tolerance: float, log=print
+) -> list:
+    """Compare fresh cells against the committed BENCH record.
+
+    Matches cells by ``(scenario, n, delta)`` and compares per-scenario
+    wall totals over the matched cells; a scenario whose fresh total
+    exceeds ``tolerance ×`` its committed total is a regression.  The
+    tolerance is deliberately generous — CI machines differ from the
+    box the committed numbers came from — so the gate only catches a
+    perf PR being *undone*, not ordinary machine noise.  Returns the
+    list of regression descriptions (empty = pass).
+    """
+    committed_index = {(r["scenario"], r["n"], r["delta"]): r for r in committed}
+    by_scenario: dict = {}
+    for record in fresh:
+        key = (record["scenario"], record["n"], record["delta"])
+        old = committed_index.get(key)
+        if old is None:
+            continue
+        entry = by_scenario.setdefault(
+            record["scenario"], {"committed": 0.0, "fresh": 0.0, "cells": 0}
+        )
+        entry["committed"] += old["wall_seconds"]
+        entry["fresh"] += record["wall_seconds"]
+        entry["cells"] += 1
+    regressions = []
+    for name in sorted(by_scenario):
+        entry = by_scenario[name]
+        committed_total = entry["committed"]
+        fresh_total = entry["fresh"]
+        ratio = fresh_total / committed_total if committed_total > 0 else 1.0
+        status = "REGRESSION" if ratio > tolerance else "ok"
+        if log:
+            log(
+                f"perf-gate {name:>10}: committed {committed_total:.3f}s  "
+                f"fresh {fresh_total:.3f}s  ratio x{ratio:.2f} over "
+                f"{entry['cells']} cells  [{status}]"
+            )
+        if ratio > tolerance:
+            regressions.append(
+                f"{name}: {fresh_total:.3f}s vs committed {committed_total:.3f}s "
+                f"(x{ratio:.2f} > tolerance x{tolerance})"
+            )
+    if not by_scenario and log:
+        log("perf-gate: no matching cells between fresh run and committed record")
+    return regressions
 
 
 def summarize(before: list, after: list) -> dict:
@@ -239,12 +289,26 @@ def main() -> int:
         help="measure and print JSON records to stdout (internal; used for "
         "the seed-worktree subprocess)",
     )
+    parser.add_argument(
+        "--check-regression",
+        type=float,
+        metavar="FACTOR",
+        default=None,
+        help="exit 2 if any scenario's matched-cell wall total exceeds "
+        "FACTOR x the committed BENCH_e2e.json total (the CI perf gate; "
+        "the committed record is read before it is overwritten)",
+    )
     args = parser.parse_args()
 
     if args.emit_records:
         records = measure(quick=args.quick, log=None)
         json.dump(records, sys.stdout)
         return 0
+
+    committed_after: list = []
+    if args.check_regression is not None and os.path.exists(OUTPUT_PATH):
+        with open(OUTPUT_PATH, "r", encoding="utf-8") as handle:
+            committed_after = json.load(handle).get("after", [])
 
     records = measure(quick=args.quick)
 
@@ -288,6 +352,18 @@ def main() -> int:
         speedup = entry.get("speedup")
         note = f"  speedup ×{speedup}" if speedup else ""
         print(f"{name:>10}: {entry['after_wall_seconds']:.3f}s over {entry['cells']} cells{note}")
+
+    if args.check_regression is not None:
+        if not committed_after:
+            print("perf-gate: no committed BENCH_e2e.json to compare against")
+            return 2
+        regressions = check_regressions(committed_after, records, args.check_regression)
+        if regressions:
+            print("perf-gate FAILED:")
+            for regression in regressions:
+                print(f"  {regression}")
+            return 2
+        print(f"perf-gate passed (tolerance x{args.check_regression})")
     return 0
 
 

@@ -9,7 +9,6 @@ and least-squares fits against candidate models.
 
 from __future__ import annotations
 
-import math
 from typing import Dict, Sequence, Tuple
 
 import numpy as np

@@ -151,15 +151,17 @@ def build_linial_network(graph: Graph):
 def run_linial_network(
     graph: Graph,
     send_plane: str = "auto",
+    receive_plane: str = "auto",
     network=None,
 ) -> MessagePassingOutcome:
     """Run message-passing Linial coloring under the CONGEST audit (E8).
 
     ``send_plane`` selects how outgoing messages enter the simulator's
-    round buffer (``"auto"`` / ``"batched"`` / ``"dict"``; see
-    :meth:`repro.distributed.network.SynchronousNetwork.run`) — both
-    planes are bit-identical, so the knob only matters for perf and
-    testing.  ``network`` optionally reuses a prebuilt
+    round buffer and ``receive_plane`` how they are drained
+    (``"auto"`` / ``"batched"`` / ``"dict"``; see
+    :meth:`repro.distributed.network.SynchronousNetwork.run`) — all
+    plane combinations are bit-identical, so the knobs only matter for
+    perf and testing.  ``network`` optionally reuses a prebuilt
     :func:`build_linial_network` simulator (perf callers keep the
     construction untimed).
     """
@@ -172,7 +174,9 @@ def run_linial_network(
             "the prebuilt network was constructed for a different graph; "
             "pass the graph it was built from (build_linial_network(graph))"
         )
-    outputs, metrics = network.run(LinialNodeAlgorithm(), send_plane=send_plane)
+    outputs, metrics = network.run(
+        LinialNodeAlgorithm(), send_plane=send_plane, receive_plane=receive_plane
+    )
     return MessagePassingOutcome(
         algorithm="linial-message-passing",
         outputs=outputs,

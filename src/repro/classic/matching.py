@@ -11,7 +11,7 @@ matching in ``poly log Δ + O(log* n) + (2Δ−1)`` rounds.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Optional, Set, Tuple
+from typing import Dict, Optional, Set, Tuple
 
 from repro.core.list_edge_coloring import list_edge_coloring
 from repro.distributed.rounds import RoundTracker

@@ -12,7 +12,7 @@ colors halves every 2(Δ+1) rounds — O(Δ log Δ) rounds in total.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.coloring.linial import linial_vertex_coloring
 from repro.distributed.rounds import RoundTracker

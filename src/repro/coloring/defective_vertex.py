@@ -151,6 +151,84 @@ def polynomial_defective_reduction(
     return new_colors, q * q, guaranteed
 
 
+def _local_search_rounds_numpy(
+    classes: List[int],
+    node_ids: Sequence[int],
+    xadj: Sequence[int],
+    adj: Sequence[int],
+    num_classes: int,
+    slack: int,
+    max_rounds: int,
+    tracker: Optional[RoundTracker],
+) -> Optional[Tuple[List[int], int]]:
+    """Vectorized twin of the per-node local-search round loop.
+
+    Per round, the class-load histograms live in one ``n × k`` count
+    matrix (maintained incrementally by scattered adds over the
+    switchers' CSR rows), unhappy detection is one masked comparison
+    against the row minima (``argmin`` keeps the *first* least-loaded
+    class, exactly like the reference scan), and the local-minimum
+    selection is a segmented ``minimum.reduceat`` over the unhappy
+    neighbors' identifiers.  Switching nodes are never adjacent, so the
+    reference's sequential count updates commute and the batched scatter
+    reproduces them exactly.  Returns ``None`` when identifiers exceed
+    the int64 headroom (the caller falls back to the reference).
+    """
+    np = _np
+    n = len(classes)
+    try:
+        ids = np.asarray(node_ids, dtype=np.int64)
+    except OverflowError:
+        return None
+    xadj_np = np.asarray(xadj, dtype=np.int64)
+    adj_np = np.asarray(adj, dtype=np.int64)
+    degs = np.diff(xadj_np)
+    nonempty = degs > 0
+    offsets = xadj_np[:-1][nonempty]
+    cls = np.asarray(classes, dtype=np.int64)
+    counts = np.zeros((n, num_classes), dtype=np.int64)
+    if adj_np.size:
+        np.add.at(counts, (np.repeat(np.arange(n), degs), cls[adj_np]), 1)
+    arange_n = np.arange(n)
+    big = np.iinfo(np.int64).max
+    rounds = 0
+    for _ in range(max_rounds):
+        current = counts[arange_n, cls]
+        best_count = counts.min(axis=1)
+        best_class = counts.argmin(axis=1)
+        unhappy = (current - best_count) > slack
+        rounds += 1
+        if tracker is not None:
+            tracker.charge(1, "defective-local-search")
+        if not unhappy.any():
+            break
+        unhappy_ids = np.where(unhappy, ids, big)
+        min_neighbor = np.full(n, big, dtype=np.int64)
+        if adj_np.size:
+            min_neighbor[nonempty] = np.minimum.reduceat(unhappy_ids[adj_np], offsets)
+        switchers = unhappy & (ids < min_neighbor)
+        if not switchers.any():  # pragma: no cover - a global id-minimum always switches
+            break
+        sw = np.nonzero(switchers)[0]
+        old = cls[sw]
+        new = best_class[sw].astype(np.int64)
+        row_lens = degs[sw]
+        total = int(row_lens.sum())
+        if total:
+            # Flat indices of the switchers' adjacency rows.
+            cum = np.cumsum(row_lens)
+            flat = (
+                np.arange(total)
+                - np.repeat(cum - row_lens, row_lens)
+                + np.repeat(xadj_np[sw], row_lens)
+            )
+            neighbors = adj_np[flat]
+            np.add.at(counts, (neighbors, np.repeat(old, row_lens)), -1)
+            np.add.at(counts, (neighbors, np.repeat(new, row_lens)), 1)
+        cls[sw] = new
+    return cls.tolist(), rounds
+
+
 def defective_coloring_local_search(
     graph: Graph,
     num_classes: int,
@@ -158,6 +236,7 @@ def defective_coloring_local_search(
     initial_classes: Optional[Sequence[int]] = None,
     tracker: Optional[RoundTracker] = None,
     max_rounds: Optional[int] = None,
+    scan_path: str = "auto",
 ) -> Tuple[List[int], int]:
     """Deterministic local-search defective coloring with ``num_classes`` classes.
 
@@ -170,6 +249,10 @@ def defective_coloring_local_search(
 
     At termination every node ``v`` has at most
     ``deg(v) / num_classes + slack`` neighbors in its own class.
+
+    ``scan_path`` selects the per-node reference loop or its vectorized
+    twin (``"auto"`` / ``"numpy"`` / ``"python"``; bit-identical classes
+    *and* round counts).
 
     Returns ``(classes, rounds_used)``.
     """
@@ -185,6 +268,19 @@ def defective_coloring_local_search(
         max_rounds = max(16, 4 * graph.num_edges // slack + 16)
     rounds = 0
     xadj, adj = graph.adjacency_csr()
+    if resolve_use_numpy(scan_path, len(adj)):
+        vectorized = _local_search_rounds_numpy(
+            classes,
+            graph.node_ids,
+            xadj,
+            adj,
+            num_classes,
+            slack,
+            max_rounds,
+            tracker,
+        )
+        if vectorized is not None:
+            return vectorized
     class_range = range(num_classes)
     # Per-node neighbor-class counts, built once and maintained
     # incrementally: a switch of node ``v`` only changes the rows of
@@ -268,15 +364,35 @@ def defective_split_coloring(
         slack=slack,
         initial_classes=initial,
         tracker=tracker,
+        scan_path=scan_path,
     )
-    defect = monochromatic_degree(graph, classes)
+    defect = monochromatic_degree(graph, classes, scan_path=scan_path)
     return classes, defect
 
 
-def monochromatic_degree(graph: Graph, classes: Sequence[int]) -> int:
-    """The maximum number of same-class neighbors over all nodes."""
-    worst = 0
+def monochromatic_degree(
+    graph: Graph, classes: Sequence[int], scan_path: str = "auto"
+) -> int:
+    """The maximum number of same-class neighbors over all nodes.
+
+    ``scan_path`` selects the per-node scan or one segmented comparison
+    over the CSR adjacency (bit-identical — the result is an int).
+    """
     xadj, adj = graph.adjacency_csr()
+    if resolve_use_numpy(scan_path, len(adj)) and adj:
+        np = _np
+        xadj_np = np.asarray(xadj, dtype=np.int64)
+        adj_np = np.asarray(adj, dtype=np.int64)
+        degs = np.diff(xadj_np)
+        nonempty = degs > 0
+        cls = np.asarray(classes, dtype=np.int64)
+        same = cls[adj_np] == np.repeat(cls, degs)
+        if not nonempty.any():
+            return 0
+        # reduceat on bools would OR, not count — sum int64 instead.
+        per_node = np.add.reduceat(same.astype(np.int64), xadj_np[:-1][nonempty])
+        return int(per_node.max(initial=0))
+    worst = 0
     for v in graph.nodes():
         own = classes[v]
         same = 0

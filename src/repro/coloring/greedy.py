@@ -15,7 +15,7 @@ O(Δ² + log* n)-round baseline for (2Δ−1)-edge coloring.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.coloring.color_reduction import polynomial_step, reduction_schedule, shared_eval_cache
 from repro.core.engine import _np, resolve_use_numpy
@@ -108,16 +108,20 @@ def greedy_edge_coloring_by_classes(
     for e in sorted(targets):
         by_class.setdefault(schedule[e], []).append(e)
     edge_u, edge_v = graph.endpoint_arrays()
-    # Availability via maintained per-node used-color sets: an edge's
+    # Availability via maintained per-node used-color state: an edge's
     # blocked colors are exactly those used at its two endpoints, so no
-    # adjacent-edge row is sliced per query.  The sets either come from
-    # the caller (``used_colors``) or are built lazily on first touch
-    # from the node's incidence row (only nodes incident to a target ever
-    # pay), then kept current as colors are assigned.  The sets only
-    # track color *presence*, so they cannot express a target edge being
-    # re-colored over an existing entry — if any target is already
-    # colored, stay on the (always exact) per-edge scan over the
-    # precomputed line-graph rows.
+    # adjacent-edge row is sliced per query.  Three modes:
+    #
+    # * caller-owned ``used_colors`` sets (shared across greedy passes) —
+    #   read and updated in place;
+    # * internal per-node *bitmasks* (one int per node, bit ``c`` set iff
+    #   color ``c`` is used there), built lazily on first touch from the
+    #   node's incidence row; the smallest available palette color is one
+    #   lowest-clear-bit trick instead of a per-candidate set probe;
+    # * the (always exact) per-edge scan over the precomputed line-graph
+    #   rows, when some target edge is already colored — presence-only
+    #   state cannot express re-coloring over an existing entry.
+    use_masks = False
     if used_colors is not None:
         if existing_colors and any(e in existing_colors for e in targets):
             raise ValueError(
@@ -126,50 +130,68 @@ def greedy_edge_coloring_by_classes(
         colored: Dict[int, int] = {}  # shared-set mode neither reads nor writes it
         use_node_sets = True
         used_at = used_colors
-
-        def used_set(node: int) -> Set[int]:
-            return used_at[node]
-
     else:
         colored = dict(existing_colors) if existing_colors else {}
-        use_node_sets = not any(e in colored for e in targets)
-        if use_node_sets:
-            xadj, inc = graph.incidence_csr()
-            lazy_sets: Dict[int, set] = {}
-            used_at = lazy_sets
+        use_node_sets = False
+        use_masks = not any(e in colored for e in targets)
+        if use_masks:
+            masks: Dict[int, int] = {}
             # When no colors pre-exist, every color ever assigned went to
-            # a target edge, and choosing that target's color built both
-            # endpoint sets first — so a node reaching the lazy build can
-            # have no colored incident edge and the incidence scan is
-            # skipped.  Pre-existing colors make the scan load them.
+            # a target edge, and choosing that target's color updated both
+            # endpoint masks — an untouched node's mask is simply 0, so
+            # the choice loop reads ``masks.get(node, 0)`` with no build
+            # step at all.  Pre-existing colors need the lazy incidence
+            # scan to load them on first touch.
             scan_on_build = bool(colored)
+            if scan_on_build:
+                xadj, inc = graph.incidence_csr()
 
-            def used_set(node: int) -> Set[int]:
-                used = lazy_sets.get(node)
-                if used is None:
-                    used = set()
-                    if scan_on_build:
+                def used_mask(node: int) -> int:
+                    mask = masks.get(node)
+                    if mask is None:
+                        mask = 0
                         for f in inc[xadj[node] : xadj[node + 1]]:
                             color = colored.get(f)
                             if color is not None:
-                                used.add(color)
-                    lazy_sets[node] = used
-                return used
+                                mask |= 1 << color
+                        masks[node] = mask
+                    return mask
 
         else:
             offsets, flat = graph.edge_adjacency_csr()
+    full_mask = (1 << palette_size) - 1
+    if use_masks and not scan_on_build:
+        masks_get = masks.get
     for cls in sorted(by_class):
         members = by_class[cls]
-        round_choices: Dict[int, int] = {}
+        round_choices: List[Tuple[int, int]] = []
         for e in members:
-            candidates: Iterable[int] = lists[e] if lists is not None else range(palette_size)
-            if use_node_sets:
-                used_u = used_set(edge_u[e])
-                used_v = used_set(edge_v[e])
+            if use_masks:
+                if scan_on_build:
+                    blocked = used_mask(edge_u[e]) | used_mask(edge_v[e])
+                else:
+                    blocked = masks_get(edge_u[e], 0) | masks_get(edge_v[e], 0)
+                if lists is None:
+                    # Smallest palette color whose bit is clear.
+                    available = ~blocked & full_mask
+                    choice = (
+                        (available & -available).bit_length() - 1 if available else None
+                    )
+                else:
+                    choice = next(
+                        (c for c in lists[e] if not (blocked >> c) & 1), None
+                    )
+            elif use_node_sets:
+                candidates: Iterable[int] = (
+                    lists[e] if lists is not None else range(palette_size)
+                )
+                used_u = used_at[edge_u[e]]
+                used_v = used_at[edge_v[e]]
                 choice = next(
                     (c for c in candidates if c not in used_u and c not in used_v), None
                 )
             else:
+                candidates = lists[e] if lists is not None else range(palette_size)
                 used = {
                     colored[f]
                     for f in flat[offsets[e] : offsets[e + 1]]
@@ -178,14 +200,20 @@ def greedy_edge_coloring_by_classes(
                 choice = next((c for c in candidates if c not in used), None)
             if choice is None:
                 raise ValueError(f"edge {e} has no available color; its list/palette is too small")
-            round_choices[e] = choice
-        for e, c in round_choices.items():
+            round_choices.append((e, choice))
+        for e, c in round_choices:
             if used_colors is None:
                 # The lazy builds and the scan fallback read ``colored``;
                 # caller-owned sets are the only state the shared mode keeps.
                 colored[e] = c
             result[e] = c
-            if use_node_sets:
+            if use_masks:
+                bit = 1 << c
+                u = edge_u[e]
+                v = edge_v[e]
+                masks[u] = masks.get(u, 0) | bit
+                masks[v] = masks.get(v, 0) | bit
+            elif use_node_sets:
                 used_at[edge_u[e]].add(c)
                 used_at[edge_v[e]].add(c)
         if tracker is not None:
@@ -221,23 +249,45 @@ def _linial_rows_numpy(
 ) -> List[int]:
     """Vectorized twin of :func:`_linial_rows_python` (bit-identical).
 
-    Per reduction step, the polynomial values of *all* positions at the
-    candidate point ``x`` are evaluated in one base-q digit sweep
-    (exact ``int64`` arithmetic — the same ``%``/``//``/modmul chain as
-    :func:`repro.coloring.color_reduction.polynomial_value`), and the
-    per-position conflict checks collapse to one segmented comparison
-    over the flattened rows.  Every position picks the same smallest
-    conflict-free ``x`` the reference engine picks.
+    Thin wrapper flattening the python row lists into the CSR arrays
+    :func:`_linial_flat_numpy` consumes (the vectorized setup path of
+    :func:`proper_edge_schedule` builds those arrays directly and skips
+    the row lists entirely).
     """
     np = _np
     num = len(colors)
     counts = np.fromiter((len(row) for row in rows), dtype=np.int64, count=num)
+    flat = np.fromiter(
+        (j for row in rows for j in row), dtype=np.int64, count=int(counts.sum())
+    )
+    return _linial_flat_numpy(
+        np.array(colors, dtype=np.int64), flat, counts, schedule, tracker
+    )
+
+
+def _linial_flat_numpy(
+    colors_np: "Any",
+    flat: "Any",
+    counts: "Any",
+    schedule: Sequence[tuple],
+    tracker: Optional[RoundTracker],
+) -> List[int]:
+    """Vectorized Linial steps over CSR rows (bit-identical to the reference).
+
+    ``flat`` holds the concatenated per-position neighbor positions,
+    ``counts`` the row lengths.  Per reduction step, the polynomial
+    values of *all* positions at the candidate point ``x`` are evaluated
+    in one base-q digit sweep (exact ``int64`` arithmetic — the same
+    ``%``/``//``/modmul chain as :func:`repro.coloring.color_reduction.
+    polynomial_value`), and the per-position conflict checks collapse to
+    one segmented comparison over the flattened rows.  Every position
+    picks the same smallest conflict-free ``x`` the reference engine
+    picks.
+    """
+    np = _np
+    num = int(colors_np.shape[0])
     offsets = np.zeros(num + 1, dtype=np.int64)
     np.cumsum(counts, out=offsets[1:])
-    flat = np.fromiter(
-        (j for row in rows for j in row), dtype=np.int64, count=int(offsets[-1])
-    )
-    colors_np = np.array(colors, dtype=np.int64)
     nonempty = counts > 0
     nonempty_offsets = offsets[:-1][nonempty]
     has_rows = bool(nonempty.any())
@@ -278,14 +328,114 @@ def _linial_rows_numpy(
         if unresolved.size:
             cache = shared_eval_cache(q, d)
             colors_list = colors_np.tolist()
+            flat_list = flat.tolist()
+            offsets_list = offsets.tolist()
             for p in unresolved.tolist():
+                row = flat_list[offsets_list[p] : offsets_list[p + 1]]
                 result[p] = polynomial_step(
-                    colors_list[p], [colors_list[j] for j in rows[p]], q, d, cache
+                    colors_list[p], [colors_list[j] for j in row], q, d, cache
                 )
         colors_np = result
         if tracker is not None:
             tracker.charge(1, "linial")
     return colors_np.tolist()
+
+
+def _schedule_setup_numpy(
+    graph: Graph,
+    edge_list: List[int],
+    tracker: Optional[RoundTracker],
+) -> Optional[Dict[int, int]]:
+    """Vectorized setup + engine run for :func:`proper_edge_schedule`.
+
+    Replaces the per-part python setup loops — endpoint gathering, the
+    per-node incident maps, the initial identifier colors and the merged
+    line-graph row building — with array passes over the part: incident
+    counts come from one ``bincount``, the grouped position lists from
+    one stable argsort, and the per-position rows (each position's
+    same-endpoint peers) from ramp-indexed gathers that drop the
+    position itself.  Row *order* differs from the python construction
+    (u-side peers are grouped by discovery side, not by insertion), but
+    the engines are order-insensitive — conflicts are existence checks
+    and :func:`polynomial_step` reduces rows to sets — so the schedule
+    is bit-identical.  Returns ``None`` when the int64 headroom guards
+    trip (huge identifier spaces fall back to the python setup and its
+    arbitrary-precision engine).
+    """
+    np = _np
+    k = len(edge_list)
+    ids_np = np.fromiter(edge_list, dtype=np.int64, count=k)
+    all_u, all_v = graph.endpoint_arrays_np()
+    eu = all_u[ids_np]
+    ev = all_v[ids_np]
+    try:
+        node_ids_np = np.asarray(graph.node_ids, dtype=np.int64)
+    except OverflowError:
+        return None
+    a = node_ids_np[eu]
+    b = node_ids_np[ev]
+    low = np.minimum(a, b)
+    high = np.maximum(a, b)
+    id_base = int(high.max()) + 1
+    # Headroom: the initial colors are < id_base²; overflow would corrupt
+    # them silently, so bail out to the python setup first.
+    if id_base >= 2**31:
+        return None
+    colors_np = low * id_base + high
+    space = int(colors_np.max()) + 1
+    cnt = np.bincount(np.concatenate((eu, ev)), minlength=graph.num_nodes)
+    degree_bound = int((cnt[eu] + cnt[ev] - 2).max())
+    schedule = reduction_schedule(space, max(1, degree_bound))
+    if not schedule:
+        return dict(zip(edge_list, colors_np.tolist()))
+    if max((d + 1) * q * q for q, d in schedule) >= 2**62:
+        return None
+    # Incident CSR over the part: positions grouped by endpoint node.
+    pos = np.arange(k, dtype=np.int64)
+    pos_cat = np.concatenate((pos, pos))
+    order = np.argsort(np.concatenate((eu, ev)), kind="stable")
+    inc_pos = pos_cat[order]
+    inc_xadj = np.zeros(cnt.shape[0] + 1, dtype=np.int64)
+    np.cumsum(cnt, out=inc_xadj[1:])
+
+    def side_peers(side_nodes):
+        """Per position: its endpoint's full group minus the position itself."""
+        group_sizes = cnt[side_nodes]
+        total = int(group_sizes.sum())
+        cum = np.cumsum(group_sizes)
+        ramp = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(cum - group_sizes, group_sizes)
+            + np.repeat(inc_xadj[side_nodes], group_sizes)
+        )
+        values = inc_pos[ramp]
+        return values[values != np.repeat(pos, group_sizes)]
+
+    flat_u = side_peers(eu)
+    flat_v = side_peers(ev)
+    counts_u = cnt[eu] - 1
+    counts_v = cnt[ev] - 1
+    counts = counts_u + counts_v
+    flat = np.empty(int(counts.sum()), dtype=np.int64)
+    starts = np.zeros(k, dtype=np.int64)
+    np.cumsum(counts[:-1], out=starts[1:])
+
+    def scatter(side_flat, side_counts, side_starts):
+        total = int(side_counts.sum())
+        if not total:
+            return
+        cum = np.cumsum(side_counts)
+        ramp = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(cum - side_counts, side_counts)
+            + np.repeat(side_starts, side_counts)
+        )
+        flat[ramp] = side_flat
+
+    scatter(flat_u, counts_u, starts)
+    scatter(flat_v, counts_v, starts + counts_u)
+    colors = _linial_flat_numpy(colors_np, flat, counts, schedule, tracker)
+    return dict(zip(edge_list, colors))
 
 
 def proper_edge_schedule(
@@ -322,6 +472,19 @@ def proper_edge_schedule(
             if tracker is not None:
                 tracker.charge(1, "linial")
         return {e: color}
+    # A reduction step sweeps both endpoint rows of every position, so
+    # the per-step element count is ~2m, not m — the measured numpy
+    # crossover sits near 64 edges, half the shared threshold.
+    if resolve_use_numpy(scan_path, 2 * len(edge_list)) and hasattr(
+        graph, "endpoint_arrays_np"
+    ):
+        # Vectorized setup + engine: the per-part incident maps and row
+        # building collapse to array passes (see _schedule_setup_numpy);
+        # ``None`` means a headroom guard tripped — fall through to the
+        # python setup below.
+        vectorized = _schedule_setup_numpy(graph, edge_list, tracker)
+        if vectorized is not None:
+            return vectorized
     # Run Linial on the line graph of the edge subset without
     # materializing it: line node ``i`` is ``edge_list[i]``; its
     # identifier is the edge identifier the induced subgraph would

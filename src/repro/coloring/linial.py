@@ -20,6 +20,7 @@ from __future__ import annotations
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.coloring.color_reduction import polynomial_step, reduction_schedule, shared_eval_cache
+from repro.core.engine import _np, resolve_use_numpy
 from repro.distributed.algorithms import NodeAlgorithm, NodeContext
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.core import Graph
@@ -94,6 +95,91 @@ def linial_edge_coloring(
     return {e: colors[e] for e in graph.edges()}, num_colors
 
 
+def _polynomial_steps_slots_numpy(
+    colors: List[int],
+    flat_payloads: "Any",
+    counts: "Any",
+    q: int,
+    d: int,
+) -> Optional[List[int]]:
+    """One reduction step for many nodes over their incoming slot payloads.
+
+    ``flat_payloads`` is the int64 array of the nodes' concatenated inbox
+    rows (neighbor colors in slot order), ``counts`` the per-node row
+    lengths.  Every node's polynomial values at the candidate point ``x``
+    come from one base-q digit sweep (exact ``int64`` arithmetic — the
+    same ``%``/``//``/modmul chain as :func:`repro.coloring.
+    color_reduction.polynomial_value`), the per-node conflict checks from
+    one segmented comparison; same-colored payloads are excluded exactly
+    like the reference (:func:`polynomial_step` ignores ``c == color``).
+    Each node commits the *first* conflict-free point, so the result is
+    bit-identical to the per-node loop.  Returns ``None`` when the int64
+    headroom guard trips (huge identifier spaces fall back to python).
+    """
+    np = _np
+    num = len(colors)
+    if (d + 1) * q * q >= 2**62:
+        return None
+    try:
+        colors_np = np.fromiter(colors, dtype=np.int64, count=num)
+    except OverflowError:  # colors beyond int64: arbitrary-precision path
+        return None
+    offsets = np.zeros(num + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    nonempty = counts > 0
+    nonempty_offsets = offsets[:-1][nonempty]
+    own_rep = np.repeat(colors_np, counts)
+    relevant = flat_payloads != own_rep
+    # Base-q digits of both the nodes' own colors and the payloads,
+    # decomposed once per step; a value at ``x`` is then one
+    # multiply-add sweep (digits and powers < q keep the unreduced sum
+    # far inside int64; one final ``% q`` matches the reference).
+    own_digits = []
+    payload_digits = []
+    remaining_own = colors_np.copy()
+    remaining_payload = flat_payloads.copy()
+    for _ in range(d + 1):
+        own_digits.append(remaining_own % q)
+        remaining_own //= q
+        payload_digits.append(remaining_payload % q)
+        remaining_payload //= q
+    result = np.empty(num, dtype=np.int64)
+    unresolved = np.arange(num, dtype=np.int64)
+    for x in range(q):
+        # Once only a few stragglers remain, per-node rescans are cheaper
+        # than further full-width sweeps; the fallback below commits the
+        # same smallest conflict-free point.
+        if unresolved.size * 16 < num and x >= 2:
+            break
+        own_value = own_digits[0].copy()
+        payload_value = payload_digits[0].copy()
+        power = 1
+        for i in range(1, d + 1):
+            power = (power * x) % q
+            np.add(own_value, own_digits[i] * power, out=own_value)
+            np.add(payload_value, payload_digits[i] * power, out=payload_value)
+        own_value %= q
+        payload_value %= q
+        conflicted = np.zeros(num, dtype=bool)
+        if flat_payloads.size:
+            eq = (payload_value == np.repeat(own_value, counts)) & relevant
+            conflicted[nonempty] = np.add.reduceat(eq, nonempty_offsets) > 0
+        free = unresolved[~conflicted[unresolved]]
+        result[free] = x * q + own_value[free]
+        unresolved = unresolved[conflicted[unresolved]]
+        if not unresolved.size:
+            break
+    if unresolved.size:
+        cache = shared_eval_cache(q, d)
+        payload_list = flat_payloads.tolist()
+        offsets_list = offsets.tolist()
+        for p in unresolved.tolist():
+            result[p] = polynomial_step(
+                colors[p], payload_list[offsets_list[p] : offsets_list[p + 1]], q, d, cache
+            )
+    return result.tolist()
+
+
 class LinialNodeAlgorithm(NodeAlgorithm):
     """Message-passing implementation of Linial's coloring.
 
@@ -109,9 +195,21 @@ class LinialNodeAlgorithm(NodeAlgorithm):
     ``outbox.broadcast`` instead of materializing a per-port dict.  The
     dict-returning :meth:`send` is kept as the compatibility path; the
     differential matrix pins both planes bit-identical.
+
+    Symmetrically it ships a native batched-receive implementation
+    (``batched_receive = True``): all nodes run the same ``(q, d)`` step
+    each round, so the phase-level :meth:`receive_batch` evaluates
+    :func:`polynomial_step` across *all* incoming slots as one exact
+    int64 base-q digit sweep (:func:`_polynomial_steps_slots_numpy`)
+    instead of ``n`` per-node python dispatches.  The per-node
+    :meth:`receive` stays as the bit-identical compatibility twin, and
+    the sweep falls back to it whenever its preconditions do not hold
+    (numpy absent or steered off, non-``int`` payloads, ``None`` slots,
+    int64 overflow, a non-contiguous unfinished set).
     """
 
     batched_send = True
+    batched_receive = True
 
     def __init__(self) -> None:
         # Per-step shared evaluation caches, memoized on the algorithm
@@ -158,6 +256,64 @@ class LinialNodeAlgorithm(NodeAlgorithm):
             self._step_caches[step] = cache
         state["color"] = polynomial_step(state["color"], inbox.values(), q, d, cache)
         state["step"] += 1
+
+    def receive_batch(
+        self,
+        contexts: List[NodeContext],
+        states: List[Dict[str, Any]],
+        nodes: List[int],
+        inbox: Any,
+        round_index: int,
+    ) -> None:
+        if not nodes:
+            return
+        state0 = states[nodes[0]]
+        schedule = state0["schedule"]
+        step_index = state0["step"]
+        if step_index < len(schedule):
+            # All nodes derive the same schedule from the shared globals,
+            # so every unfinished node sits at the same step; the
+            # contiguity of the unfinished set follows (all nodes finish
+            # together).  Verify both cheaply and fall back to the exact
+            # per-node twin when an exotic subclass breaks them.
+            uniform = nodes[-1] - nodes[0] + 1 == len(nodes) and all(
+                states[v]["step"] == step_index
+                and (states[v]["schedule"] is schedule or states[v]["schedule"] == schedule)
+                for v in nodes
+            )
+            lo, _ = inbox.slot_bounds(nodes[0])
+            _, hi = inbox.slot_bounds(nodes[-1])
+            if uniform and resolve_use_numpy("auto", hi - lo):
+                q, d = schedule[step_index]
+                try:
+                    # ``None`` slots (absent messages) and non-int payloads
+                    # make fromiter raise; the per-node twin handles them.
+                    flat = _np.fromiter(
+                        inbox.buffer[lo:hi], dtype=_np.int64, count=hi - lo
+                    )
+                except (TypeError, OverflowError):
+                    flat = None
+                if flat is not None:
+                    counts = _np.fromiter(
+                        (contexts[v].degree for v in nodes),
+                        dtype=_np.int64,
+                        count=len(nodes),
+                    )
+                    new_colors = _polynomial_steps_slots_numpy(
+                        [states[v]["color"] for v in nodes], flat, counts, q, d
+                    )
+                    if new_colors is not None:
+                        next_step = step_index + 1
+                        for v, color in zip(nodes, new_colors):
+                            state = states[v]
+                            state["color"] = color
+                            state["step"] = next_step
+                        return
+        # Exact per-node twin: also the fallback whenever the vectorized
+        # sweep's preconditions do not hold.
+        receive = self.receive
+        for v in nodes:
+            receive(contexts[v], states[v], inbox.node(v), round_index)
 
     def finished(self, ctx: NodeContext, state: Dict[str, Any]) -> bool:
         return state["step"] >= len(state["schedule"])

@@ -77,6 +77,13 @@ class BalancedOrientationResult:
     nu: float
     bar_delta: int
     edge_degrees: Dict[int, int] = field(default_factory=dict)
+    #: Internal fast path for the defective 2-coloring wrapper: when the
+    #: numpy engine ran, ``(ids, dirs)`` holds the ascending instance
+    #: edge ids and their final signed directions (+1 = U→V, −1 = V→U)
+    #: as int64/int8 arrays, so the RED/BLUE split needs no per-edge
+    #: dict lookups.  ``None`` on the python engine (same information,
+    #: derivable from ``orientation``).
+    _signed_dirs: Optional[tuple] = field(default=None, repr=False, compare=False)
 
     def definition_52_violations(
         self,
@@ -108,6 +115,46 @@ class BalancedOrientationResult:
         return violations
 
 
+def _instance_arrays_np(graph: Graph, bipartition: Bipartition, edges: List[int]):
+    """Vectorized instance arrays, or ``None`` off the numpy fast path.
+
+    Returns ``(ids, eu, ev, ou, ov, deg)`` int64 arrays over the
+    (ascending) instance edges — raw endpoints, oriented endpoints (U
+    side first) and per-node instance degrees.  Pure perf: the same
+    numbers the reference loops in :func:`instance_arrays` produce, via
+    one bincount and masked selects; the bichromatic check reports the
+    same first offender.
+    """
+    if (
+        _np is None
+        or len(edges) < NUMPY_SCAN_THRESHOLD
+        or not hasattr(graph, "endpoint_arrays_np")
+    ):
+        return None
+    np = _np
+    ids = np.fromiter(edges, dtype=np.int64, count=len(edges))
+    eu_all, ev_all = graph.endpoint_arrays_np()
+    eu = eu_all[ids]
+    ev = ev_all[ids]
+    sides_np = np.asarray(bipartition.sides, dtype=np.int8)
+    su = sides_np[eu]
+    sv = sides_np[ev]
+    bad = su == sv
+    if bad.any():
+        # Same first-offender error as the reference loop (edges are
+        # ascending, so the first bad position is the first bad edge).
+        first = int(np.nonzero(bad)[0][0])
+        raise ValueError(
+            f"edge {edges[first]} = ({int(eu[first])}, {int(ev[first])}) is not "
+            f"bichromatic in this bipartition"
+        )
+    swap = su == 1
+    ou = np.where(swap, ev, eu)
+    ov = np.where(swap, eu, ev)
+    deg = np.bincount(np.concatenate((eu, ev)), minlength=graph.num_nodes)
+    return ids, eu, ev, ou, ov, deg
+
+
 def instance_arrays(
     graph: Graph,
     bipartition: Bipartition,
@@ -127,6 +174,18 @@ def instance_arrays(
     n = graph.num_nodes
     edge_u, edge_v = graph.endpoint_arrays()
     sides = bipartition.sides
+
+    pack = _instance_arrays_np(graph, bipartition, edges)
+    if pack is not None:
+        ids, eu, ev, ou, ov, deg = pack
+        np = _np
+        static_deg = deg.tolist()
+        edge_degrees = dict(zip(edges, (deg[eu] + deg[ev] - 2).tolist()))
+        dense_u = np.zeros(graph.num_edges, dtype=np.int64)
+        dense_v = np.zeros(graph.num_edges, dtype=np.int64)
+        dense_u[ids] = ou
+        dense_v[ids] = ov
+        return static_deg, edge_degrees, dense_u.tolist(), dense_v.tolist()
 
     static_deg = [0] * n
     for e in edges:
@@ -485,7 +544,8 @@ def _phase_loop_numpy(
     resolved_nu: float,
     phase_budget: int,
     local_tracker: RoundTracker,
-) -> Tuple[Dict[int, Tuple[int, int]], List[int], int]:
+    precomputed_np=None,
+) -> Tuple[Dict[int, Tuple[int, int]], List[int], int, tuple]:
     """The vectorized proposal/accept engine.
 
     State lives in flat arrays aligned with the (ascending) instance edge
@@ -500,20 +560,33 @@ def _phase_loop_numpy(
     """
     np = _np
     num = len(edges)
-    ids = np.fromiter(edges, dtype=np.int64, count=num)
-    edge_u_np, edge_v_np = graph.endpoint_arrays_np()
-    eu = edge_u_np[ids]
-    ev = edge_v_np[ids]
-    ou = np.fromiter((o_u[e] for e in edges), dtype=np.int64, count=num)
-    ov = np.fromiter((o_v[e] for e in edges), dtype=np.int64, count=num)
-    eta_np = np.fromiter((eta_arr[e] for e in edges), dtype=np.float64, count=num)
-    sd = np.asarray(static_deg, dtype=np.int64)
+    if precomputed_np is not None:
+        # The defective 2-coloring wrapper already built every instance
+        # array — no list→array conversions on this path.
+        ids, eu, ev, ou, ov, eta_np, sd = precomputed_np
+    else:
+        ids = np.fromiter(edges, dtype=np.int64, count=num)
+        edge_u_np, edge_v_np = graph.endpoint_arrays_np()
+        eu = edge_u_np[ids]
+        ev = edge_v_np[ids]
+        ou = np.fromiter((o_u[e] for e in edges), dtype=np.int64, count=num)
+        ov = np.fromiter((o_v[e] for e in edges), dtype=np.int64, count=num)
+        eta_np = np.fromiter((eta_arr[e] for e in edges), dtype=np.float64, count=num)
+        sd = np.asarray(static_deg, dtype=np.int64)
     dege = sd[eu] + sd[ev] - 2  # static edge degrees within the instance
 
     x = np.zeros(n, dtype=np.int64)  # in-degrees
     unor = sd.copy()  # node degrees among unoriented instance edges
-    dirb = np.zeros(num, dtype=np.int8)  # 1 = U→V, 2 = V→U (0: unoriented)
-    oriented = np.zeros(num, dtype=bool)
+    # Signed direction code: +1 = U→V, −1 = V→U, 0 = unoriented.  The
+    # sign folds the two η comparisons of step 5 into one (multiplying
+    # an inequality by −1 flips it exactly, for ints and IEEE floats
+    # alike), halving the per-phase violation-scan dispatches.
+    sdir = np.zeros(num, dtype=np.int8)
+    unoriented = np.ones(num, dtype=bool)
+    # Signed η, +inf while unoriented: the step-5 scan collapses to one
+    # ``sign·diff > seta`` comparison — unoriented edges compare against
+    # +inf and can never flag, so no mask op is needed.
+    seta = np.full(num, np.inf, dtype=np.float64)
     seq = np.full(num, -1, dtype=np.int64)  # position in orientation order
     d_minus = np.full(n, bar_delta, dtype=np.int64)
     alpha_memo: Dict[int, int] = {}
@@ -533,16 +606,21 @@ def _phase_loop_numpy(
         xv = x[ov]
         diff = xv - xu
         # Step 5 input: previously oriented edges violating their η
-        # constraint under the phase-start in-degrees.
-        viol_mask = oriented & np.where(dirb == 1, diff > eta_np, (xu - xv) > -eta_np)
-        has_violated = bool(viol_mask.any())
+        # constraint under the phase-start in-degrees (U→V edges violate
+        # when diff > η, V→U edges when diff < η — i.e. sign·diff >
+        # sign·η).  Before anything is oriented the scan is vacuous.
+        if seq_counter:
+            viol_mask = sdir * diff > seta
+            has_violated = bool(viol_mask.any())
+        else:
+            viol_mask = None
+            has_violated = False
 
         # Steps 1 + 2: participation scan + proposal directions.
         d_now = unor[eu] + unor[ev] - 2
-        alive = ~oriented
-        part = np.nonzero(alive & (d_now > threshold))[0]
+        part = np.nonzero(unoriented & (d_now > threshold))[0]
         if not part.size:
-            alive_d = d_now[alive]
+            alive_d = d_now[unoriented]
             max_unor = int(alive_d.max()) if alive_d.size else 0
             phase, phases_run, extra = _fast_forward_phases(
                 phase,
@@ -558,7 +636,6 @@ def _phase_loop_numpy(
 
         cond = diff[part] <= eta_np[part]
         ptarget = np.where(cond, ov[part], ou[part])
-        pdir = np.where(cond, np.int8(1), np.int8(2))
 
         # Step 3: per-node accept cap.  A stable argsort by target node
         # groups each node's proposals while preserving ascending edge
@@ -578,32 +655,35 @@ def _phase_loop_numpy(
         rank = np.arange(tsort.size, dtype=np.int64) - starts[grp]
         acc_order = order[rank < k_phi]
         acc = part[acc_order]  # accepted positions, accepted-list order
-        acc_dir = pdir[acc_order]
-        capped = np.minimum(np.bincount(grp), k_phi)
-        max_accepted = int(capped.max())
-        group_nodes = tsort[starts]
+        acc_sdir = np.where(cond[acc_order], np.int8(1), np.int8(-1))
 
         # The repair game needs the phase-start α (a function of d⁻);
         # decide now — all inputs are phase-start values — and snapshot
-        # d⁻ only when the game will actually run.
+        # d⁻ (and the per-node accept tallies feeding the game's initial
+        # tokens) only when the game can actually run.
         delta_phi = parameters.delta_phase(resolved_nu, bar_delta, phase)
         delta_use = min(delta_phi, k_phi)
         game_phases = max(0, k_phi // delta_use - 1)
-        run_game = (
-            has_violated and game_phases > 0 and min(k_phi, max_accepted) >= 2
-        )
+        run_game = False
+        if has_violated and game_phases > 0:
+            capped = np.minimum(np.bincount(grp), k_phi)
+            max_accepted = int(capped.max())
+            group_nodes = tsort[starts]
+            run_game = min(k_phi, max_accepted) >= 2
         if run_game:
             d_minus_old = d_minus.copy()
 
-        # Step 4: orient the accepted edges (scatter ops).
-        heads = np.where(acc_dir == 1, ov[acc], ou[acc])
-        dirb[acc] = acc_dir
-        oriented[acc] = True
+        # Step 4: orient the accepted edges (bincount scatters — exact
+        # integer adds, just cheaper than np.add.at).
+        heads = np.where(acc_sdir == 1, ov[acc], ou[acc])
+        sdir[acc] = acc_sdir
+        unoriented[acc] = False
+        seta[acc] = acc_sdir * eta_np[acc]
         seq[acc] = np.arange(seq_counter, seq_counter + acc.size, dtype=np.int64)
         seq_counter += int(acc.size)
-        np.add.at(x, heads, 1)
+        x += np.bincount(heads, minlength=n)
         ends = np.concatenate((eu[acc], ev[acc]))
-        np.subtract.at(unor, ends, 1)
+        unor -= np.bincount(ends, minlength=n)
         np.minimum.at(d_minus, ends, np.concatenate((dege[acc], dege[acc])))
         unoriented_count -= int(acc.size)
         proposal_rounds += 2
@@ -622,7 +702,7 @@ def _phase_loop_numpy(
 
         viol_pos = np.nonzero(viol_mask)[0]
         viol_sorted = viol_pos[np.argsort(seq[viol_pos])]  # orientation order
-        vdir = dirb[viol_sorted]
+        vdir = sdir[viol_sorted]
         vtail = np.where(vdir == 1, ou[viol_sorted], ov[viol_sorted])
         vhead = np.where(vdir == 1, ov[viol_sorted], ou[viol_sorted])
         # The game arc runs opposite to the orientation: head -> tail.
@@ -668,9 +748,10 @@ def _phase_loop_numpy(
         if moved_arcs:
             moved = np.fromiter(moved_arcs, dtype=np.int64, count=len(moved_arcs))
             flip_pos = viol_sorted[moved]
-            np.subtract.at(x, vhead[moved], 1)
-            np.add.at(x, vtail[moved], 1)
-            dirb[flip_pos] = 3 - dirb[flip_pos]
+            x -= np.bincount(vhead[moved], minlength=n)
+            x += np.bincount(vtail[moved], minlength=n)
+            sdir[flip_pos] = -sdir[flip_pos]
+            seta[flip_pos] = -seta[flip_pos]
         phase += 1
 
     if proposal_rounds:
@@ -684,17 +765,19 @@ def _phase_loop_numpy(
     if opos.size:
         opos = opos[np.argsort(seq[opos])]
         for e, d, a, b in zip(
-            ids[opos].tolist(), dirb[opos].tolist(), ou[opos].tolist(), ov[opos].tolist()
+            ids[opos].tolist(), sdir[opos].tolist(), ou[opos].tolist(), ov[opos].tolist()
         ):
             orientation[e] = (a, b) if d == 1 else (b, a)
     if unoriented_count:
-        rem = np.nonzero(~oriented)[0]
-        np.add.at(x, ov[rem], 1)
+        rem = np.nonzero(unoriented)[0]
+        x += np.bincount(ov[rem], minlength=n)
         for e, a, b in zip(ids[rem].tolist(), ou[rem].tolist(), ov[rem].tolist()):
             orientation[e] = (a, b)
         local_tracker.charge(1, "orientation-final")
 
-    return orientation, x.tolist(), phases_run
+    # Final signed directions (unoriented edges were just fixed U→V).
+    signed_dirs = (ids, np.where(sdir == 0, np.int8(1), sdir))
+    return orientation, x.tolist(), phases_run, signed_dirs
 
 
 def compute_balanced_orientation(
@@ -710,6 +793,7 @@ def compute_balanced_orientation(
     _precomputed: Optional[
         Tuple[List[int], List[int], Dict[int, int], List[int], List[int], List[float]]
     ] = None,
+    _precomputed_np=None,
 ) -> BalancedOrientationResult:
     """Compute a generalized balanced edge orientation (Theorem 5.6).
 
@@ -740,6 +824,9 @@ def compute_balanced_orientation(
             computed ``(edges, static_deg, edge_degrees, o_u, o_v,
             eta_arr)`` — ``eta`` is then ignored in favor of the dense
             ``eta_arr``.
+        _precomputed_np: companion fast path: the same instance data as
+            ready-made numpy arrays ``(ids, eu, ev, ou, ov, eta, deg)``
+            for the vectorized engine (ignored by the python engine).
 
     Returns a :class:`BalancedOrientationResult` covering every edge of
     the instance.
@@ -754,9 +841,33 @@ def compute_balanced_orientation(
         edges = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
         static_deg, edge_degrees, o_u, o_v = instance_arrays(graph, bipartition, edges)
 
+    def materialize_lists():
+        """Dense per-edge lists from the array fast path, on demand.
+
+        The defective wrapper skips building them when it expects the
+        vectorized engine to consume its arrays directly; any list
+        consumer (trivial instance, python engine) requests them here.
+        """
+        nonlocal o_u, o_v, eta_arr
+        if o_u is not None:
+            return
+        np = _np
+        ids, _eu, _ev, ou, ov, eta_sel, _deg = _precomputed_np
+        dense_u = np.zeros(graph.num_edges, dtype=np.int64)
+        dense_v = np.zeros(graph.num_edges, dtype=np.int64)
+        dense_u[ids] = ou
+        dense_v[ids] = ov
+        o_u = dense_u.tolist()
+        o_v = dense_v.tolist()
+        dense_eta = np.zeros(graph.num_edges, dtype=np.float64)
+        dense_eta[ids] = eta_sel
+        eta_arr = dense_eta.tolist()
+
     bar_delta = max(edge_degrees.values(), default=0)
 
     if bar_delta <= 0:
+        if o_u is None:
+            materialize_lists()
         # Trivial instance: orient everything U -> V.
         orientation = {}
         x = [0] * n
@@ -782,14 +893,18 @@ def compute_balanced_orientation(
     )
 
     # Dense η for O(1) lookups in the phase loops (supplied directly by
-    # the defective-coloring wrapper on the fast path).
-    if eta_arr is None:
+    # the defective-coloring wrapper on the fast path; ``None`` with the
+    # array pack present means "materialize only if a list consumer runs").
+    if eta_arr is None and _precomputed_np is None:
         eta_arr = [0.0] * graph.num_edges
         for e in edges:
             eta_arr[e] = eta[e]
 
+    signed_dirs = None
+    if not _resolve_use_numpy(scan_path, len(edges)) and o_u is None:
+        materialize_lists()
     if _resolve_use_numpy(scan_path, len(edges)):
-        orientation, x, phases_run = _phase_loop_numpy(
+        orientation, x, phases_run, signed_dirs = _phase_loop_numpy(
             graph,
             n,
             edges,
@@ -801,6 +916,7 @@ def compute_balanced_orientation(
             resolved_nu,
             phase_budget,
             local_tracker,
+            precomputed_np=_precomputed_np,
         )
     else:
         orientation, x, phases_run = _phase_loop_python(
@@ -828,4 +944,5 @@ def compute_balanced_orientation(
         nu=resolved_nu,
         bar_delta=bar_delta,
         edge_degrees=edge_degrees,
+        _signed_dirs=signed_dirs,
     )

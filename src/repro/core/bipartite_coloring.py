@@ -21,10 +21,11 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
 
 from repro.coloring.greedy import greedy_edge_coloring_by_classes, proper_edge_schedule
 from repro.core import parameters
+from repro.core.engine import NUMPY_SCAN_THRESHOLD, _np
 from repro.core.defective_edge_coloring import (
     generalized_defective_two_edge_coloring,
     half_split_lambdas,
@@ -73,6 +74,41 @@ def _degrees_within(graph: Graph, edges: Iterable[int]) -> Tuple[List[int], Dict
         e: node_deg[edge_u[e]] + node_deg[edge_v[e]] - 2 for e in edge_list
     }
     return node_deg, edge_deg
+
+
+def _max_edge_degree_within(graph: Graph, edges: List[int]) -> int:
+    """Maximum edge degree within ``edges`` (no per-edge dict).
+
+    The recursion's split and leaf loops only need the maximum; this
+    skips the per-part dict the full helper builds (one bincount and two
+    gathers when the part is large enough for numpy, a plain scan
+    otherwise — same integer either way).
+    """
+    if not edges:
+        return 0
+    if (
+        _np is not None
+        and len(edges) >= NUMPY_SCAN_THRESHOLD
+        and hasattr(graph, "endpoint_arrays_np")
+    ):
+        np = _np
+        ids = np.fromiter(edges, dtype=np.int64, count=len(edges))
+        eu_all, ev_all = graph.endpoint_arrays_np()
+        eu = eu_all[ids]
+        ev = ev_all[ids]
+        deg = np.bincount(np.concatenate((eu, ev)), minlength=graph.num_nodes)
+        return int((deg[eu] + deg[ev] - 2).max())
+    node_deg = [0] * graph.num_nodes
+    edge_u, edge_v = graph.endpoint_arrays()
+    for e in edges:
+        node_deg[edge_u[e]] += 1
+        node_deg[edge_v[e]] += 1
+    best = 0
+    for e in edges:
+        d = node_deg[edge_u[e]] + node_deg[edge_v[e]] - 2
+        if d > best:
+            best = d
+    return best
 
 
 def bipartite_edge_coloring(
@@ -139,8 +175,7 @@ def bipartite_edge_coloring(
         for part in parts:
             if not part:
                 continue
-            _nd, ed = _degrees_within(graph, part)
-            if max(ed.values(), default=0) <= params.leaf_degree:
+            if _max_edge_degree_within(graph, part) <= params.leaf_degree:
                 new_parts.append(part)
                 continue
             part_tracker = RoundTracker()
@@ -157,16 +192,13 @@ def bipartite_edge_coloring(
             )
             level_rounds = max(level_rounds, part_tracker.total)
             defect_history.append(split.max_defect())
-            new_parts.append(sorted(split.red_edges))
-            new_parts.append(sorted(split.blue_edges))
+            new_parts.append(split.red_sorted())
+            new_parts.append(split.blue_sorted())
         own.charge(level_rounds, "bipartite-split-level")
         parts = [p for p in new_parts if p]
 
     # Leaf coloring: each part gets its own contiguous range of stride colors.
-    leaf_degrees = []
-    for part in parts:
-        _nd, ed = _degrees_within(graph, part)
-        leaf_degrees.append(max(ed.values(), default=0))
+    leaf_degrees = [_max_edge_degree_within(graph, part) for part in parts]
     max_leaf_degree = max(leaf_degrees, default=0)
     stride = max_leaf_degree + 1
 

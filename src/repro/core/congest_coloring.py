@@ -28,6 +28,7 @@ from repro.coloring.linial import linial_vertex_coloring
 from repro.coloring.palettes import PaletteAllocator
 from repro.core import parameters
 from repro.core.bipartite_coloring import bipartite_edge_coloring
+from repro.core.engine import NUMPY_SCAN_THRESHOLD, _np
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.bipartite import Bipartition
 from repro.graphs.core import Graph
@@ -127,12 +128,34 @@ def congest_edge_coloring(
 
         edge_u, edge_v = graph.endpoint_arrays()
         for side_a, side_b in _PAIRINGS:
-            bip_edges = []
-            for e in uncolored:
-                cu = classes[edge_u[e]]
-                cv = classes[edge_v[e]]
-                if (cu in side_a and cv in side_b) or (cu in side_b and cv in side_a):
-                    bip_edges.append(e)
+            # Classify the *current* uncolored edges (the first pairing's
+            # coloring shrinks the set before the second runs).  The
+            # vectorized path preserves the set-iteration order of the
+            # scan it replaces; the bipartite solver sorts its edge set,
+            # so classification order is free anyway.
+            if (
+                _np is not None
+                and len(uncolored) >= NUMPY_SCAN_THRESHOLD
+                and hasattr(graph, "endpoint_arrays_np")
+            ):
+                unc_np = _np.fromiter(uncolored, dtype=_np.int64, count=len(uncolored))
+                eu_all, ev_all = graph.endpoint_arrays_np()
+                classes_np = _np.asarray(classes, dtype=_np.int64)
+                cu_np = classes_np[eu_all[unc_np]]
+                cv_np = classes_np[ev_all[unc_np]]
+                in_a_u = _np.isin(cu_np, list(side_a))
+                in_a_v = _np.isin(cv_np, list(side_a))
+                in_b_u = _np.isin(cu_np, list(side_b))
+                in_b_v = _np.isin(cv_np, list(side_b))
+                mask = (in_a_u & in_b_v) | (in_b_u & in_a_v)
+                bip_edges = unc_np[mask].tolist()
+            else:
+                bip_edges = []
+                for e in uncolored:
+                    cu = classes[edge_u[e]]
+                    cv = classes[edge_v[e]]
+                    if (cu in side_a and cv in side_b) or (cu in side_b and cv in side_a):
+                        bip_edges.append(e)
             if not bip_edges:
                 continue
             bipartition = Bipartition(

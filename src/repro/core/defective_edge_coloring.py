@@ -21,12 +21,13 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
-from repro.core import parameters
 from repro.core.balanced_orientation import (
     BalancedOrientationResult,
+    _instance_arrays_np,
     compute_balanced_orientation,
     instance_arrays,
 )
+from repro.core.engine import _np, resolve_use_numpy
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.bipartite import Bipartition
 from repro.graphs.core import Graph
@@ -99,6 +100,21 @@ class DefectiveTwoColoringResult:
         self.edge_degrees = edge_degrees if edge_degrees is not None else {}
         self._defects = defects
         self._measure_graph = _graph
+        self._red_sorted: Optional[List[int]] = None
+        self._blue_sorted: Optional[List[int]] = None
+
+    def red_sorted(self) -> List[int]:
+        """The red class as an ascending list (cached; the recursive
+        splitting callers all consume the classes sorted)."""
+        if self._red_sorted is None:
+            self._red_sorted = sorted(self.red_edges)
+        return self._red_sorted
+
+    def blue_sorted(self) -> List[int]:
+        """The blue class as an ascending list (cached)."""
+        if self._blue_sorted is None:
+            self._blue_sorted = sorted(self.blue_edges)
+        return self._blue_sorted
 
     @property
     def defects(self) -> Dict[int, int]:
@@ -166,26 +182,64 @@ def generalized_defective_two_edge_coloring(
     edges: List[int] = sorted(set(edge_set)) if edge_set is not None else list(graph.edges())
     local_tracker = RoundTracker()
 
-    # Degrees and oriented endpoints within the instance (shared helper,
-    # handed back to the orientation via its fast path below).
-    node_deg, edge_degrees, o_u, o_v = instance_arrays(graph, bipartition, edges)
-    bar_delta = max(edge_degrees.values(), default=0)
     resolved_beta = 0.0 if beta is None else float(beta)
 
-    # η_e of Equation (3), inlined from :func:`eta_from_lambda` (one call
-    # per edge per split adds up across the recursive decompositions) and
-    # written straight into the dense array the orientation consumes.
-    eta_arr: List[float] = [0.0] * graph.num_edges
-    for e in edges:
-        lam = lambdas[e]
-        eta_arr[e] = (
-            1.0
-            - 2.0 * lam
-            - (1.0 - lam) * node_deg[o_u[e]]
-            + lam * node_deg[o_v[e]]
-            + epsilon * (lam - 0.5) * edge_degrees[e]
-            + (2.0 * lam - 1.0) * resolved_beta
+    # Degrees and oriented endpoints within the instance, and η_e of
+    # Equation (3) (inlined from :func:`eta_from_lambda` — one call per
+    # edge per split adds up across the recursive decompositions).  On
+    # the numpy fast path every instance array is built once and handed
+    # to the vectorized engine as-is; the float64 expression tree is
+    # identical to the scalar inline, so the η values are IEEE-identical.
+    np = _np
+    pack = _instance_arrays_np(graph, bipartition, edges)
+    precomputed_np = None
+    if pack is not None:
+        ids_np, eu_np, ev_np, ou_np, ov_np, deg_np = pack
+        node_deg = deg_np.tolist()
+        ed_np = deg_np[eu_np] + deg_np[ev_np] - 2
+        edge_degrees = dict(zip(edges, ed_np.tolist()))
+        lam_np = np.fromiter(
+            (lambdas[e] for e in edges), dtype=np.float64, count=len(edges)
         )
+        eta_vals = (
+            1.0
+            - 2.0 * lam_np
+            - (1.0 - lam_np) * deg_np[ou_np]
+            + lam_np * deg_np[ov_np]
+            + epsilon * (lam_np - 0.5) * ed_np
+            + (2.0 * lam_np - 1.0) * resolved_beta
+        )
+        precomputed_np = (ids_np, eu_np, ev_np, ou_np, ov_np, eta_vals, deg_np)
+        if resolve_use_numpy(scan_path, len(edges)):
+            # The vectorized engine consumes the arrays directly; the
+            # dense per-edge lists would go unread — the orientation
+            # call materializes them on demand if a list consumer
+            # (python engine, trivial instance) runs after all.
+            o_u = o_v = None
+            eta_arr: List[float] = None  # type: ignore[assignment]
+        else:
+            dense_u = np.zeros(graph.num_edges, dtype=np.int64)
+            dense_v = np.zeros(graph.num_edges, dtype=np.int64)
+            dense_u[ids_np] = ou_np
+            dense_v[ids_np] = ov_np
+            o_u = dense_u.tolist()
+            o_v = dense_v.tolist()
+            dense_eta = np.zeros(graph.num_edges, dtype=np.float64)
+            dense_eta[ids_np] = eta_vals
+            eta_arr = dense_eta.tolist()
+    else:
+        node_deg, edge_degrees, o_u, o_v = instance_arrays(graph, bipartition, edges)
+        eta_arr = [0.0] * graph.num_edges
+        for e in edges:
+            lam = lambdas[e]
+            eta_arr[e] = (
+                1.0
+                - 2.0 * lam
+                - (1.0 - lam) * node_deg[o_u[e]]
+                + lam * node_deg[o_v[e]]
+                + epsilon * (lam - 0.5) * edge_degrees[e]
+                + (2.0 * lam - 1.0) * resolved_beta
+            )
 
     orientation = compute_balanced_orientation(
         graph,
@@ -197,25 +251,52 @@ def generalized_defective_two_edge_coloring(
         tracker=local_tracker,
         scan_path=scan_path,
         _precomputed=(edges, node_deg, edge_degrees, o_u, o_v, eta_arr),
+        _precomputed_np=precomputed_np,
     )
 
-    colors: Dict[int, int] = {}
-    red_edges: Set[int] = set()
-    blue_edges: Set[int] = set()
-    arrows = orientation.orientation
-    for e in edges:
-        if arrows[e] == (o_u[e], o_v[e]):
-            colors[e] = RED
-            red_edges.add(e)
-        else:
-            colors[e] = BLUE
-            blue_edges.add(e)
+    signed = orientation._signed_dirs
+    red_list = blue_list = None
+    if signed is not None:
+        # Numpy engine: the final signed directions come out as arrays
+        # over the ascending instance edges — U→V (+1) is RED, V→U is
+        # BLUE, no per-edge dict lookups (bit-identical to the loop).
+        # Filtering an ascending array keeps it ascending, so the sorted
+        # class lists the recursive callers consume come for free.
+        ids_o, dirs = signed
+        red_mask = dirs == 1
+        colors = dict(zip(edges, _np.where(red_mask, RED, BLUE).tolist()))
+        red_list = ids_o[red_mask].tolist()
+        blue_list = ids_o[~red_mask].tolist()
+        red_edges = set(red_list)
+        blue_edges = set(blue_list)
+    else:
+        if o_u is None:
+            # The numpy engine was expected but a trivial instance (or an
+            # exotic path) skipped it: rebuild the dense endpoint lists
+            # from the array pack for the reference extraction below.
+            dense_u = np.zeros(graph.num_edges, dtype=np.int64)
+            dense_v = np.zeros(graph.num_edges, dtype=np.int64)
+            dense_u[ids_np] = ou_np
+            dense_v[ids_np] = ov_np
+            o_u = dense_u.tolist()
+            o_v = dense_v.tolist()
+        colors = {}
+        red_edges = set()
+        blue_edges = set()
+        arrows = orientation.orientation
+        for e in edges:
+            if arrows[e] == (o_u[e], o_v[e]):
+                colors[e] = RED
+                red_edges.add(e)
+            else:
+                colors[e] = BLUE
+                blue_edges.add(e)
 
     local_tracker.charge(1, "defective-2-coloring-output")
     if tracker is not None:
         tracker.merge(local_tracker)
 
-    return DefectiveTwoColoringResult(
+    result = DefectiveTwoColoringResult(
         colors=colors,
         red_edges=red_edges,
         blue_edges=blue_edges,
@@ -227,6 +308,9 @@ def generalized_defective_two_edge_coloring(
         edge_degrees=edge_degrees,
         _graph=graph,
     )
+    result._red_sorted = red_list
+    result._blue_sorted = blue_list
+    return result
 
 
 def measure_defects(

@@ -299,7 +299,7 @@ def solve_relaxed_instance(
             level_rounds = max(level_rounds, part_tracker.total)
             # ``left_colors`` is a prefix of the sorted union, so membership
             # is equivalent to being below the first right-half color.
-            for side_edges in (sorted(split.red_edges), sorted(split.blue_edges)):
+            for side_edges in (split.red_sorted(), split.blue_sorted()):
                 if not side_edges:
                     continue
                 keep_left = split.colors[side_edges[0]] == 0
@@ -437,8 +437,8 @@ def partially_color_bipartite(
                 scan_path=scan_path,
             )
             level_rounds = max(level_rounds, part_tracker.total)
-            next_parts.append(sorted(split.red_edges))
-            next_parts.append(sorted(split.blue_edges))
+            next_parts.append(split.red_sorted())
+            next_parts.append(split.blue_sorted())
         own.charge(level_rounds, "degree-reduction-split-level")
         parts = [p for p in next_parts if p]
 

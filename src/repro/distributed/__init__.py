@@ -18,15 +18,30 @@ Algorithms send either through per-round ``send()`` dicts or — on the
 batched send plane — by writing payloads straight into the flat
 slot-indexed round buffer through an :class:`OutboxWriter` view (see the
 batched-send contract on :class:`NodeAlgorithm`: slot ownership,
-``None``-payload semantics, audit equivalence).  The two planes are
-bit-identical in outputs and metrics.
+``None``-payload semantics, audit equivalence).  Symmetrically, the
+receive side either hands each node a pooled :class:`PortInbox` view per
+round, or — on the batched receive plane — hands the algorithm one
+phase-level :class:`RoundInbox` view over the whole round's buffer and
+lets it sweep every incoming slot at once (see the batched-receive
+contract on :class:`NodeAlgorithm`: per-(node, port) slot ownership,
+``None`` slots are absent messages and never surface, views die with the
+round, late delivery stays per-node, and auditing lives on the send side
+so the totals are arithmetically identical).  All four send × receive
+plane combinations are bit-identical in outputs and metrics
+(``tests/test_differential_paths.py`` pins the matrix,
+``tests/test_receive_plane.py`` the edge semantics).
 """
 
 from repro.distributed.model import Model, congest_bit_budget
 from repro.distributed.rounds import RoundTracker
 from repro.distributed.messages import CongestAuditor, message_size_bits
 from repro.distributed.metrics import ExecutionMetrics
-from repro.distributed.network import OutboxWriter, PortInbox, SynchronousNetwork
+from repro.distributed.network import (
+    OutboxWriter,
+    PortInbox,
+    RoundInbox,
+    SynchronousNetwork,
+)
 from repro.distributed.algorithms import NodeAlgorithm
 
 __all__ = [
@@ -38,6 +53,7 @@ __all__ = [
     "ExecutionMetrics",
     "OutboxWriter",
     "PortInbox",
+    "RoundInbox",
     "SynchronousNetwork",
     "NodeAlgorithm",
 ]

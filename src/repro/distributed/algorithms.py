@@ -18,7 +18,7 @@ Nodes only ever see:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List
 
 
 @dataclass
@@ -74,11 +74,46 @@ class NodeAlgorithm:
     then picks the batched plane) and override :meth:`send_batch`; the
     default implementation bridges to :meth:`send`, so *any* algorithm
     can be forced onto either plane for differential testing.
+
+    **Batched receive contract.**  Symmetrically, the simulator offers
+    two receive planes.  On the default *dict* plane it calls
+    :meth:`receive` once per unfinished node with a pooled
+    :class:`repro.distributed.network.PortInbox` view.  On the *batched*
+    plane it calls :meth:`receive_batch` **once per round** with a
+    phase-level :class:`repro.distributed.network.RoundInbox` view over
+    the whole round's flat slot buffer and the ascending list of
+    unfinished nodes.  The contract:
+
+    * *slot ownership*: slot ``xadj[v] + p`` of the round buffer belongs
+      to port ``p`` of node ``v``; a batched implementation may only
+      read the slots of the nodes it was handed;
+    * ``None`` slots mean *no message arrived on that port* — they are
+      never surfaced by the dict plane's views, and batched
+      implementations must skip them the same way;
+    * the view is only valid for the duration of the ``receive_batch``
+      call (the simulator clears the round's slots afterwards); payloads
+      that must outlive the call have to be copied out;
+    * late delivery to already-finished nodes always runs through the
+      per-node :meth:`receive` hook, on both planes, after the
+      phase-level call;
+    * metrics and CONGEST auditing happen on the send side, so they are
+      bit-identical across the receive planes by construction (*audit
+      equivalence*); outputs and round counts must match too — the
+      differential matrix pins all four plane combinations.
+
+    Algorithms with a native phase-level implementation set
+    ``batched_receive = True`` and override :meth:`receive_batch`; the
+    default bridges to :meth:`receive`, so *any* algorithm can be forced
+    onto either receive plane for differential testing.
     """
 
     #: Whether the simulator's ``"auto"`` send plane should use
     #: :meth:`send_batch` (native batched implementations set this).
     batched_send = False
+
+    #: Whether the simulator's ``"auto"`` receive plane should use
+    #: :meth:`receive_batch` (native phase-level implementations set this).
+    batched_receive = False
 
     def initialize(self, ctx: NodeContext) -> Dict[str, Any]:
         """Initial local state of the node."""
@@ -115,6 +150,28 @@ class NodeAlgorithm:
         is only valid for the duration of this call); copy it out
         (``dict(inbox.items())``) if the messages must outlive the call.
         """
+
+    def receive_batch(
+        self,
+        contexts: List[NodeContext],
+        states: List[Dict[str, Any]],
+        nodes: List[int],
+        inbox: Any,
+        round_index: int,
+    ) -> None:
+        """Process one round's messages for every node in ``nodes``.
+
+        ``inbox`` is a :class:`repro.distributed.network.RoundInbox`
+        covering the whole round's slot buffer; ``nodes`` lists the
+        unfinished nodes in ascending order.  The default bridges to the
+        per-node :meth:`receive` through pooled views — bit-identical to
+        the dict plane — so every algorithm runs on the batched plane;
+        native implementations override this (see the class docstring
+        for the contract) and typically sweep all slots as arrays.
+        """
+        receive = self.receive
+        for v in nodes:
+            receive(contexts[v], states[v], inbox.node(v), round_index)
 
     def finished(self, ctx: NodeContext, state: Dict[str, Any]) -> bool:
         """Whether this node has produced its final output."""

@@ -33,8 +33,44 @@ Two *send planes* feed the buffer (the ``send_plane`` knob of
   (:meth:`repro.distributed.messages.CongestAuditor.
   record_batch_grouped`) instead of ``degree`` repeated payloads.
 
+Two *receive planes* drain the buffer (the ``receive_plane`` knob):
+
+* the **dict plane** — the compatibility path: every round each
+  unfinished node's ``receive()`` is handed a pooled :class:`PortInbox`
+  view of its buffer row;
+* the **batched plane** — the simulator calls
+  ``algorithm.receive_batch()`` **once per round** with a phase-level
+  :class:`RoundInbox` view over the whole round's flat buffer and the
+  list of unfinished nodes.  A native implementation (e.g.
+  :class:`repro.coloring.linial.LinialNodeAlgorithm`) processes all
+  incoming slots of the round as one vectorized sweep instead of ``n``
+  python dispatches; the default implementation bridges to the per-node
+  ``receive()`` via pooled views, so any algorithm runs on either plane.
+
+Batched-receive contract (*slot ownership*, ``None`` semantics, audit
+equivalence):
+
+* slot ``xadj[v] + p`` is owned by (node ``v``, port ``p``) for the
+  duration of one round: it either holds the payload delivered to that
+  port this round or ``None``.  ``None`` slots are *absent* messages —
+  they are never surfaced by :class:`PortInbox`, and batched
+  implementations must skip them exactly like the dict plane does
+  (a ``None`` payload is never sent, delivered, counted or audited);
+* the :class:`RoundInbox` (and every view derived from it) is only
+  valid during the ``receive_batch`` call — the simulator clears the
+  written slots right after the receive phase, so payloads that must
+  outlive the round have to be copied out;
+* late delivery to *finished* nodes always runs through the per-node
+  ``receive()`` hook, on both planes, after the phase-level call — the
+  unfinished set handed to ``receive_batch`` never contains a finished
+  node;
+* CONGEST auditing happens on the send side and is therefore untouched
+  by the receive plane: message counts, ``max_message_bits`` and the
+  ordered violation list are arithmetically identical across all four
+  send × receive plane combinations.
+
 All observable behaviour — delivery order, metrics, violation lists — is
-identical across the two planes (and to the historical per-message
+identical across the planes (and to the historical per-message
 implementation); the differential matrix in
 ``tests/test_differential_paths.py`` pins the equivalence.
 
@@ -52,7 +88,7 @@ not audited, on either plane.
 from __future__ import annotations
 
 import operator
-from typing import Any, Dict, Iterator, List, Optional, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.distributed.algorithms import NodeAlgorithm, NodeContext
 from repro.distributed.messages import CongestAuditor
@@ -157,6 +193,51 @@ class PortInbox:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return f"PortInbox({self.to_dict()!r})"
+
+
+class RoundInbox:
+    """A phase-level, slot-indexed view over one round's whole inbox buffer.
+
+    The batched-receive counterpart of :class:`PortInbox`: instead of one
+    per-node view per ``receive()`` call, the simulator hands **one**
+    instance to ``algorithm.receive_batch()`` per round, covering every
+    node's slots at once.  Slot ``xadj[v] + p`` holds the payload
+    delivered to port ``p`` of node ``v`` this round, or ``None`` when
+    nothing arrived on that port (``None`` is *absence*, never a
+    payload — see the module docstring for the full contract).
+
+    Native batched algorithms read :attr:`buffer` / :meth:`slot_bounds`
+    directly and sweep all slots as arrays; :meth:`node` returns a pooled
+    :class:`PortInbox` bound to one node's row for per-node fallbacks
+    (the default ``receive_batch`` bridge uses it).  Like every pooled
+    view, the instance is only valid during the ``receive_batch`` call it
+    was passed to — the simulator clears the round's slots afterwards.
+    """
+
+    __slots__ = ("_buf", "_xadj", "_port_view")
+
+    def __init__(self, buf: List[Any], xadj: Sequence[int]) -> None:
+        self._buf = buf
+        self._xadj = xadj
+        self._port_view = PortInbox(buf)
+
+    @property
+    def buffer(self) -> List[Any]:
+        """The flat slot-indexed payload buffer (read-only by contract)."""
+        return self._buf
+
+    def slot_bounds(self, node: int) -> Tuple[int, int]:
+        """The ``[start, end)`` slot range owned by ``node`` this round."""
+        return self._xadj[node], self._xadj[node + 1]
+
+    def node(self, node: int) -> PortInbox:
+        """A pooled per-node view (valid until the next ``node()`` call)."""
+        start = self._xadj[node]
+        return self._port_view._bind(start, self._xadj[node + 1] - start)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        filled = sum(1 for x in self._buf if x is not None)
+        return f"RoundInbox(slots={len(self._buf)}, filled={filled})"
 
 
 class OutboxWriter:
@@ -367,6 +448,7 @@ class SynchronousNetwork:
         algorithm: NodeAlgorithm,
         max_rounds: int = 10_000,
         send_plane: str = "auto",
+        receive_plane: str = "auto",
     ) -> Tuple[List[Any], ExecutionMetrics]:
         """Run ``algorithm`` on every node until all nodes are finished.
 
@@ -381,14 +463,25 @@ class SynchronousNetwork:
         :class:`OutboxWriter` to ``algorithm.send_batch()`` (every
         algorithm supports this — the base class bridges to ``send()``);
         ``"auto"`` picks the batched plane when the algorithm declares
-        ``batched_send = True`` and the dict plane otherwise.  Both
-        planes produce bit-identical outputs and metrics.
+        ``batched_send = True`` and the dict plane otherwise.
+
+        ``receive_plane`` symmetrically selects how the round's messages
+        are drained: ``"dict"`` calls the per-node ``receive()`` with a
+        pooled :class:`PortInbox` view; ``"batched"`` calls
+        ``algorithm.receive_batch()`` once per round with a phase-level
+        :class:`RoundInbox` view over the whole buffer and the list of
+        unfinished nodes (every algorithm supports this — the base class
+        bridges back to ``receive()``); ``"auto"`` picks the batched
+        plane when the algorithm declares ``batched_receive = True``.
+        All four send × receive combinations produce bit-identical
+        outputs and metrics.
 
         The simulator tracks the set of unfinished nodes instead of
         re-querying every node each round: a node reporting finished is
         assumed to stay finished (termination is monotone in the LOCAL /
         CONGEST models), it no longer sends, and its ``receive`` hook only
-        runs in rounds where messages actually arrive for it.
+        runs in rounds where messages actually arrive for it (late
+        delivery runs through the per-node hook on both receive planes).
 
         Messages move through a flat slot-indexed buffer over the CSR
         adjacency (see the module docstring); ``receive()`` gets a pooled
@@ -405,6 +498,17 @@ class SynchronousNetwork:
         else:
             raise ValueError(
                 f"unknown send_plane {send_plane!r}: expected 'auto', 'batched' or 'dict'"
+            )
+        if receive_plane == "auto":
+            use_batched_receive = bool(getattr(algorithm, "batched_receive", False))
+        elif receive_plane == "batched":
+            use_batched_receive = True
+        elif receive_plane == "dict":
+            use_batched_receive = False
+        else:
+            raise ValueError(
+                f"unknown receive_plane {receive_plane!r}: expected 'auto', "
+                f"'batched' or 'dict'"
             )
         contexts = self._contexts
         states = [algorithm.initialize(ctx) for ctx in contexts]
@@ -426,6 +530,7 @@ class SynchronousNetwork:
         touched: List[int] = []  # slots written this round
         receivers: set = set()  # nodes with >= 1 message this round
         inbox = PortInbox(inbox_buf)
+        round_inbox = RoundInbox(inbox_buf, xadj) if use_batched_receive else None
         batch: List[Any] = []  # dict plane: this round's payloads for the audit
         groups: Optional[List[Tuple[Any, int]]] = [] if auditor is not None else None
         writer = OutboxWriter(
@@ -495,14 +600,20 @@ class SynchronousNetwork:
                     if batch_max > metrics.max_message_bits:
                         metrics.max_message_bits = batch_max
                     batch.clear()
-            receive = algorithm.receive
-            for v in unfinished:
-                # Inlined PortInbox._bind (one attribute pair instead of a
-                # method call per node per round).
-                start = xadj[v]
-                inbox._start = start
-                inbox._degree = xadj[v + 1] - start
-                receive(contexts[v], states[v], inbox, rounds)
+            if use_batched_receive:
+                # Phase-level drain: one call covers every unfinished
+                # node's slots this round (the bridge in NodeAlgorithm
+                # reproduces the per-node loop below bit-identically).
+                algorithm.receive_batch(contexts, states, unfinished, round_inbox, rounds)
+            else:
+                receive = algorithm.receive
+                for v in unfinished:
+                    # Inlined PortInbox._bind (one attribute pair instead
+                    # of a method call per node per round).
+                    start = xadj[v]
+                    inbox._start = start
+                    inbox._degree = xadj[v + 1] - start
+                    receive(contexts[v], states[v], inbox, rounds)
             if receivers:
                 # Finished nodes still observe late messages addressed to them.
                 unfinished_set = set(unfinished)

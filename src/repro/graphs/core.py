@@ -620,6 +620,23 @@ class EdgeSubsetView:
             xadj, adj = graph.adjacency_csr()
             _, inc = graph.incidence_csr()
             present = self._present
+            if len(adj) >= 256:
+                try:
+                    import numpy as np
+                except ImportError:
+                    np = None
+                if np is not None:
+                    # Vectorized filter (same lists come out): keep the
+                    # slots whose edge is present, and read the restricted
+                    # row boundaries off the running count of kept slots.
+                    inc_np = np.asarray(inc, dtype=np.int64)
+                    keep = np.frombuffer(present, dtype=np.uint8).astype(bool)[inc_np]
+                    csum = np.zeros(len(adj) + 1, dtype=np.int64)
+                    np.cumsum(keep, out=csum[1:])
+                    self._sub_xadj = csum[np.asarray(xadj, dtype=np.int64)].tolist()
+                    self._sub_adj = np.asarray(adj, dtype=np.int64)[keep].tolist()
+                    self._sub_inc = inc_np[keep].tolist()
+                    return self._sub_xadj, self._sub_adj, self._sub_inc
             sub_xadj = [0] * (graph.num_nodes + 1)
             sub_adj: List[int] = []
             sub_inc: List[int] = []

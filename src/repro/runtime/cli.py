@@ -44,7 +44,11 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = registry.get(args.scenario)
     store = ResultStore(args.out or default_store_path(spec.name))
-    knobs = resolve_knobs(scan_path=args.scan_path, send_plane=args.send_plane)
+    knobs = resolve_knobs(
+        scan_path=args.scan_path,
+        send_plane=args.send_plane,
+        receive_plane=args.receive_plane,
+    )
     report = run_scenario(
         spec,
         workers=args.workers,
@@ -107,13 +111,14 @@ def _cmd_report(args: argparse.Namespace) -> int:
 def _cmd_diff(args: argparse.Namespace) -> int:
     left = ResultStore(args.left).rows()
     right = ResultStore(args.right).rows()
-    problems = diff_rows(left, right)
+    problems = diff_rows(left, right, ignore_knobs=args.ignore_knobs)
+    excluded = "timing+knobs" if args.ignore_knobs else "timing"
     if problems:
-        print(f"{len(problems)} difference(s) (timing excluded):")
+        print(f"{len(problems)} difference(s) ({excluded} excluded):")
         for problem in problems:
             print(f"  {problem}")
         return 1
-    print(f"identical modulo timing: {len(left)} rows")
+    print(f"identical modulo {excluded}: {len(left)} rows")
     return 0
 
 
@@ -138,6 +143,9 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument("--out", help="JSONL store path (default: benchmarks/results/scenarios/)")
     p_run.add_argument("--scan-path", dest="scan_path", help="orientation engine knob")
     p_run.add_argument("--send-plane", dest="send_plane", help="simulator send plane knob")
+    p_run.add_argument(
+        "--receive-plane", dest="receive_plane", help="simulator receive plane knob"
+    )
     p_run.add_argument("--no-progress", action="store_true", help="suppress per-cell lines")
     p_run.set_defaults(func=_cmd_run)
 
@@ -151,6 +159,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_diff.add_argument("left")
     p_diff.add_argument("right")
+    p_diff.add_argument(
+        "--ignore-knobs",
+        action="store_true",
+        help="match rows by cell identity and exclude the engine knobs "
+        "from the comparison (cross-plane/engine equivalence checks)",
+    )
     p_diff.set_defaults(func=_cmd_diff)
 
     return parser

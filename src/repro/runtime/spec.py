@@ -115,32 +115,44 @@ class Knobs:
     """Resolved execution knobs threaded into every runner and cache key.
 
     ``scan_path`` selects the orientation engine (see
-    :mod:`repro.core.engine`); ``send_plane`` selects the simulator send
-    plane (see :mod:`repro.distributed.network`).  Both default to the
-    environment overrides CI uses (``REPRO_SCAN_PATH`` /
-    ``REPRO_SEND_PLANE``) and fall back to ``"auto"``.  The *resolved*
-    values enter the cache key: a row computed under a forced engine is
-    never reused for another engine, even though the engines are
-    bit-identical by contract — the cache key must not encode that proof
-    obligation.
+    :mod:`repro.core.engine`); ``send_plane`` / ``receive_plane`` select
+    the simulator send and receive planes (see
+    :mod:`repro.distributed.network`).  All default to the environment
+    overrides CI uses (``REPRO_SCAN_PATH`` / ``REPRO_SEND_PLANE`` /
+    ``REPRO_RECEIVE_PLANE``) and fall back to ``"auto"``.  The
+    *resolved* values enter the cache key: a row computed under a forced
+    engine is never reused for another engine, even though the engines
+    are bit-identical by contract — the cache key must not encode that
+    proof obligation.
     """
 
     scan_path: str = "auto"
     send_plane: str = "auto"
+    receive_plane: str = "auto"
 
     def as_dict(self) -> Dict[str, str]:
-        return {"scan_path": self.scan_path, "send_plane": self.send_plane}
+        return {
+            "scan_path": self.scan_path,
+            "send_plane": self.send_plane,
+            "receive_plane": self.receive_plane,
+        }
 
 
 def resolve_knobs(
-    scan_path: Optional[str] = None, send_plane: Optional[str] = None
+    scan_path: Optional[str] = None,
+    send_plane: Optional[str] = None,
+    receive_plane: Optional[str] = None,
 ) -> Knobs:
     """Resolve knobs: explicit argument > environment override > ``auto``."""
     if scan_path is None:
         scan_path = os.environ.get("REPRO_SCAN_PATH", "").strip().lower() or "auto"
     if send_plane is None:
         send_plane = os.environ.get("REPRO_SEND_PLANE", "").strip().lower() or "auto"
-    return Knobs(scan_path=scan_path, send_plane=send_plane)
+    if receive_plane is None:
+        receive_plane = (
+            os.environ.get("REPRO_RECEIVE_PLANE", "").strip().lower() or "auto"
+        )
+    return Knobs(scan_path=scan_path, send_plane=send_plane, receive_plane=receive_plane)
 
 
 # ---------------------------------------------------------------------- keys

@@ -110,20 +110,43 @@ def default_store_path(spec_name: str, base_dir: Optional[str] = None) -> str:
     return os.path.join(base_dir, "scenarios", f"{spec_name}.jsonl")
 
 
-def strip_timing(row: Dict[str, object]) -> Dict[str, object]:
-    """A row without its execution-dependent ``timing`` field."""
-    return {key: value for key, value in row.items() if key != "timing"}
+def strip_timing(
+    row: Dict[str, object], ignore_knobs: bool = False
+) -> Dict[str, object]:
+    """A row without its execution-dependent ``timing`` field.
+
+    With ``ignore_knobs`` the resolved engine knobs and the cache key
+    (which folds them in) are dropped too — the projection used to
+    compare runs across ``scan_path`` / ``send_plane`` /
+    ``receive_plane`` settings, which are bit-identical by contract.
+    """
+    drop = {"timing", "knobs", "key"} if ignore_knobs else {"timing"}
+    return {key: value for key, value in row.items() if key not in drop}
 
 
-def _sorted_rows(rows: Iterable[Dict[str, object]]) -> List[Dict[str, object]]:
-    return sorted(
-        (strip_timing(row) for row in rows),
-        key=lambda row: (row.get("spec", ""), row.get("cell_index", -1), row.get("key", "")),
-    )
+def _indexed_rows(
+    rows: Iterable[Dict[str, object]], ignore_knobs: bool
+) -> Dict[object, Dict[str, object]]:
+    """Deduplicated rows, keyed by cache key (or cell identity)."""
+    index: Dict[object, Dict[str, object]] = {}
+    for row in rows:
+        if ignore_knobs:
+            key: object = (
+                row.get("spec"),
+                row.get("version"),
+                row.get("cell_index"),
+                canonical_json(row.get("params", {})),
+            )
+        else:
+            key = row.get("key")
+        index[key] = strip_timing(row, ignore_knobs=ignore_knobs)
+    return index
 
 
 def diff_rows(
-    left: Iterable[Dict[str, object]], right: Iterable[Dict[str, object]]
+    left: Iterable[Dict[str, object]],
+    right: Iterable[Dict[str, object]],
+    ignore_knobs: bool = False,
 ) -> List[str]:
     """Human-readable differences between two row sets, timing excluded.
 
@@ -131,16 +154,19 @@ def diff_rows(
     wins, matching :meth:`ResultStore.rows_by_key`), so neither the
     on-disk order (which depends on completion order under ``--resume``)
     nor re-appended duplicate rows from repeated non-resume runs matter.
+    With ``ignore_knobs`` rows are matched by cell identity instead and
+    the knob/key fields are excluded from the comparison — the mode CI
+    uses to hold the cross-plane bit-identity contract on real stores.
     Returns an empty list when equivalent.
     """
-    left_index = {row.get("key"): row for row in _sorted_rows(left)}
-    right_index = {row.get("key"): row for row in _sorted_rows(right)}
+    left_index = _indexed_rows(left, ignore_knobs)
+    right_index = _indexed_rows(right, ignore_knobs)
     problems: List[str] = []
     if len(left_index) != len(right_index):
         problems.append(
             f"distinct cell count differs: {len(left_index)} vs {len(right_index)}"
         )
-    for key in sorted(set(left_index) | set(right_index)):
+    for key in sorted(set(left_index) | set(right_index), key=str):
         a, b = left_index.get(key), right_index.get(key)
         if a is None:
             problems.append(f"key {key}: only in right")

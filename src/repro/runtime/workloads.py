@@ -430,7 +430,10 @@ def run_linial_audit(ctx: CellContext) -> Dict[str, object]:
     outcome, wall = _timed(
         ctx,
         lambda: api.run_linial_network(
-            graph, send_plane=ctx.knobs.send_plane, network=network
+            graph,
+            send_plane=ctx.knobs.send_plane,
+            receive_plane=ctx.knobs.receive_plane,
+            network=network,
         ),
     )
     assert outcome.congest_violations == 0, f"congest violations in Linial audit at n={n}"

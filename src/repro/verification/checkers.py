@@ -40,6 +40,30 @@ def is_proper_edge_coloring(
     edges = list(edge_set) if edge_set is not None else list(graph.edges())
     if require_all and any(e not in colors for e in edges):
         return False
+    # Vectorized boolean fast path (the checker is in the timed region of
+    # several benchmark outcomes): two adjacent colored edges share a
+    # color iff some (endpoint, color) pair occurs twice, which one sort
+    # over the composite keys detects.  Exactly equivalent to asking
+    # whether the violation list below is empty; any unusual input
+    # (non-int colors, huge values) falls back to the reference scan.
+    from repro.core.engine import _np
+
+    if _np is not None and len(colors) >= 256 and hasattr(graph, "endpoint_arrays_np"):
+        np = _np
+        try:
+            ids = np.fromiter(colors.keys(), dtype=np.int64, count=len(colors))
+            cvals = np.fromiter(colors.values(), dtype=np.int64, count=len(colors))
+        except (TypeError, OverflowError):
+            return not proper_edge_coloring_violations(graph, colors)
+        uniq, code = np.unique(cvals, return_inverse=True)
+        num_codes = int(uniq.size)
+        if graph.num_nodes * num_codes < 2**62:
+            eu_all, ev_all = graph.endpoint_arrays_np()
+            keys = np.concatenate((eu_all[ids], ev_all[ids])) * num_codes + np.concatenate(
+                (code, code)
+            )
+            keys.sort()
+            return not bool((keys[1:] == keys[:-1]).any())
     return not proper_edge_coloring_violations(graph, colors)
 
 

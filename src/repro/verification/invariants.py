@@ -2,11 +2,10 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.slack import ListEdgeColoringInstance
 from repro.core.token_dropping import TokenDroppingGame, TokenDroppingResult
-from repro.graphs.core import Graph
 
 
 def check_token_game_validity(

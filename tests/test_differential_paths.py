@@ -1,14 +1,18 @@
 """Differential test matrix: every fast path against its reference twin.
 
-The PR 3 engines — the vectorized orientation proposal/accept loop, the
-vectorized line-graph Linial schedule, and the simulator's batched send
-plane — each ship with a pure-python reference twin.  This matrix runs a
-seeded randomized sweep (varying n, Δ, bipartite/general topology, both
-sides of the engine-size threshold and of the legacy 384-edge mark) and
-asserts the twins are **bit-identical**: same colorings, orientations,
-round counts and CONGEST metrics, down to dict contents and violation
-lists.  CI runs the matrix twice more with ``REPRO_SCAN_PATH`` forcing
-each engine across the whole suite.
+The vectorized engines — the orientation proposal/accept loop, the
+line-graph Linial schedule, the defective min-conflict reduction, the
+local-search round loop, and the simulator's batched send *and* receive
+planes — each ship with a pure-python (or per-node) reference twin.
+This matrix runs a seeded randomized sweep (varying n, Δ,
+bipartite/general topology, both sides of the engine-size threshold and
+of the legacy 384-edge mark) and asserts the twins are
+**bit-identical**: same colorings, orientations, round counts and
+CONGEST metrics, down to dict contents and violation lists.  The
+simulator planes are checked over the full send × receive combination
+matrix.  CI runs the matrix twice more with ``REPRO_SCAN_PATH`` forcing
+each engine across the whole suite, and the scenario-runtime job diffs
+result stores across the plane knobs.
 """
 
 from __future__ import annotations
@@ -16,7 +20,6 @@ from __future__ import annotations
 import pytest
 
 from repro import api
-import repro.core.balanced_orientation as balanced_orientation
 from repro.coloring.greedy import proper_edge_schedule
 from repro.coloring.linial import LinialNodeAlgorithm
 from repro.core.balanced_orientation import (
@@ -169,6 +172,62 @@ class TestDefectiveReductionMatrix:
 
 
 @requires_numpy
+class TestLocalSearchEngineMatrix:
+    """defective_coloring_local_search: vectorized rounds vs reference."""
+
+    @pytest.mark.parametrize("n,delta,num_classes,slack", [
+        (32, 4, 2, 1),
+        (64, 8, 4, 2),
+        (128, 16, 4, 3),
+        (128, 32, 4, 5),
+        (96, 12, 3, 1),
+    ])
+    def test_engines_bit_identical(self, n, delta, num_classes, slack):
+        from repro.coloring.defective_vertex import (
+            defective_coloring_local_search,
+            monochromatic_degree,
+        )
+
+        graph = generators.random_regular_graph(n, delta, seed=n + delta)
+        results = {}
+        for path in ("python", "numpy"):
+            tracker = RoundTracker()
+            classes, rounds = defective_coloring_local_search(
+                graph, num_classes, slack, tracker=tracker, scan_path=path
+            )
+            results[path] = (
+                classes,
+                rounds,
+                tracker.breakdown,
+                monochromatic_degree(graph, classes, scan_path=path),
+            )
+        assert results["python"] == results["numpy"]
+
+    def test_seeded_split_bit_identical(self):
+        from repro.coloring.defective_vertex import defective_split_coloring
+        from repro.coloring.linial import linial_vertex_coloring
+
+        graph = generators.random_regular_graph(128, 16, seed=21)
+        colors, count = linial_vertex_coloring(graph)
+        results = {}
+        for path in ("python", "numpy"):
+            tracker = RoundTracker()
+            results[path] = (
+                defective_split_coloring(
+                    graph,
+                    4,
+                    0.125,
+                    proper_coloring=colors,
+                    proper_num_colors=count,
+                    tracker=tracker,
+                    scan_path=path,
+                ),
+                tracker.breakdown,
+            )
+        assert results["python"] == results["numpy"]
+
+
+@requires_numpy
 class TestPipelineScanPathMatrix:
     """Full Theorem D.4 / 6.3 pipelines under both orientation engines."""
 
@@ -271,8 +330,14 @@ def _metrics_fingerprint(metrics):
     )
 
 
+#: Every send × receive plane combination the simulator offers.
+PLANE_MATRIX = [
+    (send, receive) for send in ("dict", "batched") for receive in ("dict", "batched")
+]
+
+
 class TestSendPlaneMatrix:
-    """Batched vs dict send planes: bit-identical outputs and metrics."""
+    """Send × receive plane matrix: bit-identical outputs and metrics."""
 
     @pytest.mark.parametrize("n", [64, 256])
     @pytest.mark.parametrize("model", [Model.LOCAL, Model.CONGEST])
@@ -283,43 +348,73 @@ class TestSendPlaneMatrix:
         network = SynchronousNetwork(
             graph, model=model, global_knowledge={"id_space": id_space_size(graph)}
         )
-        out_dict, m_dict = network.run(LinialNodeAlgorithm(), send_plane="dict")
-        out_batched, m_batched = network.run(LinialNodeAlgorithm(), send_plane="batched")
-        out_auto, m_auto = network.run(LinialNodeAlgorithm())  # auto -> batched
-        assert out_dict == out_batched == out_auto
-        assert (
-            _metrics_fingerprint(m_dict)
-            == _metrics_fingerprint(m_batched)
-            == _metrics_fingerprint(m_auto)
-        )
+        results = [
+            network.run(LinialNodeAlgorithm(), send_plane=send, receive_plane=receive)
+            for send, receive in PLANE_MATRIX
+        ]
+        results.append(network.run(LinialNodeAlgorithm()))  # auto -> batched/batched
+        reference_out, reference_metrics = results[0]
+        for out, metrics in results[1:]:
+            assert out == reference_out
+            assert _metrics_fingerprint(metrics) == _metrics_fingerprint(
+                reference_metrics
+            )
 
     @pytest.mark.parametrize("kind,n,delta", [("general", 24, 4), ("bipartite", 32, 8), ("general", 32, 10)])
     def test_selective_sends_bridge_bit_identical(self, kind, n, delta):
         # Ragged ports, None payloads, tuples/strings, staggered finishes
-        # (late delivery to finished nodes) through the send() bridge.
+        # (late delivery to finished nodes) through the send() and
+        # receive() bridges, across all four plane combinations.
         graph = _make_graph(kind, n, delta, seed=n + delta)
 
-        def run(plane):
-            # Fresh network per plane: the CONGEST auditor accumulates
-            # across runs of one network by design.
+        def run(send, receive):
+            # Fresh network per combination: the CONGEST auditor
+            # accumulates across runs of one network by design.
             network = SynchronousNetwork(graph, model=Model.CONGEST, congest_factor=2)
-            return network.run(_SelectivePortAlgorithm(), send_plane=plane)
+            return network.run(
+                _SelectivePortAlgorithm(), send_plane=send, receive_plane=receive
+            )
 
-        out_dict, m_dict = run("dict")
-        out_batched, m_batched = run("batched")
-        assert out_dict == out_batched
-        assert _metrics_fingerprint(m_dict) == _metrics_fingerprint(m_batched)
+        results = [run(send, receive) for send, receive in PLANE_MATRIX]
+        reference_out, reference_metrics = results[0]
+        for out, metrics in results[1:]:
+            assert out == reference_out
+            assert _metrics_fingerprint(metrics) == _metrics_fingerprint(
+                reference_metrics
+            )
         # The ragged payloads overflow the tightened budget somewhere —
         # otherwise the violation-list comparison would be vacuous.
-        assert m_dict.congest_violations > 0
+        assert reference_metrics.congest_violations > 0
 
     def test_native_broadcast_planes_bit_identical(self):
         graph = generators.random_regular_graph(48, 6, seed=2)
         network = SynchronousNetwork(graph, model=Model.CONGEST)
-        out_dict, m_dict = network.run(_BroadcastAlgorithm(), send_plane="dict")
-        out_batched, m_batched = network.run(_BroadcastAlgorithm(), send_plane="batched")
-        assert out_dict == out_batched
-        assert _metrics_fingerprint(m_dict) == _metrics_fingerprint(m_batched)
+        results = [
+            network.run(_BroadcastAlgorithm(), send_plane=send, receive_plane=receive)
+            for send, receive in PLANE_MATRIX
+        ]
+        reference_out, reference_metrics = results[0]
+        for out, metrics in results[1:]:
+            assert out == reference_out
+            assert _metrics_fingerprint(metrics) == _metrics_fingerprint(
+                reference_metrics
+            )
+
+    def test_api_linial_network_plane_matrix(self):
+        # The public E8 entry point: every send × receive combination
+        # produces the same MessagePassingOutcome on a reused network.
+        graph = generators.graph_with_scrambled_ids(
+            generators.random_regular_graph(96, 4, seed=7), seed=7, id_space_factor=8
+        )
+        network = api.build_linial_network(graph)
+        outcomes = [
+            api.run_linial_network(
+                graph, send_plane=send, receive_plane=receive, network=network
+            )
+            for send, receive in PLANE_MATRIX
+        ]
+        for outcome in outcomes[1:]:
+            assert outcome == outcomes[0]
 
     def test_auditor_state_identical_across_planes(self):
         graph = generators.random_regular_graph(24, 4, seed=3)

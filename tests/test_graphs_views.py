@@ -4,7 +4,6 @@ from __future__ import annotations
 
 import random
 
-import pytest
 
 from repro.graphs import generators
 from repro.graphs.core import EdgeSubsetView, Graph

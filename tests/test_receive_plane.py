@@ -1,0 +1,283 @@
+"""Edge semantics of the batched receive plane.
+
+The ``receive_plane="batched"`` knob must be observationally identical to
+the per-node dict plane: ``None`` payloads never surface in the batched
+views, late delivery to finished nodes and the ``max_rounds`` boundary
+behave exactly like the dict path, the pooled views never leak payloads
+across rounds, and the CONGEST audit totals are arithmetically identical
+(the audit lives on the send side).  The cross-plane bit-identity of real
+algorithms is pinned by ``tests/test_differential_paths.py``; this module
+covers the contract's edge cases with purpose-built algorithms.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.coloring.linial import LinialNodeAlgorithm
+from repro.distributed.algorithms import NodeAlgorithm
+from repro.distributed.model import Model
+from repro.distributed.network import RoundInbox, SynchronousNetwork
+from repro.graphs import generators
+from repro.graphs.identifiers import id_space_size
+
+RECEIVE_PLANES = ("dict", "batched")
+
+
+def _metrics_fingerprint(metrics):
+    return (
+        metrics.rounds,
+        metrics.messages,
+        metrics.max_message_bits,
+        metrics.congest_violations,
+        metrics.congest_budget_bits,
+    )
+
+
+class SparseNoneSender(NodeAlgorithm):
+    """Sends on some ports, ``None`` on others, nothing on the rest.
+
+    ``receive`` snapshots every view of the round, so the outputs expose
+    exactly which ports carried payloads — a ``None`` that leaked into
+    the batched view would change them.
+    """
+
+    ROUNDS = 3
+
+    def initialize(self, ctx):
+        return {"round": 0, "seen": []}
+
+    def send(self, ctx, state, round_index):
+        outbox = {}
+        for port in range(ctx.degree):
+            kind = (port + round_index + ctx.node) % 3
+            if kind == 0:
+                outbox[port] = None  # explicitly not sent
+            elif kind == 1:
+                outbox[port] = (ctx.node_id, round_index)
+        return outbox
+
+    def receive(self, ctx, state, inbox, round_index):
+        state["seen"].append(
+            (round_index, inbox.keys(), inbox.items(), len(inbox), bool(inbox))
+        )
+        state["round"] += 1
+
+    def finished(self, ctx, state):
+        return state["round"] >= self.ROUNDS
+
+    def output(self, ctx, state):
+        return state["seen"]
+
+
+class BatchedViewProbe(NodeAlgorithm):
+    """Native batched receiver that inspects the raw ``RoundInbox``.
+
+    Asserts the slot-ownership contract from inside a real run: every
+    payload surfaced by a node's pooled view sits in that node's slot
+    range, and ``None`` slots are exactly the ports the view omits.
+    """
+
+    batched_receive = True
+    ROUNDS = 2
+
+    def initialize(self, ctx):
+        return {"round": 0, "log": []}
+
+    def send(self, ctx, state, round_index):
+        return {
+            port: ctx.node_id * 100 + port
+            for port in range(ctx.degree)
+            if (port + ctx.node) % 2 == 0
+        }
+
+    def receive(self, ctx, state, inbox, round_index):
+        state["log"].append((round_index, inbox.to_dict()))
+        state["round"] += 1
+
+    def receive_batch(self, contexts, states, nodes, inbox, round_index):
+        assert isinstance(inbox, RoundInbox)
+        buf = inbox.buffer
+        for v in nodes:
+            lo, hi = inbox.slot_bounds(v)
+            assert hi - lo == contexts[v].degree
+            view = inbox.node(v).to_dict()
+            # The view surfaces exactly the non-None slots of the row.
+            row = {p: buf[lo + p] for p in range(hi - lo) if buf[lo + p] is not None}
+            assert view == row
+            assert None not in view.values()
+            state = states[v]
+            state["log"].append((round_index, view))
+            state["round"] += 1
+
+    def finished(self, ctx, state):
+        return state["round"] >= self.ROUNDS
+
+    def output(self, ctx, state):
+        return state["log"]
+
+
+class EarlyFinisherLateDelivery(NodeAlgorithm):
+    """Node 0 finishes after one round; the rest keep broadcasting.
+
+    The late messages node 0 observes after finishing must be identical
+    across receive planes (late delivery always runs per node).
+    """
+
+    def initialize(self, ctx):
+        return {"rounds_done": 0, "late": {}, "early": ctx.node == 0}
+
+    def send(self, ctx, state, round_index):
+        return {port: ctx.node_id + round_index for port in range(ctx.degree)}
+
+    def receive(self, ctx, state, inbox, round_index):
+        if state["early"] and state["rounds_done"] >= 1:
+            state["late"][round_index] = inbox.to_dict()
+        state["rounds_done"] += 1
+
+    def finished(self, ctx, state):
+        return state["rounds_done"] >= (1 if state["early"] else 3)
+
+    def output(self, ctx, state):
+        return state["late"]
+
+
+class OneShotSender(NodeAlgorithm):
+    """Sends only in round 0 — later rounds must see empty views."""
+
+    def initialize(self, ctx):
+        return {"rounds_done": 0, "seen": []}
+
+    def send(self, ctx, state, round_index):
+        if round_index == 0:
+            return {port: 7 for port in range(ctx.degree)}
+        return {}
+
+    def receive(self, ctx, state, inbox, round_index):
+        state["seen"].append((len(inbox), bool(inbox), inbox.values()))
+        state["rounds_done"] += 1
+
+    def finished(self, ctx, state):
+        return state["rounds_done"] >= 3
+
+    def output(self, ctx, state):
+        return state["seen"]
+
+
+class FixedRounds(NodeAlgorithm):
+    """Terminates after exactly ``rounds`` rounds."""
+
+    def __init__(self, rounds: int) -> None:
+        self.rounds = rounds
+
+    def initialize(self, ctx):
+        return {"round": 0}
+
+    def send(self, ctx, state, round_index):
+        return {port: round_index for port in range(ctx.degree)}
+
+    def receive(self, ctx, state, inbox, round_index):
+        state["round"] += 1
+
+    def finished(self, ctx, state):
+        return state["round"] >= self.rounds
+
+    def output(self, ctx, state):
+        return state["round"]
+
+
+class TestReceivePlaneEdgeSemantics:
+    @pytest.mark.parametrize("send_plane", ["dict", "batched"])
+    def test_none_payloads_identical_across_receive_planes(self, send_plane):
+        graph = generators.random_regular_graph(24, 4, seed=5)
+        results = {}
+        for plane in RECEIVE_PLANES:
+            network = SynchronousNetwork(graph, model=Model.CONGEST, congest_factor=2)
+            out, metrics = network.run(
+                SparseNoneSender(), send_plane=send_plane, receive_plane=plane
+            )
+            results[plane] = (out, _metrics_fingerprint(metrics))
+        assert results["dict"] == results["batched"]
+
+    def test_none_slots_never_surface_in_batched_views(self):
+        # The probe asserts slot ownership and None-omission from inside
+        # the run; its outputs must also match the dict plane exactly.
+        graph = generators.random_regular_graph(16, 4, seed=3)
+        out_batched, m_batched = SynchronousNetwork(graph).run(
+            BatchedViewProbe(), receive_plane="batched"
+        )
+        out_dict, m_dict = SynchronousNetwork(graph).run(
+            BatchedViewProbe(), receive_plane="dict"
+        )
+        assert out_batched == out_dict
+        assert _metrics_fingerprint(m_batched) == _metrics_fingerprint(m_dict)
+
+    def test_late_delivery_matches_dict_plane(self):
+        graph = generators.cycle_graph(6)
+        results = {}
+        for plane in RECEIVE_PLANES:
+            network = SynchronousNetwork(graph)
+            out, metrics = network.run(EarlyFinisherLateDelivery(), receive_plane=plane)
+            results[plane] = (out, metrics.rounds, metrics.messages)
+        assert results["dict"] == results["batched"]
+        # Node 0 really did observe late messages (non-vacuous test).
+        assert results["dict"][0][0]
+
+    @pytest.mark.parametrize("plane", RECEIVE_PLANES)
+    def test_max_rounds_boundary(self, plane):
+        graph = generators.cycle_graph(4)
+        # Finishing in exactly max_rounds terminates normally ...
+        out, metrics = SynchronousNetwork(graph).run(
+            FixedRounds(3), max_rounds=3, receive_plane=plane
+        )
+        assert metrics.rounds == 3
+        assert out == [3, 3, 3, 3]
+        # ... one round more does not.
+        with pytest.raises(RuntimeError, match="did not terminate"):
+            SynchronousNetwork(graph).run(
+                FixedRounds(4), max_rounds=3, receive_plane=plane
+            )
+
+    @pytest.mark.parametrize("plane", RECEIVE_PLANES)
+    def test_pooled_views_do_not_leak_across_rounds(self, plane):
+        graph = generators.cycle_graph(5)
+        out, _metrics = SynchronousNetwork(graph).run(
+            OneShotSender(), receive_plane=plane
+        )
+        for seen in out:
+            assert seen[0] == (2, True, [7, 7])
+            assert seen[1] == (0, False, [])
+            assert seen[2] == (0, False, [])
+
+    def test_congest_audit_totals_identical_between_planes(self):
+        graph = generators.random_regular_graph(24, 4, seed=9)
+        states = {}
+        for plane in RECEIVE_PLANES:
+            network = SynchronousNetwork(graph, model=Model.CONGEST, congest_factor=2)
+            network.run(SparseNoneSender(), receive_plane=plane)
+            auditor = network._auditor
+            states[plane] = (
+                auditor.messages_recorded,
+                auditor.total_bits,
+                auditor.max_bits,
+                auditor.violations,
+            )
+        assert states["dict"] == states["batched"]
+
+    def test_unknown_receive_plane_rejected(self):
+        graph = generators.path_graph(4)
+        with pytest.raises(ValueError, match="receive_plane"):
+            SynchronousNetwork(graph).run(LinialNodeAlgorithm(), receive_plane="pigeon")
+
+    def test_auto_picks_batched_for_native_algorithms(self):
+        graph = generators.graph_with_scrambled_ids(
+            generators.random_regular_graph(32, 4, seed=1), seed=1, id_space_factor=8
+        )
+        network = SynchronousNetwork(
+            graph, global_knowledge={"id_space": id_space_size(graph)}
+        )
+        assert LinialNodeAlgorithm.batched_receive is True
+        out_auto, m_auto = network.run(LinialNodeAlgorithm())
+        out_forced, m_forced = network.run(LinialNodeAlgorithm(), receive_plane="batched")
+        assert out_auto == out_forced
+        assert _metrics_fingerprint(m_auto) == _metrics_fingerprint(m_forced)

@@ -163,3 +163,32 @@ class TestStore:
         row = {"key": "k", "cell_index": 0, "result": {"x": 1}, "timing": {"w": 1}}
         rerun = {"key": "k", "cell_index": 0, "result": {"x": 1}, "timing": {"w": 7}}
         assert diff_rows([row, rerun], [row]) == []
+
+    def test_diff_ignore_knobs_matches_across_plane_settings(self):
+        # Rows computed under different resolved knobs have different
+        # cache keys; --ignore-knobs matches them by cell identity and
+        # compares everything but timing/knobs/key.
+        def row(key, knobs, x):
+            return {
+                "spec": "s",
+                "version": "1",
+                "cell_index": 0,
+                "key": key,
+                "params": {"n": 8},
+                "seed": 1,
+                "knobs": knobs,
+                "result": {"x": x},
+                "timing": {"w": 1},
+            }
+
+        batched = [row("ka", {"send_plane": "batched", "receive_plane": "batched"}, 1)]
+        compat = [row("kb", {"send_plane": "dict", "receive_plane": "dict"}, 1)]
+        # Plain diff sees disjoint keys; the knob-insensitive diff agrees.
+        assert diff_rows(batched, compat)
+        assert diff_rows(batched, compat, ignore_knobs=True) == []
+        # A genuine result difference still fails under --ignore-knobs.
+        drifted = [row("kb", {"send_plane": "dict", "receive_plane": "dict"}, 2)]
+        assert any(
+            "rows differ" in p
+            for p in diff_rows(batched, drifted, ignore_knobs=True)
+        )

@@ -90,6 +90,37 @@ class TestPerfGridDrift:
             sys.path.pop(0)
         return scenarios()
 
+    def test_perf_gate_flags_only_real_regressions(self):
+        # The CI perf-regression wall: per-scenario matched-cell totals
+        # beyond the tolerance fail, everything else (noise, unmatched
+        # cells, improvements) passes.
+        repo_root = os.path.join(os.path.dirname(__file__), "..")
+        sys.path.insert(0, os.path.abspath(repo_root))
+        try:
+            from benchmarks.run_benchmarks import check_regressions
+        finally:
+            sys.path.pop(0)
+
+        committed = [
+            {"scenario": "E6", "n": 128, "delta": 16, "wall_seconds": 0.010},
+            {"scenario": "E6", "n": 128, "delta": 32, "wall_seconds": 0.030},
+            {"scenario": "E8", "n": 256, "delta": 4, "wall_seconds": 0.002},
+        ]
+        fine = [
+            {"scenario": "E6", "n": 128, "delta": 16, "wall_seconds": 0.015},
+            {"scenario": "E6", "n": 128, "delta": 32, "wall_seconds": 0.040},
+            {"scenario": "E8", "n": 256, "delta": 4, "wall_seconds": 0.001},
+            {"scenario": "NEW", "n": 1, "delta": 1, "wall_seconds": 99.0},  # unmatched
+        ]
+        assert check_regressions(committed, fine, tolerance=2.0, log=None) == []
+        regressed = [
+            {"scenario": "E6", "n": 128, "delta": 16, "wall_seconds": 0.050},
+            {"scenario": "E6", "n": 128, "delta": 32, "wall_seconds": 0.070},
+            {"scenario": "E8", "n": 256, "delta": 4, "wall_seconds": 0.001},
+        ]
+        problems = check_regressions(committed, regressed, tolerance=2.0, log=None)
+        assert len(problems) == 1 and problems[0].startswith("E6")
+
     def test_grids_identical(self, legacy_cells):
         from repro.runtime.scenarios import PERF_SCENARIOS
 

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import pytest
 
 from repro.runtime.spec import (
     Cell,
@@ -60,8 +59,9 @@ class TestCacheKey:
             cache_key(s2, s2.cells[0], knobs),
             cache_key(s1, s1.cells[0], Knobs(scan_path="numpy")),
             cache_key(s1, s1.cells[0], Knobs(send_plane="batched")),
+            cache_key(s1, s1.cells[0], Knobs(receive_plane="batched")),
         }
-        assert len(keys) == 5
+        assert len(keys) == 6
 
     def test_stable(self):
         s = _spec()
@@ -72,18 +72,25 @@ class TestKnobs:
     def test_env_override(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCAN_PATH", "NumPy")
         monkeypatch.setenv("REPRO_SEND_PLANE", "batched")
+        monkeypatch.setenv("REPRO_RECEIVE_PLANE", "Dict")
         knobs = resolve_knobs()
         assert knobs.scan_path == "numpy"
         assert knobs.send_plane == "batched"
+        assert knobs.receive_plane == "dict"
 
     def test_explicit_beats_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_SCAN_PATH", "numpy")
+        monkeypatch.setenv("REPRO_RECEIVE_PLANE", "dict")
         assert resolve_knobs(scan_path="python").scan_path == "python"
+        assert resolve_knobs(receive_plane="batched").receive_plane == "batched"
 
     def test_default_auto(self, monkeypatch):
         monkeypatch.delenv("REPRO_SCAN_PATH", raising=False)
         monkeypatch.delenv("REPRO_SEND_PLANE", raising=False)
-        assert resolve_knobs() == Knobs(scan_path="auto", send_plane="auto")
+        monkeypatch.delenv("REPRO_RECEIVE_PLANE", raising=False)
+        assert resolve_knobs() == Knobs(
+            scan_path="auto", send_plane="auto", receive_plane="auto"
+        )
 
 
 class TestSpecModel:

@@ -14,7 +14,6 @@ planes.
 from __future__ import annotations
 
 import json
-import math
 import os
 import sys
 
