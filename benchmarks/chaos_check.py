@@ -1,0 +1,152 @@
+"""Chaos check: the fault-tolerant runtime under injected failures.
+
+Run by the CI ``chaos`` job (and runnable locally)::
+
+    python benchmarks/chaos_check.py
+
+One small sweep, three adversaries at once:
+
+* **worker faults** — a ``chaos_probe`` scenario whose cells SIGKILL
+  their worker once, raise deterministically, and hang past the
+  per-attempt timeout, executed with ``workers=4``;
+* **message faults** — the registered ``fault_sweep`` scenario (the
+  Linial simulator workload under 0–10% message loss, delays,
+  duplicates and crash-stops from the deterministic fault plane);
+* **storage faults** — a torn trailing write injected into the result
+  store between runs.
+
+Asserted afterwards:
+
+1. the store is *complete*: every cell of both scenarios has a row —
+   the killed workers were requeued, the deterministic failures were
+   quarantined as structured error rows, and nothing deadlocked;
+2. exactly the deterministic failures (the always-raise and the
+   always-hang cell) are quarantined, with the right error kinds;
+3. a ``--resume`` run over the torn store *self-heals* (the fragment
+   is detected and dropped) and recomputes nothing — every real cell
+   is still cached;
+4. the faulted parallel run's ok rows are *diff-clean* against a
+   fault-free serial run of the non-faulted (``fault_sweep``) cells —
+   worker kills, retries and store healing left no trace in the data.
+
+Exit status 0 when all assertions hold.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import shutil
+import sys
+import tempfile
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(HERE)
+sys.path.insert(0, os.path.join(REPO, "src"))
+
+from repro.runtime import get, run_scenario  # noqa: E402
+from repro.runtime.spec import RetryPolicy, spec  # noqa: E402
+from repro.runtime.store import ResultStore, diff_rows, is_error_row  # noqa: E402
+
+logging.basicConfig(level=logging.WARNING, format="%(levelname)s %(name)s: %(message)s")
+
+RETRY = RetryPolicy(timeout_seconds=2.0, max_retries=1, backoff_seconds=0.05)
+
+
+def probe_spec(marker_dir: str):
+    """Worker-fault cells: two SIGKILLs, one raiser, one hanger, two ok."""
+    return spec(
+        "chaos_probes",
+        "chaos: worker kills, a deterministic raiser and a hanger",
+        "chaos_probe",
+        [
+            {"mode": "ok", "payload": 1},
+            {"mode": "kill_once", "marker_dir": marker_dir, "cell": "k0"},
+            {"mode": "kill_once", "marker_dir": marker_dir, "cell": "k1"},
+            {"mode": "raise"},
+            {"mode": "sleep", "sleep_seconds": 30.0},
+            {"mode": "ok", "payload": 2},
+        ],
+        retry=RETRY,
+    )
+
+
+def check(condition: bool, label: str) -> None:
+    if not condition:
+        print(f"FAIL: {label}")
+        raise SystemExit(1)
+    print(f"ok: {label}")
+
+
+def main() -> int:
+    workdir = tempfile.mkdtemp(prefix="chaos-check-")
+    try:
+        store = ResultStore(os.path.join(workdir, "chaos.jsonl"), fsync=True)
+        probes = probe_spec(os.path.join(workdir, "markers"))
+        sweep = get("fault_sweep")
+
+        # --- phase 1: worker faults under workers=4 -------------------
+        probe_report = run_scenario(probes, workers=4, store=store, retry=RETRY)
+        check(
+            probe_report.executed == len(probes.cells),
+            "probe sweep completed despite kills/raise/hang",
+        )
+        check(probe_report.errored == 2, "exactly the raiser and the hanger quarantined")
+        kinds = sorted(
+            row["error"]["kind"] for row in probe_report.rows if is_error_row(row)
+        )
+        check(kinds == ["exception", "timeout"], f"error kinds recorded: {kinds}")
+        attempts = [row["error"]["attempts"] for row in probe_report.rows if is_error_row(row)]
+        check(
+            all(a == 1 + RETRY.max_retries for a in attempts),
+            "quarantine only after exhausting retries",
+        )
+
+        # --- phase 2: message faults (deterministic fault plane) ------
+        sweep_report = run_scenario(sweep, workers=4, store=store, retry=RETRY)
+        check(
+            sweep_report.errored == 0 and sweep_report.executed == len(sweep.cells),
+            "fault_sweep completed under workers=4",
+        )
+        lossy = [
+            row["result"]
+            for row in sweep_report.rows
+            if row["result"]["faults"]["drop_rate"] >= 0.05
+        ]
+        check(
+            all(r["fault_summary"]["dropped"] > 0 for r in lossy),
+            "message loss actually realized in the lossy cells",
+        )
+
+        # --- phase 3: torn write + resume self-heal -------------------
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write('{"spec": "fault_sweep", "cell_index": 99, "resu')
+        resumed = run_scenario(sweep, workers=2, store=store, resume=True, retry=RETRY)
+        check(
+            resumed.executed == 0 and resumed.skipped == len(sweep.cells),
+            "resume over the torn store executed nothing",
+        )
+        rows = store.rows()  # would raise on an unhealed mid-file fragment
+        check(
+            len([r for r in rows if r.get("spec") == sweep.name]) == len(sweep.cells),
+            "store parses clean after the torn write",
+        )
+
+        # --- phase 4: diff-clean vs a fault-free serial run -----------
+        serial_store = ResultStore(os.path.join(workdir, "serial.jsonl"))
+        serial = run_scenario(sweep, workers=1, store=serial_store)
+        check(serial.errored == 0, "fault-free serial fault_sweep run is clean")
+        chaos_sweep_rows = [r for r in store.rows() if r.get("spec") == sweep.name]
+        problems = diff_rows(chaos_sweep_rows, serial_store.rows())
+        for problem in problems:
+            print(f"  diff: {problem}")
+        check(not problems, "chaos-run rows diff-clean vs fault-free serial run")
+
+        print("chaos check passed")
+        return 0
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -122,6 +122,9 @@ class MessagePassingOutcome:
         congest_budget_bits: the CONGEST bit budget of the run.
         congest_violations: number of payloads over budget (0 for a
             compliant algorithm).
+        fault_summary: realized fault statistics when the run executed
+            under a :class:`repro.distributed.faults.FaultPlan`;
+            ``None`` for fault-free runs.
     """
 
     algorithm: str
@@ -131,6 +134,7 @@ class MessagePassingOutcome:
     max_message_bits: int
     congest_budget_bits: Optional[int]
     congest_violations: int
+    fault_summary: Optional[Dict[str, object]] = None
 
 
 def build_linial_network(graph: Graph):
@@ -153,6 +157,8 @@ def run_linial_network(
     send_plane: str = "auto",
     receive_plane: str = "auto",
     network=None,
+    fault_plan=None,
+    max_rounds: int = 10_000,
 ) -> MessagePassingOutcome:
     """Run message-passing Linial coloring under the CONGEST audit (E8).
 
@@ -163,7 +169,11 @@ def run_linial_network(
     plane combinations are bit-identical, so the knobs only matter for
     perf and testing.  ``network`` optionally reuses a prebuilt
     :func:`build_linial_network` simulator (perf callers keep the
-    construction untimed).
+    construction untimed).  ``fault_plan`` opts the run into the
+    deterministic fault-injection plane
+    (:mod:`repro.distributed.faults`); the realized faults are reported
+    in ``fault_summary`` and are identical across all plane
+    combinations for a fixed plan.
     """
     from repro.coloring.linial import LinialNodeAlgorithm
 
@@ -175,7 +185,11 @@ def run_linial_network(
             "pass the graph it was built from (build_linial_network(graph))"
         )
     outputs, metrics = network.run(
-        LinialNodeAlgorithm(), send_plane=send_plane, receive_plane=receive_plane
+        LinialNodeAlgorithm(),
+        send_plane=send_plane,
+        receive_plane=receive_plane,
+        fault_plan=fault_plan,
+        max_rounds=max_rounds,
     )
     return MessagePassingOutcome(
         algorithm="linial-message-passing",
@@ -185,6 +199,7 @@ def run_linial_network(
         max_message_bits=metrics.max_message_bits,
         congest_budget_bits=metrics.congest_budget_bits,
         congest_violations=metrics.congest_violations,
+        fault_summary=metrics.fault_summary,
     )
 
 

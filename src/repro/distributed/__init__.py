@@ -30,12 +30,33 @@ so the totals are arithmetically identical).  All four send × receive
 plane combinations are bit-identical in outputs and metrics
 (``tests/test_differential_paths.py`` pins the matrix,
 ``tests/test_receive_plane.py`` the edge semantics).
+
+**Fault model.**  The simulator is perfectly reliable by default; a run
+opts into adversity by passing a :class:`FaultPlan`
+(:mod:`repro.distributed.faults`) to :meth:`SynchronousNetwork.run`.
+The plan describes message **drops**, **delays** (re-delivery 1..k
+rounds later), **duplicates** (a deferred extra copy) and node
+**crash-stops** (a node halts at its crash round and never sends or
+receives again).  *Where in the round they apply*: crash-stops at round
+start, before the send phase; message faults to the flat slot buffer
+after the send phase **and its CONGEST audit** but before the receive
+phase — so ``metrics.messages`` / the audit count *sent* payloads and
+stay equal to the fault-free totals of the same rounds, while the
+realized faults are reported in ``metrics.fault_summary``.
+*Determinism contract*: every decision is a pure splitmix64 hash of
+``(plan.seed, fault channel, round, slot-or-node)`` — independent of
+iteration order, plane choice, worker count and process identity — so a
+fixed plan produces bit-identical outputs, metrics and fault statistics
+across all four send × receive plane combinations and any executor
+sharding (pinned by the fault matrix in
+``tests/test_differential_paths.py`` and ``tests/test_faults.py``).
 """
 
 from repro.distributed.model import Model, congest_bit_budget
 from repro.distributed.rounds import RoundTracker
 from repro.distributed.messages import CongestAuditor, message_size_bits
 from repro.distributed.metrics import ExecutionMetrics
+from repro.distributed.faults import FaultInjector, FaultPlan, FaultStats
 from repro.distributed.network import (
     OutboxWriter,
     PortInbox,
@@ -51,6 +72,9 @@ __all__ = [
     "CongestAuditor",
     "message_size_bits",
     "ExecutionMetrics",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultStats",
     "OutboxWriter",
     "PortInbox",
     "RoundInbox",

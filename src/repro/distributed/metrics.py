@@ -11,6 +11,14 @@ is the largest size observed across the whole run and
 ``congest_violations`` the number of payloads over budget.  LOCAL runs
 perform no audit: ``congest_budget_bits`` is ``None`` and
 ``max_message_bits`` stays 0.
+
+Fault accounting: runs executed under a
+:class:`repro.distributed.faults.FaultPlan` record the realized fault
+statistics (drops, delays, duplicates, crash-stops — see
+:mod:`repro.distributed.faults` for the fault model) in
+``fault_summary``; ``messages`` and the CONGEST audit keep counting
+*sent* payloads, so they match the fault-free run of the same rounds.
+Fault-free runs leave ``fault_summary`` as ``None``.
 """
 
 from __future__ import annotations
@@ -32,6 +40,9 @@ class ExecutionMetrics:
             (``None`` for LOCAL runs).
         congest_violations: number of messages that exceeded the budget.
         round_breakdown: rounds per algorithm phase label.
+        fault_summary: realized fault statistics when the run executed
+            under a :class:`repro.distributed.faults.FaultPlan`
+            (deterministic for a fixed plan); ``None`` for fault-free runs.
     """
 
     rounds: int = 0
@@ -40,6 +51,7 @@ class ExecutionMetrics:
     congest_budget_bits: Optional[int] = None
     congest_violations: int = 0
     round_breakdown: Dict[str, int] = field(default_factory=dict)
+    fault_summary: Optional[Dict[str, object]] = None
 
     def merge(self, other: "ExecutionMetrics") -> "ExecutionMetrics":
         """Combine two executions run one after the other."""
@@ -53,4 +65,23 @@ class ExecutionMetrics:
             congest_budget_bits=self.congest_budget_bits or other.congest_budget_bits,
             congest_violations=self.congest_violations + other.congest_violations,
             round_breakdown=breakdown,
+            fault_summary=_merge_fault_summaries(self.fault_summary, other.fault_summary),
         )
+
+
+def _merge_fault_summaries(
+    left: Optional[Dict[str, object]], right: Optional[Dict[str, object]]
+) -> Optional[Dict[str, object]]:
+    """Sum the counters of two fault summaries; crash lists concatenate."""
+    if left is None:
+        return dict(right) if right is not None else None
+    if right is None:
+        return dict(left)
+    merged: Dict[str, object] = {}
+    for key in set(left) | set(right):
+        a, b = left.get(key), right.get(key)
+        if isinstance(a, list) or isinstance(b, list):
+            merged[key] = list(a or []) + list(b or [])
+        else:
+            merged[key] = (a or 0) + (b or 0)
+    return merged

@@ -74,6 +74,15 @@ identical across the planes (and to the historical per-message
 implementation); the differential matrix in
 ``tests/test_differential_paths.py`` pins the equivalence.
 
+Fault model: :meth:`SynchronousNetwork.run` optionally applies a
+deterministic, seed-derived :class:`repro.distributed.faults.FaultPlan`
+to the flat slot buffer between the send phase (and its audit) and the
+receive phase — message drops, delays, duplicates and node crash-stops
+that are bit-identical across all four plane combinations.  See
+:mod:`repro.distributed.faults` for the full fault model and
+determinism contract; without a plan the simulator stays perfectly
+reliable and pays nothing.
+
 Message-size accounting semantics (CONGEST mode): every non-``None``
 payload delivered in a round is sized by
 :func:`repro.distributed.messages.message_size_bits` and checked against
@@ -91,6 +100,7 @@ import operator
 from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.distributed.algorithms import NodeAlgorithm, NodeContext
+from repro.distributed.faults import FaultInjector, FaultPlan
 from repro.distributed.messages import CongestAuditor
 from repro.distributed.metrics import ExecutionMetrics
 from repro.distributed.model import Model
@@ -449,6 +459,7 @@ class SynchronousNetwork:
         max_rounds: int = 10_000,
         send_plane: str = "auto",
         receive_plane: str = "auto",
+        fault_plan: Optional[FaultPlan] = None,
     ) -> Tuple[List[Any], ExecutionMetrics]:
         """Run ``algorithm`` on every node until all nodes are finished.
 
@@ -475,6 +486,18 @@ class SynchronousNetwork:
         plane when the algorithm declares ``batched_receive = True``.
         All four send × receive combinations produce bit-identical
         outputs and metrics.
+
+        ``fault_plan`` opts the run into the deterministic
+        fault-injection plane (:mod:`repro.distributed.faults`): the
+        plan's drops/delays/duplicates are applied to the flat slot
+        buffer *after* the send phase and its CONGEST audit and *before*
+        the receive phase, and crash-stopped nodes are halted at the
+        start of their crash round — so a fixed plan produces
+        bit-identical outputs, metrics and fault statistics across all
+        four plane combinations.  ``metrics.messages`` and the audit
+        keep counting *sent* payloads; the realized faults land in
+        ``metrics.fault_summary``.  ``None`` (the default) bypasses the
+        plane entirely.
 
         The simulator tracks the set of unfinished nodes instead of
         re-querying every node each round: a node reporting finished is
@@ -523,6 +546,13 @@ class SynchronousNetwork:
         xadj = self._xadj
         adj = self._adj
         rev_slot = self._rev_slot
+        # The fault plane is strictly opt-in: an inactive plan costs one
+        # predicate here and nothing per round.
+        injector = (
+            FaultInjector(fault_plan, self._graph.num_nodes, xadj)
+            if fault_plan is not None and fault_plan.active
+            else None
+        )
 
         # The message plane: one payload slot per (node, port) direction,
         # plus the bookkeeping to clear and deliver in O(messages).
@@ -546,10 +576,19 @@ class SynchronousNetwork:
         while unfinished:
             if rounds >= max_rounds:
                 raise RuntimeError(f"algorithm did not terminate within {max_rounds} rounds")
+            if injector is not None and injector.crashed_at(rounds):
+                # Crash-stop: the node halts before this round's send
+                # phase and never sends, receives or terminates again.
+                crashed = injector.crashed
+                unfinished = [v for v in unfinished if v not in crashed]
+                if not unfinished:
+                    break
             # Receiver tracking only matters for late delivery to nodes
             # that are already finished at round start; while every node
-            # is still running, skip the per-message set updates.
-            track_receivers = len(unfinished) < n
+            # is still running, skip the per-message set updates.  The
+            # fault plane always tracks: deferred re-deliveries may land
+            # after the receiver finished.
+            track_receivers = len(unfinished) < n or injector is not None
             if use_batched:
                 writer._receivers = receivers if track_receivers else None
                 writer.sent = 0
@@ -600,6 +639,11 @@ class SynchronousNetwork:
                     if batch_max > metrics.max_message_bits:
                         metrics.max_message_bits = batch_max
                     batch.clear()
+            if injector is not None:
+                # Post-send, pre-receive: both send planes have produced
+                # the identical buffer (and identical audit totals), so
+                # faulting here keeps all plane combinations bit-identical.
+                injector.apply(rounds, inbox_buf, touched, receivers)
             if use_batched_receive:
                 # Phase-level drain: one call covers every unfinished
                 # node's slots this round (the bridge in NodeAlgorithm
@@ -641,6 +685,9 @@ class SynchronousNetwork:
         metrics.rounds = rounds
         if auditor is not None:
             metrics.congest_violations = len(auditor.violations)
+        if injector is not None:
+            injector.finish()
+            metrics.fault_summary = injector.summary()
         outputs = [
             algorithm.output(ctx, state) for ctx, state in zip(contexts, states)
         ]

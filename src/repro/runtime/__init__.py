@@ -8,28 +8,49 @@ The orchestration layer every repository workload runs through:
   E1–E11 / perf / analysis scenarios register lazily on first use.
 * :mod:`repro.runtime.workloads` — the named cell runners (picklable
   across worker processes).
-* :mod:`repro.runtime.executor` — the sharded executor: multiprocessing
-  fan-out, serial fallback, resume-from-store.
+* :mod:`repro.runtime.executor` — the hardened executor:
+  process-per-cell fan-out with timeouts, crash requeue, retry with
+  backoff and quarantine error rows; serial fallback; resume-from-store.
 * :mod:`repro.runtime.store` — append-only JSONL results with the
-  content-keyed cache and the timing-excluded diff helpers.
-* :mod:`repro.runtime.cli` — the ``scenarios list|run|report|diff``
-  subcommands.
+  content-keyed cache, the sidecar key index, compaction and the
+  timing-excluded diff helpers.
+* :mod:`repro.runtime.cli` — the ``scenarios
+  list|run|report|diff|compact`` subcommands.
 
 Determinism contract: result rows are bit-identical regardless of worker
-count, shard assignment and execution order (timing fields excluded);
-see :mod:`repro.runtime.spec` for how seeds and cache keys guarantee it.
+count, shard assignment, execution order and retry policy (timing fields
+and quarantine error rows excluded); see :mod:`repro.runtime.spec` for
+how seeds and cache keys guarantee it and
+:mod:`repro.runtime.executor` for the failure semantics (timeouts,
+worker crashes, quarantine).
 """
 
 from repro.runtime.executor import RunReport, run_scenario, run_scenario_results
 from repro.runtime.registry import REGISTRY, get, names, register
-from repro.runtime.spec import Cell, Knobs, ScenarioSpec, cache_key, cell_seed, resolve_knobs, spec
-from repro.runtime.store import ResultStore, default_store_path, diff_rows, rows_equivalent
+from repro.runtime.spec import (
+    Cell,
+    Knobs,
+    RetryPolicy,
+    ScenarioSpec,
+    cache_key,
+    cell_seed,
+    resolve_knobs,
+    spec,
+)
+from repro.runtime.store import (
+    ResultStore,
+    default_store_path,
+    diff_rows,
+    is_error_row,
+    rows_equivalent,
+)
 
 __all__ = [
     "Cell",
     "Knobs",
     "REGISTRY",
     "ResultStore",
+    "RetryPolicy",
     "RunReport",
     "ScenarioSpec",
     "cache_key",
@@ -37,6 +58,7 @@ __all__ = [
     "default_store_path",
     "diff_rows",
     "get",
+    "is_error_row",
     "names",
     "register",
     "resolve_knobs",

@@ -6,26 +6,36 @@ Wired into the main entry point (``python -m repro scenarios ...`` or the
     python -m repro scenarios list
     python -m repro scenarios run e1_sweep --workers 4
     python -m repro scenarios run e1_sweep --resume        # zero cells second time
+    python -m repro scenarios run e1_sweep --timeout 30 --retries 1
+    python -m repro scenarios run e1_sweep --resume --retry-errors
     python -m repro scenarios report e1_sweep
     python -m repro scenarios diff a.jsonl b.jsonl         # exit 1 on mismatch
+    python -m repro scenarios compact a.jsonl              # drop superseded rows
 
 ``run`` appends rows to the scenario's JSONL store (default
 ``benchmarks/results/scenarios/<name>.jsonl`` under the working
-directory, overridable with ``--out`` / ``REPRO_RESULTS_DIR``); ``diff``
-compares two stores modulo the timing fields — the check CI uses to hold
-the workers=1 vs workers=2 determinism contract.
+directory, overridable with ``--out`` / ``REPRO_RESULTS_DIR``) and exits
+non-zero when any cell was quarantined as an error row — a sweep only
+exits 0 when every selected cell has a successful result.  ``--timeout``
+and ``--retries`` override the spec's
+:class:`~repro.runtime.spec.RetryPolicy`; ``--resume`` skips stored
+rows, error rows included, and ``--resume --retry-errors`` re-executes
+exactly the quarantined cells.  ``diff`` compares two stores modulo the
+timing fields and error rows — the check CI uses to hold the workers=1
+vs workers=2 determinism contract.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import List, Optional
 
 from repro.runtime import registry
 from repro.runtime.executor import run_scenario
 from repro.runtime.spec import resolve_knobs
-from repro.runtime.store import ResultStore, default_store_path, diff_rows
+from repro.runtime.store import ResultStore, default_store_path, diff_rows, is_error_row
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -43,12 +53,17 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 def _cmd_run(args: argparse.Namespace) -> int:
     spec = registry.get(args.scenario)
-    store = ResultStore(args.out or default_store_path(spec.name))
+    store = ResultStore(args.out or default_store_path(spec.name), fsync=args.fsync)
     knobs = resolve_knobs(
         scan_path=args.scan_path,
         send_plane=args.send_plane,
         receive_plane=args.receive_plane,
     )
+    retry = spec.retry
+    if args.timeout is not None:
+        retry = dataclasses.replace(retry, timeout_seconds=args.timeout)
+    if args.retries is not None:
+        retry = dataclasses.replace(retry, max_retries=args.retries)
     report = run_scenario(
         spec,
         workers=args.workers,
@@ -57,11 +72,21 @@ def _cmd_run(args: argparse.Namespace) -> int:
         store=store,
         knobs=knobs,
         log=print if not args.no_progress else None,
+        retry=retry,
+        retry_errors=args.retry_errors,
     )
     print(
         f"{spec.name}: {report.executed} executed, {report.skipped} cached, "
-        f"{report.wall_seconds:.2f}s wall (workers={args.workers}) -> {store.path}"
+        f"{report.errored} errored, {report.wall_seconds:.2f}s wall "
+        f"(workers={args.workers}) -> {store.path}"
     )
+    if report.errored:
+        print(
+            f"{report.errored} cell(s) quarantined as error rows; "
+            "re-run with `--resume --retry-errors` to re-attempt them",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -90,21 +115,41 @@ def _cmd_report(args: argparse.Namespace) -> int:
             wall = timing.get("wall_seconds")
             walls.append(timing.get("cell_wall_seconds", 0.0) if wall is None else wall)
         verified = sum(1 for row in spec_rows if row.get("result", {}).get("verified"))
+        errors = sum(1 for row in spec_rows if is_error_row(row))
         keys = {row.get("key") for row in spec_rows}
         print(
             f"{name}: {len(spec_rows)} rows ({len(keys)} distinct cells), "
-            f"{verified} verified, total wall {sum(w for w in walls if w):.3f}s"
+            f"{verified} verified, {errors} error rows, "
+            f"total wall {sum(w for w in walls if w):.3f}s"
         )
         for row in sorted(spec_rows, key=lambda r: (r.get("cell_index", -1), r.get("key", ""))):
+            wall = row.get("timing", {}).get("wall_seconds")
+            wall_note = f"  {wall}s" if wall is not None else ""
+            if is_error_row(row):
+                error = row.get("error", {})
+                print(
+                    f"  [{row.get('cell_index')}] ERROR {error.get('type')} "
+                    f"after {error.get('attempts')} attempt(s): {error.get('message', '')}"
+                )
+                continue
             result = row.get("result", {})
             headline = {
                 k: result[k]
                 for k in ("n", "delta", "colors", "rounds", "messages")
                 if k in result
             }
-            wall = row.get("timing", {}).get("wall_seconds")
-            wall_note = f"  {wall}s" if wall is not None else ""
             print(f"  [{row.get('cell_index')}] {headline}{wall_note}")
+    return 0
+
+
+def _cmd_compact(args: argparse.Namespace) -> int:
+    path = args.path
+    if not path.endswith(".jsonl"):
+        path = default_store_path(path)
+    store = ResultStore(path)
+    before = len(store.rows())
+    removed = store.compact()
+    print(f"{path}: {before} rows -> {before - removed} rows ({removed} superseded removed)")
     return 0
 
 
@@ -140,6 +185,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--resume", action="store_true", help="skip cells already in the result store"
     )
+    p_run.add_argument(
+        "--retry-errors",
+        dest="retry_errors",
+        action="store_true",
+        help="with --resume: re-execute quarantined cells instead of skipping their error rows",
+    )
+    p_run.add_argument(
+        "--timeout",
+        type=float,
+        help="per-attempt wall-clock limit in seconds (workers > 1 only; overrides the spec)",
+    )
+    p_run.add_argument(
+        "--retries",
+        type=int,
+        help="extra attempts before quarantining a failing cell (overrides the spec)",
+    )
+    p_run.add_argument(
+        "--fsync", action="store_true", help="fsync the store after every appended row"
+    )
     p_run.add_argument("--out", help="JSONL store path (default: benchmarks/results/scenarios/)")
     p_run.add_argument("--scan-path", dest="scan_path", help="orientation engine knob")
     p_run.add_argument("--send-plane", dest="send_plane", help="simulator send plane knob")
@@ -166,6 +230,12 @@ def build_parser() -> argparse.ArgumentParser:
         "from the comparison (cross-plane/engine equivalence checks)",
     )
     p_diff.set_defaults(func=_cmd_diff)
+
+    p_compact = sub.add_parser(
+        "compact", help="atomically drop superseded duplicate rows from a store"
+    )
+    p_compact.add_argument("path", help="scenario name or .jsonl path")
+    p_compact.set_defaults(func=_cmd_compact)
 
     return parser
 

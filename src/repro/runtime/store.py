@@ -2,10 +2,13 @@
 
 Each line is one result row (canonical JSON: sorted keys, compact
 separators), keyed by the cell's :func:`repro.runtime.spec.cache_key`.
-Appends are flushed per row, so an interrupted run leaves at most one
-truncated trailing line — which :meth:`ResultStore.rows` tolerates and
-a ``--resume`` run simply recomputes.  The store never rewrites
-existing lines: resuming appends only the missing cells.
+Appends are flushed per row (optionally fsynced with ``fsync=True``),
+so an interrupted run leaves at most one truncated trailing line — which
+the store *heals* (truncates away, with a warning naming the byte offset
+and the healed-row count) and a ``--resume`` run simply recomputes.  The
+store never rewrites existing lines while appending: resuming appends
+only the missing cells.  :meth:`ResultStore.compact` is the explicit
+rewrite — it atomically drops superseded duplicate rows.
 
 Row layout::
 
@@ -13,51 +16,124 @@ Row layout::
      "params": {...}, "seed": ..., "knobs": {...},
      "result": {...}, "timing": {...}}
 
-``timing`` is the only execution-dependent field; every comparison
-helper here (:func:`strip_timing`, :func:`diff_rows`) excludes it, which
-is how "bit-identical regardless of worker count" is both defined and
-tested.
+Quarantined cells (see :mod:`repro.runtime.executor`) store an *error
+row* instead: same identity fields, but ``"status": "error"`` and an
+``"error"`` block (exception type, message, traceback digest, attempt
+count) in place of ``"result"``.  ``timing`` is the only
+execution-dependent field of an ok row; every comparison helper here
+(:func:`strip_timing`, :func:`diff_rows`) excludes it, and error rows
+are excluded from diffs the same way — which is how "bit-identical
+regardless of worker count" is both defined and tested.
+
+**Key index.**  Next to ``<name>.jsonl`` the store maintains a sidecar
+``<name>.jsonl.idx`` recording ``(key, offset, length, status)`` per
+row.  ``--resume`` reads only the index (O(rows) tiny lines, no JSON
+row parsing) to decide what is missing, so resuming a 10⁵-row sweep
+stays fast; a stale or missing index is rebuilt from the JSONL file
+transparently.
 """
 
 from __future__ import annotations
 
 import json
+import logging
 import os
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.runtime.spec import canonical_json
 
+logger = logging.getLogger(__name__)
+
+
+def is_error_row(row: Dict[str, object]) -> bool:
+    """Whether ``row`` is a quarantine error row rather than a result."""
+    return row.get("status") == "error"
+
+
+@dataclass(frozen=True)
+class IndexEntry:
+    """One sidecar-index record locating a row inside the JSONL file."""
+
+    key: str
+    offset: int
+    length: int
+    status: str  # "ok" | "error"
+
 
 class ResultStore:
-    """An append-only JSONL file of result rows."""
+    """An append-only JSONL file of result rows (plus a sidecar key index).
 
-    def __init__(self, path: str) -> None:
+    ``fsync=True`` forces every append through ``os.fsync`` — the
+    durability option for chaos runs where the process may be killed at
+    any point (the default already survives process death; fsync also
+    survives the OS going down mid-run).
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
         self.path = path
+        self.fsync = fsync
+
+    @property
+    def index_path(self) -> str:
+        return self.path + ".idx"
+
+    # ------------------------------------------------------------- appending
+    def _heal_torn_tail(self) -> int:
+        """Truncate a torn trailing line; return the resulting file size.
+
+        A torn tail means an append was interrupted mid-write: that row
+        never completed, its key never entered the index, and leaving
+        the fragment would corrupt the middle of the file once new rows
+        land after it.  The heal is logged with the byte offset so an
+        operator can correlate it with the interrupted run.
+        """
+        if not os.path.exists(self.path):
+            return 0
+        size = os.path.getsize(self.path)
+        if size == 0:
+            return 0
+        with open(self.path, "rb+") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return size
+            handle.seek(0)
+            content = handle.read()
+            keep = content.rfind(b"\n") + 1  # 0 when no newline at all
+            handle.truncate(keep)
+        logger.warning(
+            "%s: healed torn trailing row at byte offset %d (%d bytes dropped, 1 partial row)",
+            self.path,
+            keep,
+            size - keep,
+        )
+        return keep
 
     def append(self, row: Dict[str, object]) -> None:
-        """Append one row (canonical JSON) and flush immediately.
-
-        If the file ends in a torn line (interrupted mid-append, no
-        trailing newline), the fragment is truncated away first — that
-        row never completed, its key is not in :meth:`completed_keys`,
-        and leaving it would corrupt the middle of the file once new
-        rows land after it.
-        """
+        """Append one row (canonical JSON), flush, and index it."""
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        if os.path.exists(self.path) and os.path.getsize(self.path) > 0:
-            with open(self.path, "rb+") as handle:
-                handle.seek(-1, os.SEEK_END)
-                if handle.read(1) != b"\n":
-                    handle.seek(0)
-                    content = handle.read()
-                    keep = content.rfind(b"\n") + 1  # 0 when no newline at all
-                    handle.truncate(keep)
+        offset = self._heal_torn_tail()
+        line = canonical_json(row) + "\n"
         with open(self.path, "a", encoding="utf-8") as handle:
-            handle.write(canonical_json(row) + "\n")
+            handle.write(line)
             handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        entry = IndexEntry(
+            key=str(row.get("key", "")),
+            offset=offset,
+            length=len(line.encode("utf-8")),
+            status="error" if is_error_row(row) else "ok",
+        )
+        with open(self.index_path, "a", encoding="utf-8") as handle:
+            handle.write(f"{entry.key} {entry.offset} {entry.length} {entry.status}\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
 
+    # --------------------------------------------------------------- reading
     def rows(self) -> List[Dict[str, object]]:
         """All parseable rows; a truncated trailing line is skipped.
 
@@ -77,15 +153,114 @@ class ResultStore:
                 rows.append(json.loads(line))
             except json.JSONDecodeError:
                 if lineno == len(lines) - 1:
+                    logger.warning(
+                        "%s: skipping torn trailing row (line %d); "
+                        "--resume will recompute it",
+                        self.path,
+                        lineno + 1,
+                    )
                     break  # interrupted mid-append; --resume recomputes it
                 raise ValueError(
                     f"{self.path}:{lineno + 1}: corrupt row in the middle of the store"
                 )
         return rows
 
+    def _read_index(self) -> Optional[List[IndexEntry]]:
+        """The sidecar index, or ``None`` when missing/stale/unparseable.
+
+        Staleness check: the last entry must end exactly at the JSONL
+        file's last newline (a torn tail past it is fine — it carries no
+        index entry and heals on the next append).
+        """
+        if not os.path.exists(self.index_path) or not os.path.exists(self.path):
+            return None
+        entries: List[IndexEntry] = []
+        try:
+            with open(self.index_path, "r", encoding="utf-8") as handle:
+                for line in handle:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    key, offset, length, status = line.split(" ")
+                    entries.append(IndexEntry(key, int(offset), int(length), status))
+        except (ValueError, OSError):
+            return None
+        end = entries[-1].offset + entries[-1].length if entries else 0
+        size = os.path.getsize(self.path)
+        if end > size:
+            return None  # index ahead of the data: rebuild
+        if end < size:
+            # Data past the index: either a torn tail (no newline after
+            # `end`... cheap check: complete rows end in newline) or
+            # rows appended without the index — verify the tail is torn.
+            with open(self.path, "rb") as handle:
+                handle.seek(end)
+                tail = handle.read()
+            if b"\n" in tail:
+                return None  # complete unindexed rows exist: rebuild
+        return entries
+
+    def rebuild_index(self) -> List[IndexEntry]:
+        """Rescan the JSONL file and atomically rewrite the sidecar index."""
+        entries: List[IndexEntry] = []
+        if os.path.exists(self.path):
+            offset = 0
+            with open(self.path, "rb") as handle:
+                for raw in handle:
+                    length = len(raw)
+                    if raw.endswith(b"\n"):
+                        try:
+                            row = json.loads(raw.decode("utf-8"))
+                        except json.JSONDecodeError:
+                            row = None
+                        if isinstance(row, dict) and "key" in row:
+                            entries.append(
+                                IndexEntry(
+                                    key=str(row["key"]),
+                                    offset=offset,
+                                    length=length,
+                                    status="error" if is_error_row(row) else "ok",
+                                )
+                            )
+                    offset += length
+        tmp = self.index_path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for entry in entries:
+                handle.write(f"{entry.key} {entry.offset} {entry.length} {entry.status}\n")
+        os.replace(tmp, self.index_path)
+        return entries
+
+    def key_index(self) -> Dict[str, IndexEntry]:
+        """Latest index entry per cache key (O(index), no row parsing).
+
+        The structure ``--resume`` consults: deciding which cells are
+        missing needs only keys and statuses, not the row bodies, so
+        resuming stays O(new work) even on very large stores.
+        """
+        entries = self._read_index()
+        if entries is None:
+            entries = self.rebuild_index()
+        index: Dict[str, IndexEntry] = {}
+        for entry in entries:
+            index[entry.key] = entry
+        return index
+
+    def load_rows(self, keys: Iterable[str]) -> Dict[str, Dict[str, object]]:
+        """Seek-read only the rows for ``keys`` (latest per key)."""
+        index = self.key_index()
+        out: Dict[str, Dict[str, object]] = {}
+        wanted = [index[k] for k in keys if k in index]
+        if not wanted:
+            return out
+        with open(self.path, "rb") as handle:
+            for entry in sorted(wanted, key=lambda e: e.offset):
+                handle.seek(entry.offset)
+                out[entry.key] = json.loads(handle.read(entry.length).decode("utf-8"))
+        return out
+
     def completed_keys(self) -> set:
         """Cache keys of every stored row (for ``--resume`` skipping)."""
-        return {row["key"] for row in self.rows() if "key" in row}
+        return set(self.key_index())
 
     def rows_by_key(self) -> Dict[str, Dict[str, object]]:
         """Latest stored row per cache key."""
@@ -94,6 +269,35 @@ class ResultStore:
             if "key" in row:
                 index[row["key"]] = row
         return index
+
+    # ------------------------------------------------------------ compaction
+    def compact(self) -> int:
+        """Atomically drop superseded rows; return the rows removed.
+
+        Keeps the *latest* row per cache key (matching
+        :meth:`rows_by_key`), in the order of last occurrence, writes
+        the survivors to a temp file and renames it over the store —
+        readers never observe a half-compacted file.  The sidecar index
+        is rebuilt to match.
+        """
+        rows = self.rows()
+        last: Dict[object, int] = {}
+        for position, row in enumerate(rows):
+            last[row.get("key", id(row))] = position
+        keep = sorted(last.values())
+        removed = len(rows) - len(keep)
+        if removed == 0 and os.path.exists(self.index_path):
+            return 0
+        tmp = self.path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for position in keep:
+                handle.write(canonical_json(rows[position]) + "\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, self.path)
+        self.rebuild_index()
+        return removed
 
 
 def default_store_path(spec_name: str, base_dir: Optional[str] = None) -> str:
@@ -125,11 +329,13 @@ def strip_timing(
 
 
 def _indexed_rows(
-    rows: Iterable[Dict[str, object]], ignore_knobs: bool
+    rows: Iterable[Dict[str, object]], ignore_knobs: bool, include_errors: bool
 ) -> Dict[object, Dict[str, object]]:
     """Deduplicated rows, keyed by cache key (or cell identity)."""
     index: Dict[object, Dict[str, object]] = {}
     for row in rows:
+        if not include_errors and is_error_row(row):
+            continue
         if ignore_knobs:
             key: object = (
                 row.get("spec"),
@@ -147,6 +353,7 @@ def diff_rows(
     left: Iterable[Dict[str, object]],
     right: Iterable[Dict[str, object]],
     ignore_knobs: bool = False,
+    include_errors: bool = False,
 ) -> List[str]:
     """Human-readable differences between two row sets, timing excluded.
 
@@ -154,13 +361,16 @@ def diff_rows(
     wins, matching :meth:`ResultStore.rows_by_key`), so neither the
     on-disk order (which depends on completion order under ``--resume``)
     nor re-appended duplicate rows from repeated non-resume runs matter.
-    With ``ignore_knobs`` rows are matched by cell identity instead and
-    the knob/key fields are excluded from the comparison — the mode CI
-    uses to hold the cross-plane bit-identity contract on real stores.
+    Quarantine error rows are excluded like timing — their content
+    (tracebacks, attempt counts) is execution-dependent; pass
+    ``include_errors=True`` to compare them anyway.  With
+    ``ignore_knobs`` rows are matched by cell identity instead and the
+    knob/key fields are excluded from the comparison — the mode CI uses
+    to hold the cross-plane bit-identity contract on real stores.
     Returns an empty list when equivalent.
     """
-    left_index = _indexed_rows(left, ignore_knobs)
-    right_index = _indexed_rows(right, ignore_knobs)
+    left_index = _indexed_rows(left, ignore_knobs, include_errors)
+    right_index = _indexed_rows(right, ignore_knobs, include_errors)
     problems: List[str] = []
     if len(left_index) != len(right_index):
         problems.append(

@@ -782,3 +782,114 @@ def run_algorithm_suite_cell(ctx: CellContext) -> Dict[str, object]:
         "verified": True,
         "timing": {"wall_seconds": round(wall, 4)},
     }
+
+
+# ------------------------------------------------------------------ fault plane
+@runner("fault_sweep")
+def run_fault_sweep(ctx: CellContext) -> Dict[str, object]:
+    """Degradation of simulator Linial under the deterministic fault plane.
+
+    Runs message-passing Linial coloring with a
+    :class:`repro.distributed.faults.FaultPlan` built from the cell's
+    ``faults`` sub-dict (seed defaulting to the derived cell seed) and
+    measures how rounds and coloring validity degrade: the result
+    reports the realized fault statistics and the fraction of
+    monochromatic edges the faulted run left behind.  A cell with no
+    faults must still produce a proper coloring — the sweep's own
+    control row.
+    """
+    from repro.distributed.faults import FaultPlan
+    from repro.graphs import generators
+
+    n = int(ctx.params["n"])
+    degree = int(ctx.params.get("degree", 4))
+    factor = int(ctx.params.get("id_space_factor", 8))
+    fault_params = dict(ctx.params.get("faults", {}))
+    fault_params.setdefault("seed", ctx.seed % 2**31)
+    plan = FaultPlan.from_params(fault_params)
+    graph = generators.graph_with_scrambled_ids(
+        generators.random_regular_graph(n, degree, seed=n), seed=n, id_space_factor=factor
+    )
+    network = api.build_linial_network(graph)
+    outcome, wall = _timed(
+        ctx,
+        lambda: api.run_linial_network(
+            graph,
+            send_plane=ctx.knobs.send_plane,
+            receive_plane=ctx.knobs.receive_plane,
+            network=network,
+            fault_plan=plan,
+        ),
+    )
+    outputs = outcome.outputs
+    conflicts = 0
+    num_edges = 0
+    for edge in graph.edges():
+        num_edges += 1
+        u, v = graph.edge_endpoints(edge)
+        if outputs[u] is not None and outputs[u] == outputs[v]:
+            conflicts += 1
+    if not plan.active:
+        assert conflicts == 0, f"improper fault-free Linial coloring at n={n}"
+    return {
+        "n": n,
+        "degree": degree,
+        "faults": plan.as_dict(),
+        "fault_summary": outcome.fault_summary,
+        "rounds": outcome.rounds,
+        "messages": outcome.messages,
+        "conflict_edges": conflicts,
+        "conflict_fraction": round(conflicts / max(1, num_edges), 6),
+        "proper": conflicts == 0,
+        "verified": True,
+        "timing": {"wall_seconds": round(wall, 4)},
+    }
+
+
+# ------------------------------------------------------------------ chaos probe
+@runner("chaos_probe")
+def run_chaos_probe(ctx: CellContext) -> Dict[str, object]:
+    """Test-only probe that misbehaves on cue (executor-hardening tests).
+
+    ``mode`` selects the misbehavior: ``"ok"`` (return immediately),
+    ``"raise"`` (raise ``RuntimeError``), ``"sleep"`` (hold the worker
+    for ``sleep_seconds``), ``"kill"`` (SIGKILL its own process — only
+    meaningful under ``workers > 1``; in-process it kills the run).  The
+    ``_once`` variants (``"raise_once"``, ``"sleep_once"``,
+    ``"kill_once"``) misbehave only on the first attempt: they record
+    the attempt as a marker file under the required ``marker_dir`` param
+    and succeed on retries.  The result dict is independent of how many
+    attempts it took, preserving the bit-identical-rows guarantee.
+    """
+    import os
+    import signal
+
+    params = ctx.params
+    mode = str(params.get("mode", "ok"))
+    base, _, once = mode.partition("_")
+    act = True
+    if once:
+        marker_dir = params.get("marker_dir")
+        if not marker_dir:
+            raise ValueError(f"chaos_probe mode {mode!r} needs a marker_dir param")
+        marker = os.path.join(
+            str(marker_dir), f"{params.get('cell', base)}.attempted"
+        )
+        if os.path.exists(marker):
+            act = False
+        else:
+            os.makedirs(str(marker_dir), exist_ok=True)
+            with open(marker, "w", encoding="utf-8") as handle:
+                handle.write("attempted\n")
+    if act:
+        if base == "raise":
+            raise RuntimeError(f"chaos_probe raising on cue (mode={mode})")
+        if base == "sleep":
+            time.sleep(float(params.get("sleep_seconds", 60.0)))
+        if base == "kill":
+            os.kill(os.getpid(), signal.SIGKILL)
+    return {
+        "mode": mode,
+        "payload": params.get("payload", 0),
+        "verified": True,
+    }

@@ -28,6 +28,7 @@ from repro.core.balanced_orientation import (
     compute_balanced_orientation,
 )
 from repro.distributed.algorithms import NodeAlgorithm
+from repro.distributed.faults import FaultPlan
 from repro.distributed.model import Model
 from repro.distributed.network import SynchronousNetwork
 from repro.distributed.rounds import RoundTracker
@@ -465,3 +466,96 @@ class TestSendPlaneMatrix:
         network = SynchronousNetwork(graph)
         with pytest.raises(TypeError, match="ports must be integers"):
             network.run(BadKey(), send_plane=plane, max_rounds=2)
+
+
+#: Fault plans covering every fault channel, alone and combined.
+FAULT_PLANS = [
+    FaultPlan(seed=7, drop_rate=0.05),
+    FaultPlan(seed=7, drop_rate=0.05, delay_rate=0.05, duplicate_rate=0.03, max_delay=3),
+    FaultPlan(seed=11, crash_rate=0.08, crash_round_range=4),
+    FaultPlan(seed=3, drop_rate=0.1, crashes=((0, 1), (5, 2))),
+]
+
+
+class TestFaultPlaneMatrix:
+    """Fault injection across the plane matrix: same plan, same faults.
+
+    The determinism contract of :mod:`repro.distributed.faults` — every
+    decision a pure hash of (seed, channel, round, slot) — means a fixed
+    plan must yield bit-identical outputs, metrics *and* fault summaries
+    on every send × receive combination, even though the planes fill the
+    round buffer in different orders.
+    """
+
+    @pytest.mark.parametrize("plan", FAULT_PLANS, ids=lambda p: f"seed{p.seed}")
+    def test_faulted_linial_planes_bit_identical(self, plan):
+        graph = generators.graph_with_scrambled_ids(
+            generators.random_regular_graph(96, 4, seed=96), seed=96, id_space_factor=8
+        )
+        network = SynchronousNetwork(
+            graph, model=Model.CONGEST, global_knowledge={"id_space": id_space_size(graph)}
+        )
+        results = [
+            network.run(
+                LinialNodeAlgorithm(), send_plane=send, receive_plane=receive, fault_plan=plan
+            )
+            for send, receive in PLANE_MATRIX
+        ]
+        reference_out, reference_metrics = results[0]
+        assert reference_metrics.fault_summary is not None
+        for out, metrics in results[1:]:
+            assert out == reference_out
+            assert _metrics_fingerprint(metrics) == _metrics_fingerprint(reference_metrics)
+            assert metrics.fault_summary == reference_metrics.fault_summary
+
+    @pytest.mark.parametrize("plan", FAULT_PLANS, ids=lambda p: f"seed{p.seed}")
+    def test_faulted_bridge_algorithm_planes_bit_identical(self, plan):
+        # The dict-plane bridge (ragged sends, None payloads, staggered
+        # termination and late delivery) under faults: the hardest case
+        # for receiver tracking, since drops must not trigger spurious
+        # late deliveries on any plane.
+        graph = _make_graph("general", 32, 10, seed=42)
+
+        def run(send, receive):
+            network = SynchronousNetwork(graph, model=Model.CONGEST, congest_factor=2)
+            return network.run(
+                _SelectivePortAlgorithm(),
+                send_plane=send,
+                receive_plane=receive,
+                fault_plan=plan,
+            )
+
+        results = [run(send, receive) for send, receive in PLANE_MATRIX]
+        reference_out, reference_metrics = results[0]
+        for out, metrics in results[1:]:
+            assert out == reference_out
+            assert _metrics_fingerprint(metrics) == _metrics_fingerprint(reference_metrics)
+            assert metrics.fault_summary == reference_metrics.fault_summary
+
+    def test_fault_summary_repeatable_and_seed_sensitive(self):
+        graph = generators.graph_with_scrambled_ids(
+            generators.random_regular_graph(64, 4, seed=64), seed=64, id_space_factor=8
+        )
+        plan = FaultPlan(seed=5, drop_rate=0.1, delay_rate=0.05)
+
+        def run(p):
+            return api.run_linial_network(graph, fault_plan=p)
+
+        first, second = run(plan), run(plan)
+        assert first == second  # whole outcome, fault_summary included
+        other = run(FaultPlan(seed=6, drop_rate=0.1, delay_rate=0.05))
+        assert other.fault_summary != first.fault_summary
+
+    def test_audit_totals_match_fault_free_run(self):
+        # Message accounting counts *sent* payloads: a drops-only plan
+        # must leave messages/audit identical to the fault-free run
+        # (drops never shorten Linial's fixed schedule).
+        graph = generators.graph_with_scrambled_ids(
+            generators.random_regular_graph(64, 4, seed=64), seed=64, id_space_factor=8
+        )
+        clean = api.run_linial_network(graph)
+        faulted = api.run_linial_network(graph, fault_plan=FaultPlan(seed=9, drop_rate=0.2))
+        assert faulted.rounds == clean.rounds
+        assert faulted.messages == clean.messages
+        assert faulted.max_message_bits == clean.max_message_bits
+        assert faulted.fault_summary["dropped"] > 0

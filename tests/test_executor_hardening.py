@@ -1,0 +1,311 @@
+"""Executor hardening: timeouts, crashes, quarantine, store resilience.
+
+The robustness contract under test: one misbehaving cell — raising,
+hanging, or SIGKILLing its worker — must not take the sweep down.  The
+executor retries with backoff, requeues cells lost to worker death,
+quarantines deterministic failures as structured error rows, and the
+rest of the sweep completes; ``--resume`` skips error rows by default
+and ``--retry-errors`` re-executes exactly the quarantined cells.  The
+store side: sidecar key index, atomic compaction, fsync appends and
+torn-write healing with a logged byte offset.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+
+import pytest
+
+from repro.runtime import get, run_scenario
+from repro.runtime.executor import error_row
+from repro.runtime.spec import Knobs, RetryPolicy, spec
+from repro.runtime.store import ResultStore, diff_rows, is_error_row, strip_timing
+
+#: The policy hardening tests run under: tight timeout, one retry,
+#: near-zero backoff so the suite stays fast.
+FAST_RETRY = RetryPolicy(timeout_seconds=5.0, max_retries=1, backoff_seconds=0.01)
+
+
+def _chaos_spec(cells, retry=FAST_RETRY, name="chaos_unit"):
+    return spec(name, "chaos probes", "chaos_probe", cells, retry=retry)
+
+
+def _strip_all(rows):
+    return [strip_timing(row) for row in rows]
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="timeout_seconds"):
+            RetryPolicy(timeout_seconds=0)
+        with pytest.raises(ValueError, match="max_retries"):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValueError, match="backoff_jitter"):
+            RetryPolicy(backoff_jitter=2.0)
+
+    def test_backoff_is_deterministic_exponential_capped(self):
+        policy = RetryPolicy(backoff_seconds=0.1, backoff_jitter=0.5, max_backoff=0.35)
+        first = policy.backoff_for("cellkey", 1)
+        assert first == policy.backoff_for("cellkey", 1)  # pure function
+        assert 0.1 <= first <= 0.15
+        assert 0.2 <= policy.backoff_for("cellkey", 2) <= 0.3
+        assert policy.backoff_for("cellkey", 5) == 0.35  # capped
+        assert policy.backoff_for("other", 1) != first  # per-key jitter
+
+    def test_policy_never_enters_cache_keys(self):
+        from repro.runtime.spec import cache_key, cell_seed
+
+        loose = _chaos_spec([{"mode": "ok"}], retry=RetryPolicy())
+        tight = _chaos_spec([{"mode": "ok"}], retry=FAST_RETRY)
+        knobs = Knobs()
+        assert cell_seed(loose, loose.cells[0]) == cell_seed(tight, tight.cells[0])
+        assert cache_key(loose, loose.cells[0], knobs) == cache_key(
+            tight, tight.cells[0], knobs
+        )
+
+
+class TestQuarantine:
+    def test_raising_cell_quarantined_rest_completes(self, tmp_path):
+        chaos = _chaos_spec(
+            [{"mode": "ok", "payload": 1}, {"mode": "raise"}, {"mode": "ok", "payload": 2}]
+        )
+        store = ResultStore(str(tmp_path / "q.jsonl"))
+        report = run_scenario(chaos, workers=2, store=store)
+        assert report.executed == 3
+        assert report.errored == 1
+        assert not report.ok
+        rows = store.rows()
+        assert [is_error_row(r) for r in rows] == [False, True, False]
+        error = rows[1]["error"]
+        assert error["kind"] == "exception"
+        assert error["type"] == "RuntimeError"
+        assert error["attempts"] == 1 + FAST_RETRY.max_retries
+        assert len(error["traceback_digest"]) == 16
+        assert "result" not in rows[1]
+
+    def test_serial_path_quarantines_too(self, tmp_path):
+        chaos = _chaos_spec([{"mode": "raise"}, {"mode": "ok"}])
+        store = ResultStore(str(tmp_path / "serial.jsonl"))
+        report = run_scenario(chaos, workers=1, store=store)
+        assert report.errored == 1
+        assert report.quarantined == [report.rows[0]["key"]]
+        assert report.rows[1]["result"]["verified"]
+
+    def test_timeout_enforced_and_reported(self, tmp_path):
+        chaos = _chaos_spec(
+            [{"mode": "sleep", "sleep_seconds": 30.0}, {"mode": "ok"}],
+            retry=RetryPolicy(timeout_seconds=0.5, max_retries=1, backoff_seconds=0.01),
+        )
+        store = ResultStore(str(tmp_path / "t.jsonl"))
+        report = run_scenario(chaos, workers=2, store=store)
+        assert report.errored == 1
+        row = next(r for r in report.rows if is_error_row(r))
+        assert row["error"]["kind"] == "timeout"
+        assert row["error"]["type"] == "CellTimeout"
+        assert row["error"]["attempts"] == 2
+
+    def test_worker_sigkill_detected_and_quarantined(self, tmp_path):
+        chaos = _chaos_spec([{"mode": "kill"}, {"mode": "ok"}])
+        store = ResultStore(str(tmp_path / "k.jsonl"))
+        report = run_scenario(chaos, workers=2, store=store)
+        assert report.errored == 1
+        row = next(r for r in report.rows if is_error_row(r))
+        assert row["error"]["kind"] == "crash"
+        assert row["error"]["exitcode"] == -9
+        # The dead worker did not deadlock the run: the ok cell finished.
+        ok = next(r for r in report.rows if not is_error_row(r))
+        assert ok["result"]["verified"]
+
+    def test_crashed_cell_requeued_and_recovers(self, tmp_path):
+        markers = tmp_path / "markers"
+        chaos = _chaos_spec(
+            [
+                {"mode": "kill_once", "marker_dir": str(markers), "cell": "k0"},
+                {"mode": "ok", "payload": 7},
+            ]
+        )
+        report = run_scenario(chaos, workers=2, store=ResultStore(str(tmp_path / "r.jsonl")))
+        assert report.errored == 0
+        assert all(row["result"]["verified"] for row in report.rows)
+
+    def test_flaky_raise_recovers_on_retry(self, tmp_path):
+        markers = tmp_path / "markers"
+        chaos = _chaos_spec(
+            [{"mode": "raise_once", "marker_dir": str(markers), "cell": "r0"}]
+        )
+        report = run_scenario(chaos, workers=1)
+        assert report.errored == 0
+
+
+class TestResumeSemantics:
+    @pytest.fixture()
+    def errored_store(self, tmp_path):
+        chaos = _chaos_spec(
+            [{"mode": "ok", "payload": 1}, {"mode": "raise"}, {"mode": "ok", "payload": 2}]
+        )
+        store = ResultStore(str(tmp_path / "resume.jsonl"))
+        run_scenario(chaos, workers=1, store=store)
+        return chaos, store
+
+    def test_resume_skips_error_rows_by_default(self, errored_store):
+        chaos, store = errored_store
+        resumed = run_scenario(chaos, workers=1, resume=True, store=store)
+        assert resumed.executed == 0
+        assert resumed.skipped == 3
+        assert resumed.errored == 1  # the stored error row still surfaces
+
+    def test_retry_errors_reexecutes_only_quarantined_cells(self, errored_store):
+        chaos, store = errored_store
+        resumed = run_scenario(chaos, workers=1, resume=True, store=store, retry_errors=True)
+        assert resumed.executed == 1  # exactly the quarantined cell
+        assert resumed.skipped == 2
+        assert resumed.errored == 1  # still deterministic: it fails again
+
+    def test_recovered_cell_supersedes_error_row(self, tmp_path):
+        markers = tmp_path / "markers"
+        chaos = _chaos_spec(
+            [{"mode": "raise_once", "marker_dir": str(markers), "cell": "r1"}],
+            retry=RetryPolicy(max_retries=0),  # first run quarantines immediately
+        )
+        store = ResultStore(str(tmp_path / "heal.jsonl"))
+        first = run_scenario(chaos, workers=1, store=store)
+        assert first.errored == 1
+        second = run_scenario(chaos, workers=1, resume=True, store=store, retry_errors=True)
+        assert second.errored == 0
+        # rows_by_key: the fresh ok row wins over the stored error row.
+        assert not is_error_row(store.rows_by_key()[second.rows[0]["key"]])
+
+
+class TestErrorRowsExcludedFromDiffs:
+    def test_diff_excludes_error_rows_like_timing(self):
+        payload = {
+            "spec": "s",
+            "version": "1",
+            "cell_index": 0,
+            "key": "k0",
+            "params": {},
+            "seed": 1,
+            "knobs": {},
+            "repeats": 1,
+            "runner": "chaos_probe",
+        }
+        ok = {**{k: payload[k] for k in ("spec", "version", "cell_index", "params", "seed", "knobs")},
+              "key": "k1", "result": {"x": 1}, "timing": {"w": 1}}
+        err_a = error_row(payload, {"kind": "exception", "type": "A"}, attempts=1, wall=0.1)
+        err_b = error_row(payload, {"kind": "timeout", "type": "B"}, attempts=3, wall=9.9)
+        assert diff_rows([ok, err_a], [ok, err_b]) == []
+        assert diff_rows([ok, err_a], [ok]) == []
+        assert diff_rows([ok, err_a], [ok, err_b], include_errors=True)
+
+
+class TestDeterminismUnderFaultPlane:
+    def test_fault_sweep_rows_identical_across_worker_counts(self, tmp_path):
+        sweep = get("fault_sweep")
+        serial = run_scenario(sweep, workers=1).rows
+        parallel = run_scenario(sweep, workers=4).rows
+        assert _strip_all(parallel) == _strip_all(serial)
+        assert not diff_rows(parallel, serial)
+
+    def test_fault_sweep_rows_identical_across_planes(self):
+        sweep = get("fault_sweep")
+        left = run_scenario(
+            sweep, workers=1, knobs=Knobs(send_plane="dict", receive_plane="dict")
+        ).rows
+        right = run_scenario(
+            sweep, workers=1, knobs=Knobs(send_plane="batched", receive_plane="batched")
+        ).rows
+        assert not diff_rows(left, right, ignore_knobs=True)
+
+    def test_fault_sweep_control_row_is_proper(self):
+        report = run_scenario(get("fault_sweep"), workers=1)
+        control = report.rows[0]["result"]
+        assert control["faults"]["drop_rate"] == 0.0
+        assert control["proper"] and control["conflict_fraction"] == 0.0
+
+
+class TestStoreHardening:
+    def _row(self, key, x=1):
+        return {"key": key, "cell_index": 0, "result": {"x": x}, "timing": {"w": 1}}
+
+    def test_torn_write_heal_logs_offset(self, tmp_path, caplog):
+        path = str(tmp_path / "torn.jsonl")
+        store = ResultStore(path)
+        store.append(self._row("a"))
+        size = os.path.getsize(path)
+        with open(path, "a", encoding="utf-8") as handle:
+            handle.write('{"key": "b", "cell_ind')  # torn: no newline
+        with caplog.at_level(logging.WARNING, logger="repro.runtime.store"):
+            store.append(self._row("c"))
+        assert any(
+            f"byte offset {size}" in record.getMessage() and "healed" in record.getMessage()
+            for record in caplog.records
+        )
+        assert [r["key"] for r in store.rows()] == ["a", "c"]
+
+    def test_key_index_tracks_status_without_parsing_rows(self, tmp_path):
+        store = ResultStore(str(tmp_path / "idx.jsonl"))
+        store.append(self._row("a"))
+        store.append({**self._row("b"), "status": "error", "error": {"type": "X"}})
+        index = store.key_index()
+        assert index["a"].status == "ok"
+        assert index["b"].status == "error"
+        assert store.completed_keys() == {"a", "b"}
+
+    def test_index_rebuilt_when_missing_or_stale(self, tmp_path):
+        store = ResultStore(str(tmp_path / "re.jsonl"))
+        store.append(self._row("a"))
+        store.append(self._row("b"))
+        os.remove(store.index_path)
+        assert set(store.key_index()) == {"a", "b"}  # rebuilt from JSONL
+        # Rows appended behind the index's back: detected and rebuilt.
+        with open(store.path, "a", encoding="utf-8") as handle:
+            handle.write(json.dumps(self._row("c")) + "\n")
+        assert set(store.key_index()) == {"a", "b", "c"}
+
+    def test_load_rows_seek_reads_latest_per_key(self, tmp_path):
+        store = ResultStore(str(tmp_path / "seek.jsonl"))
+        store.append(self._row("a", x=1))
+        store.append(self._row("b", x=2))
+        store.append(self._row("a", x=3))  # supersedes the first
+        loaded = store.load_rows(["a", "b", "missing"])
+        assert loaded["a"]["result"]["x"] == 3
+        assert loaded["b"]["result"]["x"] == 2
+        assert "missing" not in loaded
+
+    def test_compact_drops_superseded_rows_atomically(self, tmp_path):
+        store = ResultStore(str(tmp_path / "c.jsonl"))
+        store.append(self._row("a", x=1))
+        store.append(self._row("b", x=2))
+        store.append(self._row("a", x=3))
+        before = store.rows_by_key()
+        assert store.compact() == 1
+        assert len(store.rows()) == 2
+        assert store.rows_by_key() == before
+        assert store.compact() == 0  # idempotent
+        assert set(store.key_index()) == {"a", "b"}
+
+    def test_fsync_store_appends_and_reads(self, tmp_path):
+        store = ResultStore(str(tmp_path / "f.jsonl"), fsync=True)
+        store.append(self._row("a"))
+        assert [r["key"] for r in store.rows()] == ["a"]
+
+
+class TestDegradation:
+    def test_spawn_failure_degrades_to_serial(self, tmp_path, monkeypatch):
+        import multiprocessing.process as mpp
+
+        def broken_start(self):
+            raise OSError("cannot fork")
+
+        monkeypatch.setattr(mpp.BaseProcess, "start", broken_start, raising=True)
+        chaos = _chaos_spec(
+            [{"mode": "ok", "payload": i} for i in range(3)] + [{"mode": "raise"}]
+        )
+        store = ResultStore(str(tmp_path / "d.jsonl"))
+        report = run_scenario(chaos, workers=4, store=store)
+        assert report.executed == 4
+        assert report.errored == 1  # quarantine still works in-process
+        ok_rows = [r for r in report.rows if not is_error_row(r)]
+        assert [r["result"]["payload"] for r in ok_rows] == [0, 1, 2]

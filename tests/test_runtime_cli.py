@@ -98,6 +98,101 @@ class TestScenariosReportAndDiff:
         assert main(["scenarios", "report", str(tmp_path / "none.jsonl")]) == 1
 
 
+class TestScenariosRunHardening:
+    @pytest.fixture()
+    def chaos_scenario(self):
+        from repro.runtime import registry
+        from repro.runtime.spec import RetryPolicy, spec
+
+        name = "cli_chaos_unit"
+        registry.register(
+            spec(
+                name,
+                "CLI chaos probes",
+                "chaos_probe",
+                [{"mode": "ok", "payload": 1}, {"mode": "raise"}, {"mode": "ok", "payload": 2}],
+                retry=RetryPolicy(max_retries=0, backoff_seconds=0.0),
+            ),
+            replace=True,
+        )
+        yield name
+        registry.REGISTRY._specs.pop(name, None)
+
+    def test_run_exits_nonzero_when_a_cell_errors(self, chaos_scenario, tmp_path, capsys):
+        out_path = str(tmp_path / "chaos.jsonl")
+        assert main(["scenarios", "run", chaos_scenario, "--out", out_path]) == 1
+        captured = capsys.readouterr()
+        assert "1 errored" in captured.out
+        assert "quarantined" in captured.err
+        # The sweep still completed: every cell has a row.
+        rows = [json.loads(line) for line in open(out_path, encoding="utf-8")]
+        assert len(rows) == 3
+
+    def test_resume_still_nonzero_retry_errors_reattempts(
+        self, chaos_scenario, tmp_path, capsys
+    ):
+        out_path = str(tmp_path / "chaos.jsonl")
+        main(["scenarios", "run", chaos_scenario, "--out", out_path])
+        capsys.readouterr()
+        # Default resume skips the error row but still reports the sweep dirty.
+        assert main(
+            ["scenarios", "run", chaos_scenario, "--resume", "--out", out_path]
+        ) == 1
+        assert "0 executed, 3 cached, 1 errored" in capsys.readouterr().out
+        # --retry-errors re-executes exactly the quarantined cell.
+        assert main(
+            [
+                "scenarios", "run", chaos_scenario,
+                "--resume", "--retry-errors", "--out", out_path,
+            ]
+        ) == 1
+        assert "1 executed, 2 cached, 1 errored" in capsys.readouterr().out
+
+    def test_retry_flag_overrides_spec_policy(self, chaos_scenario, tmp_path, capsys):
+        out_path = str(tmp_path / "chaos.jsonl")
+        main(
+            [
+                "scenarios", "run", chaos_scenario,
+                "--retries", "2", "--no-progress", "--out", out_path,
+            ]
+        )
+        capsys.readouterr()
+        rows = [json.loads(line) for line in open(out_path, encoding="utf-8")]
+        error = next(row for row in rows if row.get("status") == "error")
+        assert error["error"]["attempts"] == 3
+
+    def test_report_shows_error_rows_column(self, chaos_scenario, tmp_path, capsys):
+        out_path = str(tmp_path / "chaos.jsonl")
+        main(["scenarios", "run", chaos_scenario, "--no-progress", "--out", out_path])
+        capsys.readouterr()
+        assert main(["scenarios", "report", out_path]) == 0
+        out = capsys.readouterr().out
+        assert "1 error rows" in out
+        assert "ERROR RuntimeError" in out
+
+    def test_fsync_flag_accepted(self, tmp_path, capsys):
+        out_path = str(tmp_path / "e8v.jsonl")
+        assert main(
+            [
+                "scenarios", "run", "e8_values",
+                "--quick", "--fsync", "--no-progress", "--out", out_path,
+            ]
+        ) == 0
+
+
+class TestScenariosCompact:
+    def test_compact_drops_superseded_rows(self, tmp_path, capsys):
+        out_path = str(tmp_path / "e4.jsonl")
+        # Two non-resume runs double every row; compact keeps one per key.
+        main(["scenarios", "run", "e4_token_dropping", "--no-progress", "--out", out_path])
+        main(["scenarios", "run", "e4_token_dropping", "--no-progress", "--out", out_path])
+        capsys.readouterr()
+        assert main(["scenarios", "compact", out_path]) == 0
+        assert "10 rows -> 5 rows (5 superseded removed)" in capsys.readouterr().out
+        rows = [json.loads(line) for line in open(out_path, encoding="utf-8")]
+        assert len(rows) == 5
+
+
 class TestLegacyCliUnchanged:
     def test_algorithm_run_still_works(self, capsys):
         assert main(["--algorithm", "local", "--family", "cycle", "--n", "12"]) == 0
