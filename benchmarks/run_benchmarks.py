@@ -174,7 +174,9 @@ def environment_metadata() -> dict:
 
     Wall-clock trajectories are only comparable across PRs when the
     machine state is known; this pins the interpreter, numpy, platform,
-    core count and the engine knobs the run executed under.
+    core count, the engine knobs the run executed under, and the git
+    revision the numbers were measured at (so a committed BENCH record
+    can always be traced back to the exact tree that produced it).
     """
     try:
         import numpy
@@ -182,6 +184,15 @@ def environment_metadata() -> dict:
         numpy_version = numpy.__version__
     except ImportError:  # pragma: no cover - numpy is a hard dependency
         numpy_version = None
+    try:
+        git_sha = subprocess.run(
+            ["git", "-C", REPO, "rev-parse", "HEAD"],
+            check=True,
+            capture_output=True,
+            text=True,
+        ).stdout.strip()
+    except Exception:  # pragma: no cover - git-less environments
+        git_sha = None
     # One source of truth for knob resolution: the same resolver the
     # runtime uses for its cache keys.  The metadata block is only
     # written for the current tree, where repro.runtime always exists.
@@ -195,9 +206,11 @@ def environment_metadata() -> dict:
         "machine": platform.machine(),
         "cpu_count": os.cpu_count(),
         "numpy": numpy_version,
+        "git_sha": git_sha,
         "scan_path": knobs.scan_path,
         "send_plane": knobs.send_plane,
         "receive_plane": knobs.receive_plane,
+        "repair_path": knobs.repair_path,
     }
 
 

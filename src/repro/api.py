@@ -181,8 +181,10 @@ def run_linial_network(
         network = build_linial_network(graph)
     elif network.graph is not graph:
         raise ValueError(
-            "the prebuilt network was constructed for a different graph; "
-            "pass the graph it was built from (build_linial_network(graph))"
+            "the prebuilt network was constructed for a different graph "
+            f"({network.graph.num_nodes} nodes) than the one passed in "
+            f"({graph.num_nodes} nodes); pass the graph it was built from "
+            "(build_linial_network(graph))"
         )
     outputs, metrics = network.run(
         LinialNodeAlgorithm(),
@@ -200,6 +202,39 @@ def run_linial_network(
         congest_budget_bits=metrics.congest_budget_bits,
         congest_violations=metrics.congest_violations,
         fault_summary=metrics.fault_summary,
+    )
+
+
+def build_coloring_service(
+    graph: Graph,
+    lists=None,
+    *,
+    cache_size: int = 1024,
+    repair_path: str = "auto",
+    radius_limit: Optional[int] = None,
+):
+    """Offline-build a canonical coloring artifact and open a serving session.
+
+    The two-phase entry point of the serving plane
+    (:mod:`repro.serving`): the build runs the canonical
+    priority-greedy coloring once, the returned
+    :class:`repro.serving.ServingSession` then answers batched
+    color/schedule lookups and absorbs edge/demand deltas by bounded
+    incremental repair.  ``repair_path`` pins the repair twin
+    (``"auto"`` / ``"incremental"`` / ``"recompute"`` — bit-identical,
+    the knob only matters for perf and testing), ``radius_limit``
+    bounds the incremental worklist before it falls back to recompute,
+    and ``lists`` optionally constrains edges to demand lists, keyed by
+    endpoint pair.
+    """
+    from repro.serving import ServingSession, build_artifact
+
+    artifact = build_artifact(graph, lists)
+    return ServingSession(
+        artifact,
+        cache_size=cache_size,
+        repair_path=repair_path,
+        radius_limit=radius_limit,
     )
 
 

@@ -13,11 +13,21 @@ the JSONL result store::
     python -m repro scenarios run e1_sweep --workers 4 --resume
     python -m repro scenarios report e1_sweep
     python -m repro scenarios diff left.jsonl right.jsonl
+
+The ``serve`` / ``query`` pair exposes the serving plane
+(:mod:`repro.serving`): ``serve`` is the offline build (graph →
+persistent coloring artifact), ``query`` answers batched lookups and
+delta requests against a saved artifact::
+
+    python -m repro serve --family random-regular --n 1000 --degree 8 --out art.json
+    python -m repro query art.json --request '{"op": "color", "u": 0, "v": 12}'
+    python -m repro query art.json --request '{"op": "insert", "u": 3, "v": 9}' --save
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import Optional
 
@@ -47,6 +57,104 @@ def build_graph(family: str, n: int, degree: int, probability: float, seed: int)
     raise ValueError(f"unknown graph family {family}")
 
 
+def serve_main(argv: list) -> int:
+    """``repro serve``: offline-build a coloring artifact and persist it."""
+    from repro.serving import build_artifact
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve", description="Offline build: graph -> coloring artifact"
+    )
+    parser.add_argument(
+        "--family",
+        choices=["random-regular", "regular-bipartite", "erdos-renyi", "cycle", "hypercube", "grid"],
+        default="random-regular",
+    )
+    parser.add_argument("--n", type=int, default=64, help="number of nodes")
+    parser.add_argument("--degree", type=int, default=8, help="degree parameter Δ")
+    parser.add_argument("--probability", type=float, default=0.1, help="edge probability for Erdős–Rényi")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", required=True, help="artifact JSON output path")
+    args = parser.parse_args(argv)
+
+    graph = build_graph(args.family, args.n, args.degree, args.probability, args.seed)
+    artifact = build_artifact(graph)
+    artifact.save(args.out)
+    stats = artifact.stats()
+    print(
+        f"built {args.out}: n={stats['num_nodes']} m={stats['num_edges']} "
+        f"colors={stats['num_colors']} epoch={stats['epoch']}"
+    )
+    return 0
+
+
+def query_main(argv: list) -> int:
+    """``repro query``: answer requests against a saved artifact.
+
+    Prints one JSON response per request, in order.  Delta requests
+    mutate the in-memory artifact; ``--save`` writes the mutated
+    artifact back to disk after the batch.
+    """
+    from repro.serving import ColoringArtifact, ServingSession
+
+    parser = argparse.ArgumentParser(
+        prog="repro query", description="Serve queries/deltas against a coloring artifact"
+    )
+    parser.add_argument("artifact", help="artifact JSON written by 'repro serve'")
+    parser.add_argument(
+        "--request",
+        action="append",
+        default=[],
+        metavar="JSON",
+        help="a request object (repeatable); e.g. '{\"op\": \"color\", \"u\": 0, \"v\": 1}'",
+    )
+    parser.add_argument(
+        "--requests-file",
+        help="file with one JSON request per line (processed after --request)",
+    )
+    parser.add_argument(
+        "--repair-path",
+        choices=["auto", "incremental", "recompute"],
+        default="auto",
+        help="which repair twin absorbs delta requests",
+    )
+    parser.add_argument(
+        "--radius-limit",
+        type=int,
+        default=None,
+        help="incremental worklist budget before falling back to recompute",
+    )
+    parser.add_argument(
+        "--save",
+        action="store_true",
+        help="write the (possibly mutated) artifact back to its file",
+    )
+    args = parser.parse_args(argv)
+
+    requests = [json.loads(text) for text in args.request]
+    if args.requests_file:
+        with open(args.requests_file, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if line:
+                    requests.append(json.loads(line))
+    if not requests:
+        print("no requests given (use --request or --requests-file)", file=sys.stderr)
+        return 2
+
+    artifact = ColoringArtifact.load(args.artifact)
+    session = ServingSession(
+        artifact, repair_path=args.repair_path, radius_limit=args.radius_limit
+    )
+    failures = 0
+    for response in session.serve_batch(requests):
+        print(json.dumps(response, sort_keys=True))
+        if not response.get("ok"):
+            failures += 1
+    if args.save:
+        artifact.save(args.artifact)
+    return 1 if failures else 0
+
+
 def main(argv: Optional[list] = None) -> int:
     """CLI entry point."""
     if argv is None:
@@ -55,6 +163,10 @@ def main(argv: Optional[list] = None) -> int:
         from repro.runtime.cli import scenarios_main
 
         return scenarios_main(argv[1:])
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "query":
+        return query_main(argv[1:])
 
     parser = argparse.ArgumentParser(description="Distributed edge coloring reproduction")
     parser.add_argument(

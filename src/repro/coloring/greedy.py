@@ -23,6 +23,112 @@ from repro.distributed.rounds import RoundTracker
 from repro.graphs.core import Graph
 
 
+class UsedColorMasks:
+    """Shareable, updatable per-node used-color bitmask state.
+
+    One integer per node; bit ``c`` is set iff some incident edge uses
+    color ``c``.  In a *proper* edge coloring the incident colors of a
+    node are pairwise distinct, so presence bits are exact state: an
+    assignment sets one bit at each endpoint and an unassignment clears
+    it — no reference counting is ever needed.
+
+    This is the availability state the greedy passes used to build
+    internally and discard per call, extracted so long-lived callers can
+    own and maintain *one* object across passes: the serving plane's
+    :class:`repro.serving.artifact.ColoringArtifact` keeps the masks
+    alive across delta repairs, and
+    :func:`greedy_edge_coloring_by_classes` accepts an instance as its
+    ``used_colors`` state (sharing it across greedy passes without
+    rebuilding).  The inconsistency checks in :meth:`assign` /
+    :meth:`unassign` are deliberate: the incremental repair engine leans
+    on them to turn state-corruption bugs into immediate errors instead
+    of silently improper colorings.
+    """
+
+    __slots__ = ("_masks",)
+
+    def __init__(self, num_nodes: int) -> None:
+        self._masks: List[int] = [0] * num_nodes
+
+    @classmethod
+    def from_edge_coloring(cls, graph: Graph, colors: Dict[int, int]) -> "UsedColorMasks":
+        """Masks for an existing proper coloring keyed by edge index."""
+        state = cls(graph.num_nodes)
+        edge_u, edge_v = graph.endpoint_arrays()
+        for e, c in colors.items():
+            state.assign(edge_u[e], edge_v[e], c)
+        return state
+
+    @classmethod
+    def from_pair_coloring(
+        cls, num_nodes: int, colors: Dict[Tuple[int, int], int]
+    ) -> "UsedColorMasks":
+        """Masks for an existing proper coloring keyed by endpoint pair."""
+        state = cls(num_nodes)
+        for (u, v), c in colors.items():
+            state.assign(u, v, c)
+        return state
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self._masks)
+
+    def mask(self, v: int) -> int:
+        """The used-color bitmask of node ``v``."""
+        return self._masks[v]
+
+    def uses(self, v: int, color: int) -> bool:
+        """Whether some edge incident to ``v`` uses ``color``."""
+        return bool((self._masks[v] >> color) & 1)
+
+    def colors_at(self, v: int) -> List[int]:
+        """Sorted colors used at node ``v``."""
+        mask = self._masks[v]
+        out: List[int] = []
+        color = 0
+        while mask:
+            if mask & 1:
+                out.append(color)
+            mask >>= 1
+            color += 1
+        return out
+
+    def assign(self, u: int, v: int, color: int) -> None:
+        """Record the edge ``{u, v}`` taking ``color`` (both endpoints)."""
+        bit = 1 << color
+        masks = self._masks
+        if (masks[u] | masks[v]) & bit:
+            raise ValueError(
+                f"color {color} already used at an endpoint of ({u}, {v}); "
+                "the maintained coloring would no longer be proper"
+            )
+        masks[u] |= bit
+        masks[v] |= bit
+
+    def unassign(self, u: int, v: int, color: int) -> None:
+        """Clear the edge ``{u, v}``'s ``color`` from both endpoints."""
+        bit = 1 << color
+        masks = self._masks
+        if not (masks[u] & bit and masks[v] & bit):
+            raise ValueError(
+                f"color {color} is not set at both endpoints of ({u}, {v}); "
+                "unassign does not match the maintained state"
+            )
+        masks[u] &= ~bit
+        masks[v] &= ~bit
+
+    @staticmethod
+    def smallest_free(blocked: int) -> int:
+        """The smallest color whose bit is clear in ``blocked`` (the mex)."""
+        # ``blocked + 1`` flips the trailing run of set bits, so the
+        # lowest clear bit of ``blocked`` is the lowest set bit here.
+        return (~blocked & (blocked + 1)).bit_length() - 1
+
+    def smallest_available(self, u: int, v: int) -> int:
+        """The smallest color free at both ``u`` and ``v``."""
+        return self.smallest_free(self._masks[u] | self._masks[v])
+
+
 def greedy_vertex_coloring_by_classes(
     graph: Graph,
     schedule: Sequence[int],
@@ -87,14 +193,16 @@ def greedy_edge_coloring_by_classes(
             ``{0, ..., palette_size - 1}`` with ``palette_size`` defaulting
             to ``2Δ − 1``.
         tracker: one round is charged per non-empty schedule class.
-        used_colors: optional caller-owned per-node used-color sets,
-            indexed by node and exactly reflecting ``existing_colors``.
-            When given, availability reads them directly and assignments
+        used_colors: optional caller-owned per-node used-color state,
+            exactly reflecting ``existing_colors``: either per-node sets
+            indexed by node, or a :class:`UsedColorMasks` instance (the
+            shareable bitmask form the serving plane maintains).  When
+            given, availability reads the state directly and assignments
             are added **in place** (callers running many greedy passes
-            against one growing coloring share the sets instead of
+            against one growing coloring share the state instead of
             rebuilding per pass).  Requires that no target edge is
-            already colored — sets track color presence only, so they
-            cannot express re-coloring over an existing entry.
+            already colored — presence-only state cannot express
+            re-coloring over an existing entry.
 
     Returns the new colors, keyed by edge index.
     """
@@ -122,13 +230,15 @@ def greedy_edge_coloring_by_classes(
     #   rows, when some target edge is already colored — presence-only
     #   state cannot express re-coloring over an existing entry.
     use_masks = False
+    use_mask_state = False
     if used_colors is not None:
         if existing_colors and any(e in existing_colors for e in targets):
             raise ValueError(
                 "used_colors requires that no target edge is already colored"
             )
-        colored: Dict[int, int] = {}  # shared-set mode neither reads nor writes it
+        colored: Dict[int, int] = {}  # shared-state mode neither reads nor writes it
         use_node_sets = True
+        use_mask_state = isinstance(used_colors, UsedColorMasks)
         used_at = used_colors
     else:
         colored = dict(existing_colors) if existing_colors else {}
@@ -181,6 +291,17 @@ def greedy_edge_coloring_by_classes(
                     choice = next(
                         (c for c in lists[e] if not (blocked >> c) & 1), None
                     )
+            elif use_mask_state:
+                blocked = used_at.mask(edge_u[e]) | used_at.mask(edge_v[e])
+                if lists is None:
+                    available = ~blocked & full_mask
+                    choice = (
+                        (available & -available).bit_length() - 1 if available else None
+                    )
+                else:
+                    choice = next(
+                        (c for c in lists[e] if not (blocked >> c) & 1), None
+                    )
             elif use_node_sets:
                 candidates: Iterable[int] = (
                     lists[e] if lists is not None else range(palette_size)
@@ -213,6 +334,8 @@ def greedy_edge_coloring_by_classes(
                 v = edge_v[e]
                 masks[u] = masks.get(u, 0) | bit
                 masks[v] = masks.get(v, 0) | bit
+            elif use_mask_state:
+                used_at.assign(edge_u[e], edge_v[e], c)
             elif use_node_sets:
                 used_at[edge_u[e]].add(c)
                 used_at[edge_v[e]].add(c)

@@ -45,7 +45,11 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.coloring.defective_vertex import defective_split_coloring
-from repro.coloring.greedy import greedy_edge_coloring_by_classes, proper_edge_schedule
+from repro.coloring.greedy import (
+    UsedColorMasks,
+    greedy_edge_coloring_by_classes,
+    proper_edge_schedule,
+)
 from repro.coloring.linial import linial_vertex_coloring
 from repro.core import parameters
 from repro.core.defective_edge_coloring import (
@@ -57,6 +61,25 @@ from repro.core.slack import ListEdgeColoringInstance, uniform_instance
 from repro.distributed.rounds import RoundTracker
 from repro.graphs.bipartite import Bipartition
 from repro.graphs.core import Graph
+
+
+@dataclass
+class ColoringBuildState:
+    """Solver state worth keeping after the batch solve finishes.
+
+    Historically the pipeline computed per-node availability and palette
+    occupancy on the way to a coloring and threw both away with the call
+    frame.  The serving plane (:mod:`repro.serving`) wants exactly that
+    state to warm-start a lookup artifact without an O(m) rebuild, so
+    the pipeline now packages it on request.
+
+    Attributes:
+        masks: per-node used-color bitmasks of the final coloring.
+        palette: color → multiplicity over all colored edges.
+    """
+
+    masks: UsedColorMasks
+    palette: Dict[int, int]
 
 
 @dataclass
@@ -72,6 +95,8 @@ class ListColoringResult:
         rounds: communication rounds charged.
         outer_iterations: number of Theorem D.4 outer recursion levels.
         level_degrees: maximum uncolored degree at the start of each level.
+        build_state: extracted solver state (``None`` unless the solve
+            was asked to capture it); see :class:`ColoringBuildState`.
     """
 
     colors: Dict[int, int]
@@ -81,6 +106,7 @@ class ListColoringResult:
     rounds: int
     outer_iterations: int
     level_degrees: List[int] = field(default_factory=list)
+    build_state: Optional[ColoringBuildState] = None
 
 
 # ---------------------------------------------------------------------------- helpers
@@ -515,6 +541,7 @@ def list_edge_coloring(
     params: Optional[parameters.PracticalParameters] = None,
     tracker: Optional[RoundTracker] = None,
     scan_path: str = "auto",
+    capture_build_state: bool = False,
 ) -> ListColoringResult:
     """Solve the (degree+1)-list edge coloring problem (Theorems 1.1 / D.4).
 
@@ -527,6 +554,10 @@ def list_edge_coloring(
         scan_path: orientation engine selector (``"auto"`` / ``"numpy"``
             / ``"python"``), forwarded to every defective split the
             recursion performs; both forced engines are bit-identical.
+        capture_build_state: when true, package the final per-node
+            used-color bitmasks and palette table on the result
+            (:class:`ColoringBuildState`) for the serving plane instead
+            of discarding them.  The coloring itself is unaffected.
 
     Raises ``ValueError`` if the instance violates the (degree+1) condition.
     """
@@ -546,6 +577,11 @@ def list_edge_coloring(
             bound=bound,
             rounds=0,
             outer_iterations=0,
+            build_state=(
+                ColoringBuildState(masks=UsedColorMasks(graph.num_nodes), palette={})
+                if capture_build_state
+                else None
+            ),
         )
 
     vertex_colors, vertex_color_count = linial_vertex_coloring(graph, tracker=own)
@@ -633,6 +669,15 @@ def list_edge_coloring(
 
     if tracker is not None:
         tracker.merge(own)
+    build_state: Optional[ColoringBuildState] = None
+    if capture_build_state:
+        palette: Dict[int, int] = {}
+        for c in coloring.values():
+            palette[c] = palette.get(c, 0) + 1
+        build_state = ColoringBuildState(
+            masks=UsedColorMasks.from_edge_coloring(graph, coloring),
+            palette=palette,
+        )
     return ListColoringResult(
         colors=coloring,
         num_colors=len(set(coloring.values())),
@@ -641,4 +686,5 @@ def list_edge_coloring(
         rounds=own.total,
         outer_iterations=outer,
         level_degrees=level_degrees,
+        build_state=build_state,
     )

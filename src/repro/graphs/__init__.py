@@ -2,11 +2,13 @@
 
 from repro.graphs.core import DirectedGraph, Graph
 from repro.graphs.bipartite import Bipartition, bipartition_from_sides, find_bipartition
+from repro.graphs.delta import DeltaGraph
 from repro.graphs import generators, identifiers
 
 __all__ = [
     "Graph",
     "DirectedGraph",
+    "DeltaGraph",
     "Bipartition",
     "bipartition_from_sides",
     "find_bipartition",

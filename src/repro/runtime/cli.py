@@ -58,6 +58,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scan_path=args.scan_path,
         send_plane=args.send_plane,
         receive_plane=args.receive_plane,
+        repair_path=args.repair_path,
     )
     retry = spec.retry
     if args.timeout is not None:
@@ -90,19 +91,67 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_report(args: argparse.Namespace) -> int:
-    path = args.path
-    if path is None or not path.endswith(".jsonl"):
-        # Treat the argument as a scenario name.
-        name = path or args.scenario
-        if name is None:
-            print("report needs a scenario name or a .jsonl path", file=sys.stderr)
-            return 2
-        path = default_store_path(name)
-    rows = ResultStore(path).rows()
-    if not rows:
-        print(f"no rows in {path}")
-        return 1
+#: Columns of the machine-readable report formats, in order.
+_REPORT_COLUMNS = (
+    "spec",
+    "cell_index",
+    "status",
+    "n",
+    "delta",
+    "colors",
+    "rounds",
+    "messages",
+    "verified",
+    "wall_seconds",
+)
+
+
+def _report_records(rows):
+    """Flatten store rows into the column set shared by csv/markdown."""
+    records = []
+    for row in sorted(
+        rows,
+        key=lambda r: (r.get("spec", "?"), r.get("cell_index", -1), r.get("key", "")),
+    ):
+        result = row.get("result", {}) or {}
+        error = row.get("error", {}) or {}
+        record = {
+            "spec": row.get("spec", "?"),
+            "cell_index": row.get("cell_index"),
+            "status": "error" if is_error_row(row) else "ok",
+            "verified": result.get("verified"),
+            "wall_seconds": row.get("timing", {}).get("wall_seconds"),
+        }
+        for field in ("n", "delta", "colors", "rounds", "messages"):
+            record[field] = result.get(field)
+        if is_error_row(row):
+            record["messages"] = error.get("message")
+        records.append(record)
+    return records
+
+
+def _render_report_csv(records) -> None:
+    import csv
+
+    writer = csv.writer(sys.stdout)
+    writer.writerow(_REPORT_COLUMNS)
+    for record in records:
+        writer.writerow(
+            ["" if record[col] is None else record[col] for col in _REPORT_COLUMNS]
+        )
+
+
+def _render_report_markdown(records) -> None:
+    print("| " + " | ".join(_REPORT_COLUMNS) + " |")
+    print("|" + "|".join(" --- " for _ in _REPORT_COLUMNS) + "|")
+    for record in records:
+        cells = [
+            "" if record[col] is None else str(record[col]) for col in _REPORT_COLUMNS
+        ]
+        print("| " + " | ".join(cells) + " |")
+
+
+def _render_report_table(rows) -> None:
     by_spec = {}
     for row in rows:
         by_spec.setdefault(row.get("spec", "?"), []).append(row)
@@ -139,6 +188,27 @@ def _cmd_report(args: argparse.Namespace) -> int:
                 if k in result
             }
             print(f"  [{row.get('cell_index')}] {headline}{wall_note}")
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    path = args.path
+    if path is None or not path.endswith(".jsonl"):
+        # Treat the argument as a scenario name.
+        name = path or args.scenario
+        if name is None:
+            print("report needs a scenario name or a .jsonl path", file=sys.stderr)
+            return 2
+        path = default_store_path(name)
+    rows = ResultStore(path).rows()
+    if not rows:
+        print(f"no rows in {path}")
+        return 1
+    if args.format == "csv":
+        _render_report_csv(_report_records(rows))
+    elif args.format == "markdown":
+        _render_report_markdown(_report_records(rows))
+    else:
+        _render_report_table(rows)
     return 0
 
 
@@ -210,12 +280,21 @@ def build_parser() -> argparse.ArgumentParser:
     p_run.add_argument(
         "--receive-plane", dest="receive_plane", help="simulator receive plane knob"
     )
+    p_run.add_argument(
+        "--repair-path", dest="repair_path", help="serving delta-repair twin knob"
+    )
     p_run.add_argument("--no-progress", action="store_true", help="suppress per-cell lines")
     p_run.set_defaults(func=_cmd_run)
 
     p_report = sub.add_parser("report", help="summarize a result store")
     p_report.add_argument("path", nargs="?", help="scenario name or .jsonl path")
     p_report.add_argument("--scenario", help="scenario name (alternative to path)")
+    p_report.add_argument(
+        "--format",
+        choices=["table", "csv", "markdown"],
+        default="table",
+        help="output format: human-readable table (default), csv, or a markdown pipe table",
+    )
     p_report.set_defaults(func=_cmd_report)
 
     p_diff = sub.add_parser(

@@ -305,6 +305,32 @@ register(
     )
 )
 
+# ---------------------------------------------------------------- serving plane
+register(
+    spec(
+        "serving_churn",
+        "serving plane: batched delta+lookup serving under edge churn (E12)",
+        "serving_churn",
+        [
+            Cell(params={"n": 300, "delta": 6, "churn": 0.05, "graph_seed": 9}),
+            Cell(
+                params={"n": 1000, "delta": 8, "churn": 0.01, "graph_seed": 9},
+                repeats=3,
+            ),
+            Cell(
+                params={"n": 1000, "delta": 8, "churn": 0.05, "graph_seed": 9},
+                quick=False,
+                repeats=3,
+            ),
+            Cell(
+                params={"n": 10_000, "delta": 8, "churn": 0.01, "graph_seed": 9},
+                quick=False,
+            ),
+        ],
+        tags=("bench", "perf", "serving"),
+    )
+)
+
 # ---------------------------------------------------------------- analysis suite
 register(
     spec(
@@ -327,4 +353,5 @@ PERF_SCENARIOS = (
     ("E1_list", "e1_list"),
     ("E6_congest", "e6_congest"),
     ("E8_linial", "e8_linial"),
+    ("E12_serving", "serving_churn"),
 )

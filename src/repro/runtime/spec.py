@@ -174,24 +174,28 @@ class Knobs:
     ``scan_path`` selects the orientation engine (see
     :mod:`repro.core.engine`); ``send_plane`` / ``receive_plane`` select
     the simulator send and receive planes (see
-    :mod:`repro.distributed.network`).  All default to the environment
-    overrides CI uses (``REPRO_SCAN_PATH`` / ``REPRO_SEND_PLANE`` /
-    ``REPRO_RECEIVE_PLANE``) and fall back to ``"auto"``.  The
-    *resolved* values enter the cache key: a row computed under a forced
-    engine is never reused for another engine, even though the engines
-    are bit-identical by contract — the cache key must not encode that
-    proof obligation.
+    :mod:`repro.distributed.network`); ``repair_path`` selects the
+    serving plane's delta-repair twin (see :mod:`repro.serving.repair`).
+    All default to the environment overrides CI uses
+    (``REPRO_SCAN_PATH`` / ``REPRO_SEND_PLANE`` /
+    ``REPRO_RECEIVE_PLANE`` / ``REPRO_REPAIR_PATH``) and fall back to
+    ``"auto"``.  The *resolved* values enter the cache key: a row
+    computed under a forced engine is never reused for another engine,
+    even though the engines are bit-identical by contract — the cache
+    key must not encode that proof obligation.
     """
 
     scan_path: str = "auto"
     send_plane: str = "auto"
     receive_plane: str = "auto"
+    repair_path: str = "auto"
 
     def as_dict(self) -> Dict[str, str]:
         return {
             "scan_path": self.scan_path,
             "send_plane": self.send_plane,
             "receive_plane": self.receive_plane,
+            "repair_path": self.repair_path,
         }
 
 
@@ -199,6 +203,7 @@ def resolve_knobs(
     scan_path: Optional[str] = None,
     send_plane: Optional[str] = None,
     receive_plane: Optional[str] = None,
+    repair_path: Optional[str] = None,
 ) -> Knobs:
     """Resolve knobs: explicit argument > environment override > ``auto``."""
     if scan_path is None:
@@ -209,7 +214,16 @@ def resolve_knobs(
         receive_plane = (
             os.environ.get("REPRO_RECEIVE_PLANE", "").strip().lower() or "auto"
         )
-    return Knobs(scan_path=scan_path, send_plane=send_plane, receive_plane=receive_plane)
+    if repair_path is None:
+        repair_path = (
+            os.environ.get("REPRO_REPAIR_PATH", "").strip().lower() or "auto"
+        )
+    return Knobs(
+        scan_path=scan_path,
+        send_plane=send_plane,
+        receive_plane=receive_plane,
+        repair_path=repair_path,
+    )
 
 
 # ---------------------------------------------------------------------- keys

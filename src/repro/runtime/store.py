@@ -345,6 +345,15 @@ def _indexed_rows(
             )
         else:
             key = row.get("key")
+        # Ok supersedes error for the same key regardless of on-disk
+        # order.  Both orders occur in real stores: quarantine-then-retry
+        # appends the recovered ok row *after* its error row, while a
+        # later flaky re-run can append a fresh error row after an ok
+        # one.  Either way the cell's definitive outcome is the ok row,
+        # so under ``include_errors`` an error row never displaces it
+        # (plain last-wins still applies among rows of equal status).
+        if is_error_row(row) and key in index and not is_error_row(index[key]):
+            continue
         index[key] = strip_timing(row, ignore_knobs=ignore_knobs)
     return index
 
@@ -363,7 +372,12 @@ def diff_rows(
     nor re-appended duplicate rows from repeated non-resume runs matter.
     Quarantine error rows are excluded like timing — their content
     (tracebacks, attempt counts) is execution-dependent; pass
-    ``include_errors=True`` to compare them anyway.  With
+    ``include_errors=True`` to compare them anyway.  Under
+    ``include_errors`` an ok row **supersedes** an error row with the
+    same key no matter which was appended first: quarantine-then-retry
+    writes ``error`` then ``ok``, a flaky re-run writes ``ok`` then
+    ``error``, and in both cases the cell's definitive outcome for the
+    diff is the ok row.  With
     ``ignore_knobs`` rows are matched by cell identity instead and the
     knob/key fields are excluded from the comparison — the mode CI uses
     to hold the cross-plane bit-identity contract on real stores.

@@ -893,3 +893,156 @@ def run_chaos_probe(ctx: CellContext) -> Dict[str, object]:
         "payload": params.get("payload", 0),
         "verified": True,
     }
+
+
+# ------------------------------------------------------------- serving plane
+@runner("serving_churn")
+def run_serving_churn(ctx: CellContext) -> Dict[str, object]:
+    """Serving plane under edge churn: batched deltas + lookups (E12).
+
+    Builds a canonical artifact offline, then serves one deterministic
+    request stream — edge inserts/deletes/demand changes with
+    interleaved color/palette/schedule lookups — through two twin
+    sessions: the knob-selected ``repair_path`` (timed, best of
+    ``repeats``) and a per-delta full-recompute baseline (timed once).
+    Verifies the twins land on bit-identical colorings *and* response
+    streams, and that the final artifact is the canonical fixed point.
+    Path-dependent costs (speedup, touched edges, fallbacks, cache
+    stats) stay in ``timing``, so rows diff clean across
+    ``repair_path`` values.
+    """
+    import hashlib
+    import random
+
+    from repro.graphs import generators
+    from repro.graphs.delta import DeltaGraph
+    from repro.runtime.spec import canonical_json
+    from repro.serving import (
+        ColoringArtifact,
+        ServingSession,
+        build_artifact,
+        resolve_repair_path,
+    )
+
+    n = int(ctx.params["n"])
+    delta = int(ctx.params["delta"])
+    churn = float(ctx.params["churn"])
+    reads_per_delta = int(ctx.params.get("reads_per_delta", 3))
+    graph = generators.random_regular_graph(
+        n, delta, seed=int(ctx.params["graph_seed"])
+    )
+
+    # Offline build (untimed): the artifact every session starts from.
+    colors0 = dict(build_artifact(graph).colors)
+
+    # Deterministic request stream over the evolving edge set.
+    rng = random.Random(ctx.seed)
+    present = sorted(colors0)
+    present_set = set(present)
+    requests = []
+    num_deltas = max(4, int(graph.num_edges * churn))
+    list_size = 2 * delta + 4
+    color_space = max(4 * delta, list_size + 2)
+    for i in range(num_deltas):
+        kind = ("delete", "insert", "set_list")[i % 3]
+        if kind == "delete" and present:
+            idx = rng.randrange(len(present))
+            u, v = present[idx]
+            present[idx] = present[-1]
+            present.pop()
+            present_set.discard((u, v))
+            requests.append({"op": "delete", "u": u, "v": v})
+        elif kind == "insert":
+            while True:
+                u, v = rng.randrange(n), rng.randrange(n)
+                key = (u, v) if u < v else (v, u)
+                if u != v and key not in present_set:
+                    break
+            present.append(key)
+            present_set.add(key)
+            requests.append({"op": "insert", "u": key[0], "v": key[1]})
+        else:
+            u, v = present[rng.randrange(len(present))]
+            demand = sorted(rng.sample(range(color_space), list_size))
+            requests.append({"op": "set_list", "u": u, "v": v, "colors": demand})
+        for _ in range(reads_per_delta):
+            pick = rng.randrange(3)
+            if pick == 0 and present:
+                u, v = present[rng.randrange(len(present))]
+                requests.append({"op": "color", "u": u, "v": v})
+            elif pick == 1:
+                requests.append({"op": "node_palette", "v": rng.randrange(n)})
+            else:
+                requests.append({"op": "schedule", "v": rng.randrange(n)})
+
+    def make_session(path: str) -> ServingSession:
+        artifact = ColoringArtifact(DeltaGraph(graph), dict(colors0))
+        return ServingSession(artifact, repair_path=path)
+
+    # Knob-selected twin, best-of-repeats timing.
+    resolved = resolve_repair_path(ctx.knobs.repair_path)
+    best = None
+    session = None
+    responses = None
+    for attempt in range(max(1, ctx.repeats)):
+        candidate = make_session(resolved)
+        start = time.perf_counter()
+        answered = candidate.serve_batch(requests)
+        wall = time.perf_counter() - start
+        if best is None or wall < best:
+            best = wall
+        if attempt == 0:
+            session = candidate
+            responses = answered
+
+    # Per-delta full-recompute baseline twin (timed once).
+    baseline = make_session("recompute")
+    start = time.perf_counter()
+    baseline_responses = baseline.serve_batch(requests)
+    baseline_wall = time.perf_counter() - start
+
+    bad = [r for r in responses if not r.get("ok")]
+    assert not bad, f"failed responses on n={n} churn={churn}: {bad[:3]}"
+    assert responses == baseline_responses, "twin response streams diverge"
+    assert session.artifact.colors == baseline.artifact.colors, (
+        "incremental repair diverged from full recompute"
+    )
+    session.artifact.verify()
+    speedup = baseline_wall / max(best, 1e-9)
+    if resolved == "incremental" and n >= 1000:
+        assert speedup >= 10, (
+            f"serving speedup {speedup:.1f}x < 10x vs per-delta recompute "
+            f"(n={n}, churn={churn})"
+        )
+
+    final = session.artifact
+    coloring_digest = hashlib.sha256(
+        canonical_json(
+            [[u, v, c] for (u, v), c in sorted(final.colors.items())]
+        ).encode("utf-8")
+    ).hexdigest()[:16]
+    responses_digest = hashlib.sha256(
+        canonical_json(responses).encode("utf-8")
+    ).hexdigest()[:16]
+    reports = session.reports
+    return {
+        "n": n,
+        "delta": delta,
+        "churn": churn,
+        "rounds": num_deltas,
+        "requests": len(requests),
+        "colors": final.num_colors,
+        "epoch": final.epoch,
+        "coloring_digest": coloring_digest,
+        "responses_digest": responses_digest,
+        "verified": True,
+        "timing": {
+            "wall_seconds": round(best, 4),
+            "baseline_wall_seconds": round(baseline_wall, 4),
+            "speedup": round(speedup, 2),
+            "touched": sum(r["touched"] for r in reports),
+            "recolored": sum(r["recolored"] for r in reports),
+            "fallbacks": sum(1 for r in reports if r["fallback"]),
+            "cache": session.cache_stats(),
+        },
+    }

@@ -1,0 +1,91 @@
+"""Online serving plane: offline-build / online-serve split with repair.
+
+Architecture overview
+=====================
+
+The batch pipelines in :mod:`repro.core` solve a whole instance and
+throw the solver state away.  The serving plane splits that lifecycle in
+two:
+
+**Offline build** (:mod:`repro.serving.artifact`)
+    :func:`build_artifact` runs the canonical priority-greedy coloring
+    once over a frozen CSR graph and captures everything a server needs
+    in a persistent :class:`ColoringArtifact`: the epoch-versioned
+    :class:`repro.graphs.DeltaGraph`, the pair-keyed coloring, sparse
+    demand lists, the palette table, and per-node used-color bitmasks
+    (a per-epoch cached :class:`repro.coloring.greedy.UsedColorMasks`).
+    Artifacts serialize to JSON (``save``/``load``) so a build survives
+    the process that made it — the ``repro serve`` CLI writes one, any
+    number of ``repro query`` invocations read it.
+    :func:`artifact_from_coloring` wraps an arbitrary pipeline coloring
+    (e.g. ``ListColoringResult`` with its extracted build state) as a
+    lookup-only artifact.
+
+**Online serve** (:mod:`repro.serving.session`)
+    :class:`ServingSession` answers batched requests against one
+    artifact: color/schedule/palette lookups and **delta requests**
+    (edge insert/delete, demand-list change).  Read answers flow
+    through a keyed LRU cache whose content keys reuse the runtime's
+    recipe (canonical JSON + truncated sha256,
+    :func:`repro.runtime.spec.canonical_json`) with the artifact epoch
+    folded in — mutation invalidates by construction, not by flushing.
+
+**Incremental repair** (:mod:`repro.serving.repair`)
+    Deltas are absorbed by bounded incremental repair: a min-heap
+    worklist recolors only the affected repair radius (an exact
+    affectedness test prunes the cascade) and falls back to a
+    from-scratch recompute when the radius blows past ``radius_limit``.
+    Both paths converge on the same canonical fixed point, so repairs
+    are **bit-identical** to recomputation — the ``repair_path`` knob
+    (``incremental`` / ``recompute``, env ``REPRO_REPAIR_PATH``) pins
+    the twin discipline in the differential test matrix, and the
+    ``serving_churn`` scenario family measures the speedup the
+    incremental path buys under edge churn.
+
+Entry points: :func:`repro.api.build_coloring_service`, the ``repro
+serve`` / ``repro query`` CLI commands, and the ``serving_churn``
+runner in :mod:`repro.runtime.workloads`.
+"""
+
+from repro.serving.artifact import (
+    ARTIFACT_FORMAT,
+    ColoringArtifact,
+    artifact_from_coloring,
+    artifact_from_list_coloring,
+    build_artifact,
+)
+from repro.serving.repair import (
+    DEFAULT_RADIUS_LIMIT,
+    REPAIR_PATHS,
+    RepairError,
+    RepairReport,
+    apply_delete,
+    apply_insert,
+    apply_set_list,
+    full_recompute,
+    normalize_list,
+    resolve_repair_path,
+)
+from repro.serving.session import DELTA_OPS, READ_OPS, ServingSession, result_cache_key
+
+__all__ = [
+    "ARTIFACT_FORMAT",
+    "DEFAULT_RADIUS_LIMIT",
+    "DELTA_OPS",
+    "READ_OPS",
+    "REPAIR_PATHS",
+    "ColoringArtifact",
+    "RepairError",
+    "RepairReport",
+    "ServingSession",
+    "apply_delete",
+    "apply_insert",
+    "apply_set_list",
+    "artifact_from_coloring",
+    "artifact_from_list_coloring",
+    "build_artifact",
+    "full_recompute",
+    "normalize_list",
+    "resolve_repair_path",
+    "result_cache_key",
+]

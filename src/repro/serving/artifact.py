@@ -1,0 +1,420 @@
+"""The persistent build product of the offline phase: ``ColoringArtifact``.
+
+An artifact bundles everything the online plane needs to answer queries
+without re-solving:
+
+* the **graph** as an epoch-versioned :class:`repro.graphs.DeltaGraph`
+  (CSR base + mutation overlay);
+* the **coloring**, keyed by normalized endpoint pair — the one key
+  that survives epochs, since snapshot edge indices shift as edges come
+  and go;
+* sparse **demand lists** (pair → sorted color tuple) for edges whose
+  palette is constrained;
+* the **palette table** (color → multiplicity), maintained incrementally
+  by the repair engine;
+* per-node **used-color bitmasks**, exposed as a per-epoch cached
+  :class:`repro.coloring.greedy.UsedColorMasks` derived from the colors
+  (derived, not primary: mid-repair the coloring is transiently
+  improper, which a bitmask cannot represent — see
+  :mod:`repro.serving.repair`).
+
+Canonical artifacts (built by :func:`build_artifact`, or loaded from
+JSON) carry the canonical priority-greedy coloring and accept deltas.
+Lookup artifacts (wrapped around an arbitrary pipeline coloring via
+:func:`artifact_from_coloring`) serve reads only — their coloring is
+whatever the offline pipeline produced, so there is no canonical fixed
+point for the repair engine to restore.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.coloring.greedy import UsedColorMasks
+from repro.graphs.core import Graph
+from repro.graphs.delta import DeltaGraph
+from repro.serving.repair import (
+    RepairError,
+    RepairReport,
+    apply_delete,
+    apply_insert,
+    apply_set_list,
+    full_recompute,
+    normalize_list,
+)
+
+Pair = Tuple[int, int]
+
+#: On-disk format tag; bump on breaking layout changes.
+ARTIFACT_FORMAT = "repro-coloring-artifact/v1"
+
+
+def _pair(u: int, v: int) -> Pair:
+    return (u, v) if u < v else (v, u)
+
+
+class ColoringArtifact:
+    """Graph + coloring + repair state, versioned by an epoch counter.
+
+    The epoch advances on every absorbed delta (graph mutations bump the
+    underlying :class:`DeltaGraph`; demand-list changes bump an artifact
+    offset) and is the version tag serving caches fold into their keys.
+    """
+
+    def __init__(
+        self,
+        graph: DeltaGraph,
+        colors: Dict[Pair, int],
+        lists: Optional[Dict[Pair, Tuple[int, ...]]] = None,
+        *,
+        canonical: bool = True,
+        builder: str = "canonical",
+    ) -> None:
+        self.graph = graph
+        self.colors = colors
+        self.lists: Dict[Pair, Tuple[int, ...]] = dict(lists or {})
+        self.canonical = canonical
+        self.builder = builder
+        self._epoch_base = 0
+        self._palette: Dict[int, int] = {}
+        for c in colors.values():
+            self._palette[c] = self._palette.get(c, 0) + 1
+        self._masks: Optional[UsedColorMasks] = None
+        self._masks_epoch = -1
+
+    # ------------------------------------------------------------------ meta
+    @property
+    def epoch(self) -> int:
+        """Version counter covering graph *and* demand-list deltas."""
+        return self._epoch_base + self.graph.epoch
+
+    @property
+    def num_nodes(self) -> int:
+        return self.graph.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self.graph.num_edges
+
+    @property
+    def num_colors(self) -> int:
+        """Number of distinct colors currently in use."""
+        return len(self._palette)
+
+    @property
+    def max_color(self) -> int:
+        """Largest color in use, or ``-1`` on an edgeless graph."""
+        return max(self._palette) if self._palette else -1
+
+    def palette_table(self) -> Dict[int, int]:
+        """Color → multiplicity, sorted by color (a defensive copy)."""
+        return {c: self._palette[c] for c in sorted(self._palette)}
+
+    def stats(self) -> Dict[str, object]:
+        """Summary row for the ``stats`` query op and the CLI."""
+        return {
+            "epoch": self.epoch,
+            "num_nodes": self.num_nodes,
+            "num_edges": self.num_edges,
+            "num_colors": self.num_colors,
+            "max_color": self.max_color,
+            "num_lists": len(self.lists),
+            "overlay_size": self.graph.overlay_size,
+            "canonical": self.canonical,
+            "builder": self.builder,
+        }
+
+    # ----------------------------------------------------------------- reads
+    def color(self, u: int, v: int) -> int:
+        """Current color of edge ``{u, v}``."""
+        key = _pair(u, v)
+        try:
+            return self.colors[key]
+        except KeyError:
+            raise RepairError(f"edge {key} is not present") from None
+
+    def masks(self) -> UsedColorMasks:
+        """Per-node used-color bitmasks for the current epoch (cached)."""
+        if self._masks is None or self._masks_epoch != self.epoch:
+            self._masks = UsedColorMasks.from_pair_coloring(
+                self.graph.num_nodes, self.colors
+            )
+            self._masks_epoch = self.epoch
+        return self._masks
+
+    def node_colors(self, v: int) -> List[int]:
+        """Sorted colors on the edges incident to node ``v``.
+
+        O(degree) direct scan — deliberately *not* via :meth:`masks`,
+        whose per-epoch rebuild is O(m) and would cancel the incremental
+        path's advantage under churn (one rebuild per delta).
+        """
+        if not 0 <= v < self.graph.num_nodes:
+            raise RepairError(f"node {v} out of range for {self.graph.num_nodes} nodes")
+        colors = self.colors
+        return sorted(colors[_pair(v, w)] for w in self.graph.neighbors(v))
+
+    def schedule(self, v: int) -> List[Tuple[int, int]]:
+        """Node ``v``'s transmission schedule: ``(color, neighbor)`` by color.
+
+        In a proper edge coloring each color class is a matching, so the
+        color doubles as a collision-free time slot — the slot in which
+        ``v`` talks to that neighbor.
+        """
+        if not 0 <= v < self.graph.num_nodes:
+            raise RepairError(f"node {v} out of range for {self.graph.num_nodes} nodes")
+        colors = self.colors
+        return sorted(
+            ((colors[_pair(v, w)], w) for w in self.graph.neighbors(v)),
+        )
+
+    # ---------------------------------------------------------------- deltas
+    def insert(self, u: int, v: int, **kwargs) -> RepairReport:
+        """Absorb an edge insertion (see :func:`repro.serving.repair.apply_insert`)."""
+        self._require_canonical("insert")
+        return apply_insert(self, u, v, **kwargs)
+
+    def delete(self, u: int, v: int, **kwargs) -> RepairReport:
+        """Absorb an edge deletion (see :func:`repro.serving.repair.apply_delete`)."""
+        self._require_canonical("delete")
+        return apply_delete(self, u, v, **kwargs)
+
+    def set_list(
+        self, u: int, v: int, colors: Optional[Sequence[int]], **kwargs
+    ) -> RepairReport:
+        """Absorb a demand-list change (see :func:`repro.serving.repair.apply_set_list`)."""
+        self._require_canonical("set_list")
+        return apply_set_list(self, u, v, colors, **kwargs)
+
+    def _require_canonical(self, op: str) -> None:
+        if not self.canonical:
+            raise RepairError(
+                f"cannot apply {op!r}: artifact built by {self.builder!r} is "
+                "lookup-only (no canonical fixed point to repair towards); "
+                "rebuild with build_artifact() to serve deltas"
+            )
+
+    # ------------------------------------------------- repair-engine hooks
+    # Primary state is (colors, palette); masks invalidate via the epoch.
+    def _assign(self, key: Pair, c: int) -> None:
+        self.colors[key] = c
+        self._palette[c] = self._palette.get(c, 0) + 1
+
+    def _unassign(self, key: Pair, c: int) -> None:
+        del self.colors[key]
+        remaining = self._palette[c] - 1
+        if remaining:
+            self._palette[c] = remaining
+        else:
+            del self._palette[c]
+
+    def _recolor(self, key: Pair, c_old: int, c_new: int) -> None:
+        self.colors[key] = c_new
+        remaining = self._palette[c_old] - 1
+        if remaining:
+            self._palette[c_old] = remaining
+        else:
+            del self._palette[c_old]
+        self._palette[c_new] = self._palette.get(c_new, 0) + 1
+
+    def _replace_coloring(self, colors: Dict[Pair, int]) -> None:
+        self.colors = colors
+        self._palette = {}
+        for c in colors.values():
+            self._palette[c] = self._palette.get(c, 0) + 1
+        self._masks = None
+        self._masks_epoch = -1
+
+    def _bump_epoch(self) -> int:
+        self._epoch_base += 1
+        return self.epoch
+
+    # ----------------------------------------------------------- invariants
+    def verify(self) -> bool:
+        """Check every artifact invariant; raises ``RepairError`` on drift.
+
+        Properness (adjacent edges never share a color), demand-list
+        respect, palette-table consistency, and — for canonical
+        artifacts — bit-identity with a from-scratch
+        :func:`~repro.serving.repair.full_recompute` of the current
+        graph.  This is the twin-discipline anchor the tests lean on.
+        """
+        colors = self.colors
+        present = set()
+        for key in self.graph.edge_pairs():
+            present.add(key)
+            if key not in colors:
+                raise RepairError(f"edge {key} has no color")
+        if len(colors) != len(present):
+            extra = sorted(set(colors) - present)[:3]
+            raise RepairError(f"colors for absent edges: {extra}")
+        for v in self.graph.nodes():
+            seen = 0
+            for w in self.graph.neighbors(v):
+                bit = 1 << colors[_pair(v, w)]
+                if seen & bit:
+                    raise RepairError(f"color collision at node {v}")
+                seen |= bit
+        for key, demand in self.lists.items():
+            if key in colors and colors[key] not in demand:
+                raise RepairError(
+                    f"edge {key} wears color {colors[key]} outside its list {demand}"
+                )
+        palette: Dict[int, int] = {}
+        for c in colors.values():
+            palette[c] = palette.get(c, 0) + 1
+        if palette != self._palette:
+            raise RepairError("palette table out of sync with colors")
+        if self.canonical and colors != full_recompute(self.graph, self.lists):
+            raise RepairError("coloring is not the canonical fixed point")
+        return True
+
+    # -------------------------------------------------------------- persist
+    def to_json(self) -> Dict[str, object]:
+        """A JSON-safe dict capturing the artifact at the current epoch."""
+        return {
+            "format": ARTIFACT_FORMAT,
+            "builder": self.builder,
+            "canonical": self.canonical,
+            "epoch": self.epoch,
+            "num_nodes": self.graph.num_nodes,
+            "node_ids": list(self.graph.node_ids),
+            "edges": [
+                [u, v, self.colors[(u, v)]] for u, v in sorted(self.colors)
+            ],
+            "lists": [
+                [u, v, list(self.lists[(u, v)])] for u, v in sorted(self.lists)
+            ],
+        }
+
+    @classmethod
+    def from_json(cls, payload: Mapping) -> "ColoringArtifact":
+        """Rebuild an artifact persisted by :meth:`to_json`.
+
+        The overlay is folded on save, so the loaded graph starts with a
+        fresh CSR base; the epoch is restored as the artifact offset.
+        """
+        fmt = payload.get("format")
+        if fmt != ARTIFACT_FORMAT:
+            raise RepairError(f"unsupported artifact format {fmt!r}")
+        edges = [(int(u), int(v)) for u, v, _c in payload["edges"]]
+        graph = Graph(
+            int(payload["num_nodes"]),
+            edges,
+            node_ids=[int(i) for i in payload["node_ids"]],
+        )
+        colors = {
+            _pair(int(u), int(v)): int(c) for u, v, c in payload["edges"]
+        }
+        lists = {
+            _pair(int(u), int(v)): normalize_list(cs)
+            for u, v, cs in payload.get("lists", [])
+        }
+        artifact = cls(
+            DeltaGraph(graph),
+            colors,
+            lists,
+            canonical=bool(payload.get("canonical", True)),
+            builder=str(payload.get("builder", "canonical")),
+        )
+        artifact._epoch_base = int(payload.get("epoch", 0))
+        return artifact
+
+    def save(self, path: str) -> None:
+        """Write the artifact as compact JSON to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, separators=(",", ":"))
+            handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "ColoringArtifact":
+        """Read an artifact written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(json.load(handle))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ColoringArtifact(n={self.num_nodes}, m={self.num_edges}, "
+            f"colors={self.num_colors}, epoch={self.epoch}, "
+            f"builder={self.builder!r})"
+        )
+
+
+# ---------------------------------------------------------------- builders
+def build_artifact(
+    graph: Graph,
+    lists: Optional[Mapping[Pair, Sequence[int]]] = None,
+) -> ColoringArtifact:
+    """Offline build: the canonical artifact for ``graph``.
+
+    ``lists`` optionally constrains a sparse subset of edges to demand
+    lists (normalized on ingest).  The product accepts deltas and is
+    the input to :class:`repro.serving.session.ServingSession`.
+    """
+    normalized: Dict[Pair, Tuple[int, ...]] = {}
+    for (u, v), demand in (lists or {}).items():
+        key = _pair(int(u), int(v))
+        if not graph.has_edge(*key):
+            raise RepairError(f"demand list for absent edge {key}")
+        normalized[key] = normalize_list(demand)
+    delta_graph = DeltaGraph(graph)
+    colors = full_recompute(delta_graph, normalized)
+    return ColoringArtifact(delta_graph, colors, normalized)
+
+
+def artifact_from_coloring(
+    graph: Graph,
+    edge_colors: Sequence[int],
+    *,
+    builder: str = "pipeline",
+    build_state: Optional[UsedColorMasks] = None,
+) -> ColoringArtifact:
+    """Wrap a pipeline's edge-indexed coloring as a lookup-only artifact.
+
+    ``edge_colors[e]`` is the color of edge index ``e`` in ``graph`` —
+    the shape every ``core/`` pipeline emits.  The artifact serves reads
+    (color/schedule/palette lookups) but refuses deltas: an arbitrary
+    pipeline coloring has no canonical fixed point to repair towards.
+    ``build_state`` accepts the pipeline's maintained
+    :class:`UsedColorMasks` (see ``ListColoringResult.build_state``) so
+    the offline phase's masks seed the artifact's cache instead of
+    being recomputed.
+    """
+    if len(edge_colors) != graph.num_edges:
+        raise RepairError(
+            f"coloring has {len(edge_colors)} entries for {graph.num_edges} edges"
+        )
+    edge_u, edge_v = graph.endpoint_arrays()
+    colors = {
+        _pair(int(edge_u[e]), int(edge_v[e])): int(edge_colors[e])
+        for e in range(graph.num_edges)
+    }
+    artifact = ColoringArtifact(
+        DeltaGraph(graph), colors, canonical=False, builder=builder
+    )
+    if build_state is not None:
+        artifact._masks = build_state
+        artifact._masks_epoch = artifact.epoch
+    return artifact
+
+
+def artifact_from_list_coloring(graph: Graph, result) -> ColoringArtifact:
+    """Lookup artifact from a ``ListColoringResult`` (Theorem D.4 solve).
+
+    When the solve captured its :class:`~repro.core.list_edge_coloring.ColoringBuildState`
+    (``capture_build_state=True``), its masks seed the artifact's mask
+    cache and its palette table is adopted wholesale — the offline
+    phase's repair state survives into serving instead of being rebuilt.
+    """
+    edge_colors = [result.colors[e] for e in graph.edges()]
+    state = getattr(result, "build_state", None)
+    artifact = artifact_from_coloring(
+        graph,
+        edge_colors,
+        builder="list_edge_coloring",
+        build_state=None if state is None else state.masks,
+    )
+    if state is not None:
+        artifact._palette = dict(state.palette)
+    return artifact

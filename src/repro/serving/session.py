@@ -1,0 +1,191 @@
+"""The online serving loop: sessions, batched queries, keyed result cache.
+
+A :class:`ServingSession` fronts a :class:`~repro.serving.artifact.ColoringArtifact`
+with the request/response surface the CLI and the ``serving_churn``
+runner speak.  Requests are plain mappings with an ``op`` field:
+
+================  =====================================  ==================
+op                fields                                 answer payload
+================  =====================================  ==================
+``color``         ``u``, ``v``                           ``color``
+``node_palette``  ``v``                                  ``colors``, ``degree``
+``schedule``      ``v``                                  ``slots`` ([color, neighbor])
+``stats``         —                                      artifact summary
+``insert``        ``u``, ``v``                           repair report
+``delete``        ``u``, ``v``                           repair report
+``set_list``      ``u``, ``v``, ``colors`` (or null)     repair report
+================  =====================================  ==================
+
+Read ops are answered through a keyed LRU cache.  Keys reuse the
+runtime's content-key recipe (:func:`repro.runtime.spec.canonical_json`
++ truncated sha256, the exact idiom of ``spec.cache_key``) over
+``{"epoch": artifact.epoch, "request": request}`` — folding the epoch in
+means a delta never serves a stale answer: old-epoch entries simply stop
+being addressable and age out of the LRU.  Delta ops are never cached
+(they are mutations) and their *reports* carry path-dependent cost
+fields, so :meth:`ServingSession.serve_batch` keeps reports out of the
+response stream's deterministic core (see the ``serving_churn`` runner,
+which digests responses across ``repair_path`` values).
+
+Every response carries ``ok`` — failed requests (absent edge, exhausted
+demand list, malformed op) answer ``{"ok": False, "error": ...}``
+instead of poisoning the batch, mirroring the runtime's quarantine
+philosophy: one bad cell never kills the sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from repro.runtime.spec import canonical_json
+from repro.serving.artifact import ColoringArtifact
+from repro.serving.repair import RepairError, resolve_repair_path
+
+#: Read-only ops eligible for the result cache.
+READ_OPS = ("color", "node_palette", "schedule", "stats")
+#: Mutating ops routed to the repair engine.
+DELTA_OPS = ("insert", "delete", "set_list")
+
+
+def result_cache_key(epoch: int, request: Mapping) -> str:
+    """Content key for a read request at an artifact epoch.
+
+    Same construction as :func:`repro.runtime.spec.cache_key`: canonical
+    JSON (sorted keys, no whitespace drift) hashed with sha256 and
+    truncated — two requests collide exactly when they ask the same
+    question of the same artifact version.
+    """
+    payload = canonical_json({"epoch": epoch, "request": dict(request)})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
+
+
+class ServingSession:
+    """A query/delta session over one artifact, with an LRU answer cache.
+
+    ``repair_path`` pins which twin absorbs deltas (``auto`` →
+    ``incremental``); ``radius_limit`` bounds the incremental worklist
+    before it falls back to recompute.  Cache statistics are exposed via
+    :meth:`cache_stats` and deliberately kept *out* of responses — they
+    are observability, not answers.
+    """
+
+    def __init__(
+        self,
+        artifact: ColoringArtifact,
+        *,
+        cache_size: int = 1024,
+        repair_path: str = "auto",
+        radius_limit: Optional[int] = None,
+    ) -> None:
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative")
+        self.artifact = artifact
+        self.repair_path = resolve_repair_path(repair_path)
+        self.radius_limit = radius_limit
+        self._cache: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
+        self._cache_size = cache_size
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._deltas_applied = 0
+        self.reports: List[Dict[str, object]] = []
+
+    # ----------------------------------------------------------------- cache
+    def cache_stats(self) -> Dict[str, int]:
+        """Hit/miss/eviction counters plus current size."""
+        return {
+            "hits": self._hits,
+            "misses": self._misses,
+            "evictions": self._evictions,
+            "size": len(self._cache),
+            "capacity": self._cache_size,
+            "deltas_applied": self._deltas_applied,
+        }
+
+    def _cache_get(self, key: str) -> Optional[Dict[str, object]]:
+        cached = self._cache.get(key)
+        if cached is None:
+            self._misses += 1
+            return None
+        self._hits += 1
+        self._cache.move_to_end(key)
+        return cached
+
+    def _cache_put(self, key: str, response: Dict[str, object]) -> None:
+        if self._cache_size == 0:
+            return
+        self._cache[key] = response
+        self._cache.move_to_end(key)
+        while len(self._cache) > self._cache_size:
+            self._cache.popitem(last=False)
+            self._evictions += 1
+
+    # --------------------------------------------------------------- serving
+    def query(self, request: Mapping) -> Dict[str, object]:
+        """Answer one request; never raises on a bad request.
+
+        Read answers are shared through the cache; the returned dict is
+        the cached object itself, so callers must treat it as frozen.
+        """
+        op = request.get("op")
+        try:
+            if op in READ_OPS:
+                key = result_cache_key(self.artifact.epoch, request)
+                cached = self._cache_get(key)
+                if cached is not None:
+                    return cached
+                response = self._answer_read(op, request)
+                self._cache_put(key, response)
+                return response
+            if op in DELTA_OPS:
+                return self._apply_delta(op, request)
+            raise RepairError(f"unknown op {op!r}")
+        except (RepairError, ValueError, KeyError, TypeError) as exc:
+            return {"ok": False, "op": op, "error": str(exc) or repr(exc)}
+
+    def serve_batch(self, requests: Sequence[Mapping]) -> List[Dict[str, object]]:
+        """Answer a batch in order; deltas take effect for later requests."""
+        return [self.query(request) for request in requests]
+
+    # ------------------------------------------------------------- internals
+    def _answer_read(self, op: str, request: Mapping) -> Dict[str, object]:
+        artifact = self.artifact
+        if op == "color":
+            u, v = int(request["u"]), int(request["v"])
+            return {"ok": True, "op": op, "color": artifact.color(u, v)}
+        if op == "node_palette":
+            v = int(request["v"])
+            return {
+                "ok": True,
+                "op": op,
+                "colors": artifact.node_colors(v),
+                "degree": artifact.graph.degree(v),
+            }
+        if op == "schedule":
+            v = int(request["v"])
+            return {
+                "ok": True,
+                "op": op,
+                "slots": [[c, w] for c, w in artifact.schedule(v)],
+            }
+        # op == "stats"
+        return {"ok": True, "op": op, **artifact.stats()}
+
+    def _apply_delta(self, op: str, request: Mapping) -> Dict[str, object]:
+        artifact = self.artifact
+        u, v = int(request["u"]), int(request["v"])
+        kwargs = {"path": self.repair_path, "radius_limit": self.radius_limit}
+        if op == "insert":
+            report = artifact.insert(u, v, **kwargs)
+        elif op == "delete":
+            report = artifact.delete(u, v, **kwargs)
+        else:  # set_list
+            colors = request.get("colors")
+            report = artifact.set_list(u, v, colors, **kwargs)
+        self._deltas_applied += 1
+        self.reports.append(report.as_dict())
+        # ``epoch`` is path-independent (one bump per absorbed delta);
+        # the cost fields live only in ``session.reports``.
+        return {"ok": True, "op": op, "epoch": report.epoch}

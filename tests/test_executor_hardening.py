@@ -177,6 +177,29 @@ class TestResumeSemantics:
         # rows_by_key: the fresh ok row wins over the stored error row.
         assert not is_error_row(store.rows_by_key()[second.rows[0]["key"]])
 
+    def test_compact_mid_sweep_then_resume_executes_nothing(self, tmp_path):
+        """``scenarios compact`` between runs must not disturb ``--resume``.
+
+        Compaction rewrites the JSONL file and rebuilds the sidecar
+        index; a subsequent resume consults only that index, so every
+        completed cell must still be seen as completed — zero cells
+        re-execute.
+        """
+        chaos = _chaos_spec([{"mode": "ok", "payload": i} for i in range(3)])
+        store = ResultStore(str(tmp_path / "mid.jsonl"))
+        run_scenario(chaos, workers=1, store=store)
+        # A second non-resume run appends superseding duplicates, the
+        # situation compaction exists for.
+        run_scenario(chaos, workers=1, store=store)
+        assert len(store.rows()) == 6
+        assert store.compact() == 3
+        resumed = run_scenario(chaos, workers=1, resume=True, store=store)
+        assert resumed.executed == 0
+        assert resumed.skipped == 3
+        assert resumed.errored == 0
+        # and the compacted store + index stay self-consistent
+        assert set(store.completed_keys()) == {r["key"] for r in store.rows()}
+
 
 class TestErrorRowsExcludedFromDiffs:
     def test_diff_excludes_error_rows_like_timing(self):
@@ -198,6 +221,36 @@ class TestErrorRowsExcludedFromDiffs:
         assert diff_rows([ok, err_a], [ok, err_b]) == []
         assert diff_rows([ok, err_a], [ok]) == []
         assert diff_rows([ok, err_a], [ok, err_b], include_errors=True)
+
+    def test_ok_row_supersedes_error_row_for_same_key_regardless_of_order(self):
+        payload = {
+            "spec": "s",
+            "version": "1",
+            "cell_index": 0,
+            "key": "k0",
+            "params": {},
+            "seed": 1,
+            "knobs": {},
+            "repeats": 1,
+            "runner": "chaos_probe",
+        }
+        ok = {
+            **{k: payload[k] for k in ("spec", "version", "cell_index", "key", "params", "seed", "knobs")},
+            "result": {"x": 1},
+            "timing": {"w": 1},
+        }
+        err = error_row(payload, {"kind": "exception", "type": "A"}, attempts=1, wall=0.1)
+        # quarantine-then-retry order: error first, recovered ok appended after
+        assert diff_rows([err, ok], [ok], include_errors=True) == []
+        # flaky re-run order: ok first, stale error appended after — the ok
+        # row is still the cell's definitive outcome
+        assert diff_rows([ok, err], [ok], include_errors=True) == []
+        assert diff_rows([ok, err], [err, ok], include_errors=True) == []
+        # but an error-only store really does differ from an ok-only one
+        assert diff_rows([err], [ok], include_errors=True)
+        # among rows of equal status, plain last-wins still applies
+        err_late = error_row(payload, {"kind": "timeout", "type": "B"}, attempts=3, wall=9.9)
+        assert diff_rows([err, err_late], [err_late], include_errors=True) == []
 
 
 class TestDeterminismUnderFaultPlane:

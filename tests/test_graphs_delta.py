@@ -1,0 +1,152 @@
+"""DeltaGraph: the epoch-versioned mutable overlay over a CSR base."""
+
+import random
+
+import pytest
+
+from repro.graphs import generators
+from repro.graphs.core import Graph
+from repro.graphs.delta import DeltaGraph
+
+
+def _pairs(graph):
+    return sorted(graph.edge_pairs())
+
+
+class TestConstruction:
+    def test_mirrors_base(self):
+        base = generators.random_regular_graph(24, 4, seed=1)
+        dg = DeltaGraph(base)
+        assert dg.num_nodes == base.num_nodes
+        assert dg.num_edges == base.num_edges
+        assert dg.epoch == 0
+        assert dg.overlay_size == 0
+        assert dg.max_degree() == base.max_degree
+        for v in base.nodes():
+            assert dg.degree(v) == base.degree(v)
+            assert list(dg.neighbors(v)) == list(base.neighbors(v))
+        assert _pairs(dg) == sorted(
+            base.edge_endpoints(e) for e in base.edges()
+        )
+
+    def test_initial_snapshot_is_base(self):
+        base = generators.cycle_graph(8)
+        dg = DeltaGraph(base)
+        assert dg.snapshot() is base
+
+
+class TestMutations:
+    def test_insert_and_delete_roundtrip(self):
+        base = generators.cycle_graph(6)
+        dg = DeltaGraph(base)
+        assert dg.insert_edge(0, 3) == 1
+        assert dg.has_edge(0, 3) and dg.has_edge(3, 0)
+        assert dg.degree(0) == 3 and dg.num_edges == 7
+        assert 3 in dg.neighbors(0)
+        assert dg.delete_edge(3, 0) == 2
+        assert not dg.has_edge(0, 3)
+        assert dg.degree(0) == 2 and dg.num_edges == 6
+        assert dg.overlay_size == 0  # overlay cancels out, epoch does not
+        assert dg.epoch == 2
+
+    def test_delete_base_edge_then_reinsert(self):
+        base = generators.cycle_graph(6)
+        dg = DeltaGraph(base)
+        dg.delete_edge(0, 1)
+        assert not dg.has_edge(0, 1)
+        assert 1 not in dg.neighbors(0)
+        dg.insert_edge(1, 0)
+        assert dg.has_edge(0, 1)
+        assert list(dg.neighbors(0)) == list(base.neighbors(0))
+        assert dg.overlay_size == 0
+
+    def test_validation_errors(self):
+        dg = DeltaGraph(generators.cycle_graph(5))
+        with pytest.raises(ValueError, match="self-loop"):
+            dg.insert_edge(2, 2)
+        with pytest.raises(ValueError, match="out of range"):
+            dg.insert_edge(0, 99)
+        with pytest.raises(ValueError, match="already present"):
+            dg.insert_edge(0, 1)
+        with pytest.raises(ValueError, match="not present"):
+            dg.delete_edge(0, 2)
+        # failed mutations must not bump the epoch
+        assert dg.epoch == 0
+
+    def test_neighbors_stay_sorted(self):
+        dg = DeltaGraph(generators.cycle_graph(10))
+        dg.insert_edge(0, 5)
+        dg.insert_edge(0, 3)
+        dg.insert_edge(0, 7)
+        row = dg.neighbors(0)
+        assert row == sorted(row) == [1, 3, 5, 7, 9]
+
+
+class TestSnapshots:
+    def test_snapshot_cached_per_epoch(self):
+        dg = DeltaGraph(generators.cycle_graph(8))
+        dg.insert_edge(0, 4)
+        snap1 = dg.snapshot()
+        assert dg.snapshot() is snap1  # cached within the epoch
+        dg.delete_edge(0, 4)
+        snap2 = dg.snapshot()
+        assert snap2 is not snap1
+
+    def test_snapshot_matches_rebuilt_graph(self):
+        base = generators.random_regular_graph(20, 4, seed=3)
+        dg = DeltaGraph(base)
+        dg.delete_edge(*base.edge_endpoints(0))
+        if not dg.has_edge(0, base.num_nodes - 1):
+            dg.insert_edge(0, base.num_nodes - 1)
+        snap = dg.snapshot()
+        rebuilt = Graph(base.num_nodes, _pairs(dg), node_ids=list(base.node_ids))
+        assert sorted(snap.edge_endpoints(e) for e in snap.edges()) == sorted(
+            rebuilt.edge_endpoints(e) for e in rebuilt.edges()
+        )
+        assert list(snap.node_ids) == list(base.node_ids)
+
+    def test_rebase_folds_overlay_and_preserves_epoch(self):
+        dg = DeltaGraph(generators.cycle_graph(8))
+        dg.insert_edge(0, 4)
+        dg.delete_edge(1, 2)
+        pairs_before = _pairs(dg)
+        epoch_before = dg.epoch
+        new_base = dg.rebase()
+        assert dg.base is new_base
+        assert dg.overlay_size == 0
+        assert dg.epoch == epoch_before  # a rebase is not a delta
+        assert _pairs(dg) == pairs_before
+        # further mutations work on the fresh base
+        dg.insert_edge(1, 2)
+        assert dg.has_edge(1, 2)
+
+
+class TestRandomizedEquivalence:
+    def test_matches_reference_model(self):
+        """200 random mutations agree with a plain set-of-edges model."""
+        base = generators.random_regular_graph(30, 4, seed=5)
+        dg = DeltaGraph(base)
+        model = {base.edge_endpoints(e) for e in base.edges()}
+        rng = random.Random(11)
+        n = base.num_nodes
+        for _ in range(200):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in model:
+                dg.delete_edge(u, v)
+                model.discard(key)
+            else:
+                dg.insert_edge(u, v)
+                model.add(key)
+            assert dg.num_edges == len(model)
+        assert _pairs(dg) == sorted(model)
+        for v in range(n):
+            expect = sorted(
+                w for w in range(n) if ((v, w) if v < w else (w, v)) in model
+            )
+            assert list(dg.neighbors(v)) == expect
+            assert dg.degree(v) == len(expect)
+        snap = dg.snapshot()
+        assert sorted(snap.edge_endpoints(e) for e in snap.edges()) == sorted(model)

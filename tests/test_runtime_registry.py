@@ -128,8 +128,14 @@ class TestPerfGridDrift:
             (cell.name, cell.n, cell.delta, cell.quick, cell.repeats)
             for cell in legacy_cells
         ]
+        # Only scenarios migrated *from* the legacy harness are pinned
+        # against it; registry-native additions (e.g. E12_serving) have
+        # no legacy twin to drift from.
+        legacy_names = {name for name, *_ in legacy}
         registry = []
         for legacy_name, registry_name in PERF_SCENARIOS:
+            if legacy_name not in legacy_names:
+                continue
             spec = get(registry_name)
             for cell in spec.cells:
                 registry.append(

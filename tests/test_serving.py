@@ -1,0 +1,444 @@
+"""Serving plane: offline build, incremental repair, sessions, CLI.
+
+The load-bearing suite here is :class:`TestTwinDiscipline` — the
+acceptance contract that the incremental repair path is **bit-identical**
+to a from-scratch recompute across the full delta matrix
+(insert / delete / list-change) under every ``repair_path`` knob and
+under forced radius-limit fallback.
+"""
+
+import json
+import random
+
+import pytest
+
+from repro import api, cli
+from repro.graphs import generators
+from repro.graphs.delta import DeltaGraph
+from repro.runtime.spec import Knobs
+from repro.runtime.workloads import RUNNERS, CellContext
+from repro.serving import (
+    DEFAULT_RADIUS_LIMIT,
+    ColoringArtifact,
+    RepairError,
+    ServingSession,
+    artifact_from_coloring,
+    artifact_from_list_coloring,
+    build_artifact,
+    full_recompute,
+    normalize_list,
+    resolve_repair_path,
+    result_cache_key,
+)
+from repro.serving.repair import choose_color
+
+
+def small_graph():
+    return generators.random_regular_graph(24, 4, seed=7)
+
+
+def absent_pair(graph):
+    """The lexicographically first edge *not* present in ``graph``."""
+    for u in range(graph.num_nodes):
+        for v in range(u + 1, graph.num_nodes):
+            if not graph.has_edge(u, v):
+                return (u, v)
+    raise AssertionError("graph is complete")
+
+
+def rebuilt_twin(artifact):
+    """A fresh canonical artifact for the artifact's *current* edge set."""
+    return build_artifact(artifact.graph.snapshot(), dict(artifact.lists))
+
+
+# --------------------------------------------------------------------- repair
+class TestRepairPrimitives:
+    def test_resolve_repair_path(self):
+        assert resolve_repair_path(None) == "incremental"
+        assert resolve_repair_path("auto") == "incremental"
+        assert resolve_repair_path("recompute") == "recompute"
+        with pytest.raises(ValueError, match="unknown repair_path"):
+            resolve_repair_path("magic")
+
+    def test_normalize_list(self):
+        assert normalize_list([3, 1, 3, 2]) == (1, 2, 3)
+        with pytest.raises(RepairError):
+            normalize_list([])
+        with pytest.raises(RepairError):
+            normalize_list([0, -1])
+
+    def test_choose_color_open_palette_is_mex(self):
+        assert choose_color(0b0, None) == 0
+        assert choose_color(0b1011, None) == 2
+        assert choose_color((1 << 60) - 1, None) == 60
+
+    def test_choose_color_demand_list(self):
+        assert choose_color(0b0110, (1, 2, 5)) == 5
+        with pytest.raises(RepairError, match="exhausted"):
+            choose_color(0b100110, (1, 2, 5))
+
+
+class TestOfflineBuild:
+    def test_build_is_canonical_and_verifies(self):
+        graph = small_graph()
+        artifact = build_artifact(graph)
+        assert artifact.canonical and artifact.epoch == 0
+        assert len(artifact.colors) == graph.num_edges
+        assert artifact.verify()
+        assert artifact.colors == full_recompute(DeltaGraph(graph), {})
+
+    def test_build_respects_demand_lists(self):
+        graph = generators.cycle_graph(8)
+        lists = {(0, 1): (5, 7), (2, 3): (4,)}
+        artifact = build_artifact(graph, lists)
+        assert artifact.color(0, 1) in (5, 7)
+        assert artifact.color(2, 3) == 4
+        assert artifact.verify()
+
+    def test_build_rejects_list_for_absent_edge(self):
+        with pytest.raises(RepairError, match="absent edge"):
+            build_artifact(generators.cycle_graph(8), {(0, 4): (1, 2)})
+
+    def test_palette_table_and_stats(self):
+        artifact = build_artifact(small_graph())
+        table = artifact.palette_table()
+        assert sum(table.values()) == artifact.num_edges
+        assert list(table) == sorted(table)
+        stats = artifact.stats()
+        assert stats["num_colors"] == artifact.num_colors == len(table)
+        assert stats["canonical"] is True
+
+    def test_reads(self):
+        graph = small_graph()
+        artifact = build_artifact(graph)
+        v = 0
+        palette = artifact.node_colors(v)
+        assert len(palette) == graph.degree(v) == len(set(palette))
+        slots = artifact.schedule(v)
+        assert [c for c, _w in slots] == palette
+        assert sorted(w for _c, w in slots) == list(graph.neighbors(v))
+        for c, w in slots:
+            assert artifact.color(v, w) == c
+        with pytest.raises(RepairError, match="not present"):
+            artifact.color(0, 0)
+        with pytest.raises(RepairError, match="out of range"):
+            artifact.node_colors(999)
+
+
+# ------------------------------------------------------------ twin discipline
+class TestTwinDiscipline:
+    """Incremental repair is bit-identical to from-scratch recompute."""
+
+    @pytest.mark.parametrize("path", ["incremental", "recompute"])
+    @pytest.mark.parametrize(
+        "op,extra",
+        [
+            ("insert", ()),
+            ("delete", ()),
+            ("set_list", ((9, 11),)),
+            ("set_list", (None,)),
+        ],
+    )
+    def test_single_delta_matches_rebuild(self, path, op, extra):
+        graph = small_graph()
+        if op == "insert":
+            args = absent_pair(graph) + extra
+        else:
+            args = tuple(sorted(graph.edge_endpoints(0))) + extra
+        artifact = build_artifact(graph)
+        report = getattr(artifact, op)(*args, path=path)
+        assert report.path == path
+        assert report.epoch == artifact.epoch == 1
+        assert artifact.verify()
+        assert artifact.colors == rebuilt_twin(artifact).colors
+
+    @pytest.mark.parametrize("radius_limit", [0, 1, DEFAULT_RADIUS_LIMIT])
+    def test_fallback_reaches_same_fixed_point(self, radius_limit):
+        graph = small_graph()
+        artifact = build_artifact(graph)
+        u, v = sorted(graph.edge_endpoints(0))
+        report = artifact.delete(u, v, path="incremental", radius_limit=radius_limit)
+        assert artifact.verify()
+        assert artifact.colors == rebuilt_twin(artifact).colors
+        if radius_limit == 0:
+            assert report.fallback  # worklist never allowed to run
+
+    def test_randomized_churn_twins_stay_identical(self):
+        """80 mixed deltas: incremental twin == recompute twin after each."""
+        base = generators.random_regular_graph(40, 4, seed=3)
+        inc = build_artifact(base)
+        rec = build_artifact(base)
+        rng = random.Random(17)
+        n = base.num_nodes
+        present = sorted(inc.colors)
+        fallbacks = 0
+        for step in range(80):
+            kind = step % 3
+            if kind == 0 and present:  # delete
+                u, v = present.pop(rng.randrange(len(present)))
+                r1 = inc.delete(u, v, path="incremental")
+                rec.delete(u, v, path="recompute")
+            elif kind == 1:  # insert a currently-absent edge
+                while True:
+                    u, v = rng.randrange(n), rng.randrange(n)
+                    if u != v and not inc.graph.has_edge(u, v):
+                        break
+                key = (u, v) if u < v else (v, u)
+                present.append(key)
+                r1 = inc.insert(u, v, path="incremental")
+                rec.insert(u, v, path="recompute")
+            else:  # demand-list change on a present edge
+                u, v = present[rng.randrange(len(present))]
+                demand = tuple(sorted(rng.sample(range(16), 6)))
+                r1 = inc.set_list(u, v, demand, path="incremental")
+                rec.set_list(u, v, demand, path="recompute")
+            fallbacks += r1.fallback
+            assert inc.colors == rec.colors, f"diverged at step {step}"
+            assert inc.epoch == rec.epoch
+        assert inc.verify() and rec.verify()
+        # the suite must actually exercise the worklist, not just fall back
+        assert fallbacks < 40
+
+    def test_insert_rejects_existing_edge_without_epoch_bump(self):
+        artifact = build_artifact(generators.cycle_graph(8))
+        with pytest.raises((RepairError, ValueError)):
+            artifact.insert(0, 1)
+        assert artifact.epoch == 0
+        assert artifact.verify()
+
+    def test_unsatisfiable_list_is_rejected(self):
+        artifact = build_artifact(generators.cycle_graph(8))
+        # (0,1) is the highest-priority edge, so its list always sticks;
+        # forcing the same single color onto adjacent (1,2) must exhaust.
+        artifact.set_list(0, 1, (5,))
+        with pytest.raises(RepairError, match="exhausted"):
+            artifact.set_list(1, 2, (5,))
+
+
+# ---------------------------------------------------------------- lookup-only
+class TestLookupArtifacts:
+    def test_from_coloring_serves_reads_refuses_deltas(self):
+        graph = small_graph()
+        canonical = build_artifact(graph)
+        edge_colors = [
+            canonical.colors[tuple(sorted(graph.edge_endpoints(e)))]
+            for e in graph.edges()
+        ]
+        lookup = artifact_from_coloring(graph, edge_colors)
+        assert not lookup.canonical
+        assert lookup.color(*graph.edge_endpoints(0)) == edge_colors[0]
+        with pytest.raises(RepairError, match="lookup-only"):
+            lookup.insert(0, 1)
+        with pytest.raises(RepairError, match="lookup-only"):
+            lookup.delete(*graph.edge_endpoints(0))
+
+    def test_from_coloring_length_mismatch(self):
+        with pytest.raises(RepairError, match="entries for"):
+            artifact_from_coloring(small_graph(), [0, 1])
+
+    def test_from_list_coloring_adopts_build_state(self):
+        from repro.core.list_edge_coloring import list_edge_coloring
+
+        graph = generators.random_regular_graph(16, 4, seed=2)
+        result = list_edge_coloring(graph, capture_build_state=True)
+        artifact = artifact_from_list_coloring(graph, result)
+        assert artifact.builder == "list_edge_coloring"
+        assert artifact._masks is result.build_state.masks
+        assert artifact.palette_table() == {
+            c: m for c, m in sorted(result.build_state.palette.items())
+        }
+        for e in graph.edges():
+            assert artifact.color(*graph.edge_endpoints(e)) == result.colors[e]
+
+
+# -------------------------------------------------------------------- session
+class TestServingSession:
+    def test_reads_cache_by_epoch(self):
+        session = ServingSession(build_artifact(small_graph()))
+        req = {"op": "node_palette", "v": 3}
+        first = session.query(req)
+        assert first["ok"] and session.cache_stats()["misses"] == 1
+        assert session.query(req) is first  # served from cache
+        assert session.cache_stats()["hits"] == 1
+        # a delta bumps the epoch: same request misses, answer may differ
+        session.query({"op": "delete", "u": 3, "v": session.artifact.schedule(3)[0][1]})
+        second = session.query(req)
+        assert second is not first
+        assert session.cache_stats()["misses"] == 2
+        assert len(second["colors"]) == len(first["colors"]) - 1
+
+    def test_cache_eviction_and_disable(self):
+        session = ServingSession(build_artifact(small_graph()), cache_size=1)
+        session.query({"op": "node_palette", "v": 0})
+        session.query({"op": "node_palette", "v": 1})
+        stats = session.cache_stats()
+        assert stats["evictions"] == 1 and stats["size"] == 1
+        off = ServingSession(build_artifact(small_graph()), cache_size=0)
+        req = {"op": "stats"}
+        assert off.query(req) is not off.query(req)
+        assert off.cache_stats()["hits"] == 0
+
+    def test_result_cache_key_separates_epoch_and_request(self):
+        req = {"op": "color", "u": 0, "v": 1}
+        assert result_cache_key(0, req) == result_cache_key(0, dict(req))
+        assert result_cache_key(0, req) != result_cache_key(1, req)
+        assert result_cache_key(0, req) != result_cache_key(0, {"op": "stats"})
+
+    def test_bad_requests_answer_instead_of_raising(self):
+        session = ServingSession(build_artifact(generators.cycle_graph(6)))
+        batch = [
+            {"op": "teleport"},
+            {"op": "color", "u": 0, "v": 3},  # absent edge
+            {"op": "color", "u": 0},  # missing field
+            {"op": "insert", "u": 0, "v": 1},  # already present
+            {"op": "color", "u": 0, "v": 1},  # still served after failures
+        ]
+        responses = session.serve_batch(batch)
+        assert [r["ok"] for r in responses] == [False, False, False, False, True]
+        assert "teleport" in responses[0]["error"]
+        assert session.artifact.epoch == 0  # failed delta absorbed nothing
+
+    def test_delta_responses_are_path_independent(self):
+        graph = small_graph()
+        iu, iv = absent_pair(graph)
+        du, dv = sorted(graph.edge_endpoints(0))
+        batch = [
+            {"op": "insert", "u": iu, "v": iv},
+            {"op": "color", "u": iu, "v": iv},
+            {"op": "delete", "u": iu, "v": iv},
+            {"op": "set_list", "u": du, "v": dv, "colors": [3, 5, 7, 9, 11]},
+            {"op": "node_palette", "v": 0},
+            {"op": "stats"},
+        ]
+        twins = {}
+        for path in ("incremental", "recompute"):
+            session = ServingSession(build_artifact(graph), repair_path=path)
+            twins[path] = session.serve_batch(batch)
+            assert all(r["ok"] for r in twins[path])
+            assert len(session.reports) == 3
+            assert {r["path"] for r in session.reports} == {path}
+            assert session.artifact.verify()
+        assert twins["incremental"] == twins["recompute"]
+
+    def test_api_entry_point(self):
+        session = api.build_coloring_service(small_graph(), repair_path="recompute")
+        assert isinstance(session, ServingSession)
+        assert session.repair_path == "recompute"
+        assert session.query({"op": "stats"})["ok"]
+
+
+# -------------------------------------------------------------------- persist
+class TestPersistence:
+    def test_json_roundtrip_preserves_everything(self, tmp_path):
+        graph = small_graph()
+        artifact = build_artifact(graph, {tuple(sorted(graph.edge_endpoints(0))): (2, 4, 6, 8)})
+        artifact.insert(0, 9)
+        path = tmp_path / "artifact.json"
+        artifact.save(str(path))
+        loaded = ColoringArtifact.load(str(path))
+        assert loaded.colors == artifact.colors
+        assert loaded.lists == artifact.lists
+        assert loaded.epoch == artifact.epoch == 1
+        assert loaded.graph.overlay_size == 0  # overlay folded on save
+        assert loaded.verify()
+        # the loaded artifact keeps absorbing deltas
+        loaded.delete(0, 9)
+        assert loaded.verify()
+
+    def test_from_json_rejects_unknown_format(self):
+        with pytest.raises(RepairError, match="unsupported artifact format"):
+            ColoringArtifact.from_json({"format": "something/else"})
+
+
+# ------------------------------------------------------------------------ cli
+class TestServingCli:
+    def test_serve_then_query_roundtrip(self, tmp_path, capsys):
+        art = tmp_path / "art.json"
+        rc = cli.main(
+            ["serve", "--family", "cycle", "--n", "8", "--out", str(art)]
+        )
+        assert rc == 0
+        assert art.exists()
+        capsys.readouterr()
+        rc = cli.main(
+            [
+                "query",
+                str(art),
+                "--request",
+                '{"op": "color", "u": 0, "v": 1}',
+                "--request",
+                '{"op": "stats"}',
+            ]
+        )
+        assert rc == 0
+        lines = [json.loads(x) for x in capsys.readouterr().out.strip().splitlines()]
+        assert [r["ok"] for r in lines] == [True, True]
+        assert lines[1]["num_edges"] == 8
+
+    def test_query_save_and_failure_exit_codes(self, tmp_path, capsys):
+        art = tmp_path / "art.json"
+        cli.main(["serve", "--family", "cycle", "--n", "8", "--out", str(art)])
+        capsys.readouterr()
+        # a delta with --save persists the new epoch
+        rc = cli.main(
+            ["query", str(art), "--request", '{"op": "insert", "u": 0, "v": 4}', "--save"]
+        )
+        assert rc == 0
+        capsys.readouterr()
+        assert ColoringArtifact.load(str(art)).epoch == 1
+        # failed request -> exit 1; no requests at all -> exit 2
+        assert (
+            cli.main(["query", str(art), "--request", '{"op": "color", "u": 0, "v": 2}'])
+            == 1
+        )
+        capsys.readouterr()
+        assert cli.main(["query", str(art)]) == 2
+        capsys.readouterr()
+
+    def test_query_requests_file_and_repair_path(self, tmp_path, capsys):
+        art = tmp_path / "art.json"
+        cli.main(["serve", "--family", "cycle", "--n", "8", "--out", str(art)])
+        reqs = tmp_path / "reqs.jsonl"
+        reqs.write_text(
+            '{"op": "delete", "u": 0, "v": 1}\n{"op": "node_palette", "v": 0}\n'
+        )
+        capsys.readouterr()
+        rc = cli.main(
+            ["query", str(art), "--requests-file", str(reqs), "--repair-path", "recompute"]
+        )
+        assert rc == 0
+        lines = [json.loads(x) for x in capsys.readouterr().out.strip().splitlines()]
+        assert lines[0] == {"ok": True, "op": "delete", "epoch": 1}
+        assert lines[1]["degree"] == 1
+
+
+# -------------------------------------------------------------------- runtime
+class TestServingChurnRunner:
+    def test_twin_rows_identical_modulo_timing(self):
+        params = {"n": 60, "delta": 4, "churn": 0.05, "graph_seed": 9}
+        rows = {}
+        for path in ("incremental", "recompute"):
+            ctx = CellContext(
+                params=params, seed=1234, knobs=Knobs(repair_path=path)
+            )
+            rows[path] = RUNNERS["serving_churn"](ctx)
+            assert rows[path]["verified"]
+        stripped = [
+            {k: v for k, v in row.items() if k != "timing"}
+            for row in rows.values()
+        ]
+        assert stripped[0] == stripped[1]
+        assert rows["incremental"]["timing"]["fallbacks"] == 0
+
+
+# --------------------------------------------------------------- api guards
+class TestLinialNetworkGuard:
+    def test_mismatch_reports_both_node_counts(self):
+        big = generators.cycle_graph(12)
+        small = generators.cycle_graph(6)
+        network = api.build_linial_network(big)
+        with pytest.raises(ValueError) as err:
+            api.run_linial_network(small, network=network)
+        message = str(err.value)
+        assert "12 nodes" in message and "6 nodes" in message
+        assert "build_linial_network" in message
