@@ -13,7 +13,10 @@ One small sweep, three adversaries at once:
   Linial simulator workload under 0–10% message loss, delays,
   duplicates and crash-stops from the deterministic fault plane);
 * **storage faults** — a torn trailing write injected into the result
-  store between runs.
+  store between runs;
+* **daemon kill** — a serving daemon subprocess SIGKILLed mid-stream,
+  restarted from its base artifact + delta journal, and diffed against
+  an uninterrupted in-process run.
 
 Asserted afterwards:
 
@@ -27,7 +30,10 @@ Asserted afterwards:
    is still cached;
 4. the faulted parallel run's ok rows are *diff-clean* against a
    fault-free serial run of the non-faulted (``fault_sweep``) cells —
-   worker kills, retries and store healing left no trace in the data.
+   worker kills, retries and store healing left no trace in the data;
+5. the SIGKILLed daemon's journal replay reproduces the exact pre-kill
+   artifact state, and the full cross-kill response stream is
+   bit-identical to the uninterrupted session.
 
 Exit status 0 when all assertions hold.
 """
@@ -76,6 +82,77 @@ def check(condition: bool, label: str) -> None:
         print(f"FAIL: {label}")
         raise SystemExit(1)
     print(f"ok: {label}")
+
+
+def daemon_kill_replay_probe(workdir: str) -> None:
+    """Phase 5: SIGKILL a serving daemon mid-stream; replay must be exact.
+
+    Start ``repro serve --listen`` on a small artifact, stream churn at
+    it in lockstep, SIGKILL it halfway, restart from base + journal,
+    finish the stream with a graceful (compacting) shutdown, and diff
+    everything — recovered state and responses — against an
+    uninterrupted in-process session.
+    """
+    from repro.graphs import generators
+    from repro.serving import ColoringArtifact, ServingSession, build_artifact, journal_path
+    from repro.serving.daemon import DaemonClient, spawn_daemon_process
+
+    graph = generators.random_regular_graph(80, 4, seed=5)
+    path = os.path.join(workdir, "chaos-artifact.json")
+    build_artifact(graph).save(path)
+
+    # Deterministic churn: delete/insert each base edge of node 0's row.
+    requests = []
+    for w in graph.neighbors(0):
+        requests.append({"op": "delete", "u": 0, "v": w})
+        requests.append({"op": "node_palette", "v": w})
+        requests.append({"op": "insert", "u": 0, "v": w})
+        requests.append({"op": "color", "u": 0, "v": w})
+    cut = len(requests) // 2
+
+    twin = ServingSession(ColoringArtifact.load(path), rebase_policy=None)
+    expected_prefix = twin.serve_batch(requests[:cut])
+    prefix_epoch = twin.artifact.epoch
+    prefix_colors = dict(twin.artifact.colors)
+    expected_suffix = twin.serve_batch(requests[cut:])
+
+    process, host, port = spawn_daemon_process(path)
+    try:
+        with DaemonClient(host, port) as client:
+            got_prefix = client.request_many(requests[:cut])
+    finally:
+        process.kill()
+        process.wait(timeout=30)
+    recovered = ColoringArtifact.load(path)
+    check(recovered.epoch == prefix_epoch, "journal replay reaches the pre-kill epoch")
+    check(
+        recovered.colors == prefix_colors and recovered.verify(),
+        "journal replay reproduces the exact pre-kill coloring",
+    )
+
+    process, host, port = spawn_daemon_process(path)
+    try:
+        with DaemonClient(host, port) as client:
+            got_suffix = client.request_many(requests[cut:])
+            client.shutdown()
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+    check(
+        got_prefix + got_suffix == expected_prefix + expected_suffix,
+        "cross-kill daemon responses bit-identical to uninterrupted session",
+    )
+    check(
+        not os.path.exists(journal_path(path)),
+        "graceful daemon shutdown compacted the journal",
+    )
+    final = ColoringArtifact.load(path)
+    check(
+        final.epoch == twin.artifact.epoch and final.colors == twin.artifact.colors,
+        "compacted artifact matches the uninterrupted end state",
+    )
 
 
 def main() -> int:
@@ -141,6 +218,9 @@ def main() -> int:
         for problem in problems:
             print(f"  diff: {problem}")
         check(not problems, "chaos-run rows diff-clean vs fault-free serial run")
+
+        # --- phase 5: daemon SIGKILL + journal replay ------------------
+        daemon_kill_replay_probe(workdir)
 
         print("chaos check passed")
         return 0

@@ -22,6 +22,11 @@ delta requests against a saved artifact::
     python -m repro serve --family random-regular --n 1000 --degree 8 --out art.json
     python -m repro query art.json --request '{"op": "color", "u": 0, "v": 12}'
     python -m repro query art.json --request '{"op": "insert", "u": 3, "v": 9}' --save
+
+``serve`` also fronts the long-lived daemon and journal maintenance::
+
+    python -m repro serve --listen 127.0.0.1:0 --artifact art.json
+    python -m repro serve --compact --artifact art.json
 """
 
 from __future__ import annotations
@@ -58,11 +63,23 @@ def build_graph(family: str, n: int, degree: int, probability: float, seed: int)
 
 
 def serve_main(argv: list) -> int:
-    """``repro serve``: offline-build a coloring artifact and persist it."""
+    """``repro serve``: build an artifact, run the daemon, or compact a journal.
+
+    Three modes share the subcommand:
+
+    * ``--out PATH`` (offline build): graph → persistent coloring artifact;
+    * ``--listen [HOST:PORT] --artifact PATH`` (daemon): serve the
+      newline-delimited JSON protocol until a ``shutdown`` op or
+      SIGTERM/SIGINT, journaling each absorbed delta and compacting the
+      journal on the way out;
+    * ``--compact --artifact PATH``: fold ``PATH.journal`` into the
+      artifact JSON and exit (the offline analogue of graceful shutdown).
+    """
     from repro.serving import build_artifact
 
     parser = argparse.ArgumentParser(
-        prog="repro serve", description="Offline build: graph -> coloring artifact"
+        prog="repro serve",
+        description="Offline build, serving daemon, or journal compaction",
     )
     parser.add_argument(
         "--family",
@@ -73,9 +90,82 @@ def serve_main(argv: list) -> int:
     parser.add_argument("--degree", type=int, default=8, help="degree parameter Δ")
     parser.add_argument("--probability", type=float, default=0.1, help="edge probability for Erdős–Rényi")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", required=True, help="artifact JSON output path")
+    parser.add_argument("--out", help="artifact JSON output path (offline build mode)")
+    parser.add_argument(
+        "--listen",
+        nargs="?",
+        const="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="run the serving daemon on HOST:PORT (port 0 picks a free port)",
+    )
+    parser.add_argument(
+        "--artifact",
+        help="existing artifact JSON to serve (--listen) or compact (--compact)",
+    )
+    parser.add_argument(
+        "--compact",
+        action="store_true",
+        help="fold the artifact's delta journal into its JSON and exit",
+    )
+    parser.add_argument(
+        "--no-journal",
+        action="store_true",
+        help="daemon mode: skip per-delta journal appends (durable only on graceful shutdown)",
+    )
+    parser.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync journal appends and artifact saves (survive OS death, not just SIGKILL)",
+    )
+    parser.add_argument(
+        "--repair-path",
+        choices=["auto", "incremental", "recompute"],
+        default="auto",
+        help="daemon mode: which repair twin absorbs delta requests",
+    )
+    parser.add_argument(
+        "--radius-limit",
+        type=int,
+        default=None,
+        help="daemon mode: incremental worklist budget before recompute fallback",
+    )
+    parser.add_argument(
+        "--rebase-policy",
+        choices=["auto", "off"],
+        default="auto",
+        help="daemon mode: fold the delta overlay when it outgrows the base",
+    )
     args = parser.parse_args(argv)
 
+    if args.compact:
+        from repro.serving import compact_artifact
+
+        if not args.artifact:
+            print("--compact requires --artifact PATH", file=sys.stderr)
+            return 2
+        folded = compact_artifact(args.artifact, fsync=args.fsync)
+        print(f"compacted {args.artifact}: {folded} journal records folded")
+        return 0
+
+    if args.listen is not None:
+        from repro.serving.daemon import run_daemon
+
+        if not args.artifact:
+            print("--listen requires --artifact PATH", file=sys.stderr)
+            return 2
+        return run_daemon(
+            args.artifact,
+            args.listen,
+            journal=not args.no_journal,
+            fsync=args.fsync,
+            repair_path=args.repair_path,
+            radius_limit=args.radius_limit,
+            rebase_policy=args.rebase_policy,
+        )
+
+    if not args.out:
+        print("offline build requires --out PATH", file=sys.stderr)
+        return 2
     graph = build_graph(args.family, args.n, args.degree, args.probability, args.seed)
     artifact = build_artifact(graph)
     artifact.save(args.out)
@@ -128,6 +218,12 @@ def query_main(argv: list) -> int:
         action="store_true",
         help="write the (possibly mutated) artifact back to its file",
     )
+    parser.add_argument(
+        "--journal",
+        action="store_true",
+        help="with --save: append absorbed deltas to the artifact's journal "
+        "instead of rewriting the full JSON",
+    )
     args = parser.parse_args(argv)
 
     requests = [json.loads(text) for text in args.request]
@@ -151,7 +247,7 @@ def query_main(argv: list) -> int:
         if not response.get("ok"):
             failures += 1
     if args.save:
-        artifact.save(args.artifact)
+        artifact.save(args.artifact, journal=args.journal)
     return 1 if failures else 0
 
 

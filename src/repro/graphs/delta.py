@@ -236,6 +236,17 @@ class DeltaGraph:
 
         The epoch is preserved (a rebase is not a delta: the edge set is
         unchanged, so cached answers stay valid).  Returns the new base.
+
+        **Holder contract**: :attr:`base` is *replaced* by this call, so
+        holders must never cache the base graph object across mutations —
+        always re-read ``graph.base`` (or better, stay on the
+        :class:`DeltaGraph` read API, which is rebase-transparent).
+        State keyed by endpoint *pairs* (colorings, demand lists,
+        per-epoch mask caches built from pair-keyed colors) survives a
+        rebase untouched; state keyed by base-graph edge *indices* does
+        not, which is why the serving plane persists nothing by index.
+        ``ColoringArtifact`` is audited to this contract and the
+        rebase-under-churn twin tests pin it.
         """
         base = self.snapshot()
         self._base = base

@@ -331,6 +331,22 @@ register(
     )
 )
 
+register(
+    spec(
+        "serving_daemon",
+        "serving plane: socket daemon with SIGKILL + journal-replay recovery (E13)",
+        "serving_daemon",
+        [
+            Cell(params={"n": 200, "delta": 6, "churn": 0.05, "graph_seed": 9}),
+            Cell(
+                params={"n": 600, "delta": 8, "churn": 0.05, "graph_seed": 9},
+                quick=False,
+            ),
+        ],
+        tags=("bench", "perf", "serving", "faults"),
+    )
+)
+
 # ---------------------------------------------------------------- analysis suite
 register(
     spec(
@@ -354,4 +370,5 @@ PERF_SCENARIOS = (
     ("E6_congest", "e6_congest"),
     ("E8_linial", "e8_linial"),
     ("E12_serving", "serving_churn"),
+    ("E13_daemon", "serving_daemon"),
 )

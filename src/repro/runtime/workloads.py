@@ -896,47 +896,19 @@ def run_chaos_probe(ctx: CellContext) -> Dict[str, object]:
 
 
 # ------------------------------------------------------------- serving plane
-@runner("serving_churn")
-def run_serving_churn(ctx: CellContext) -> Dict[str, object]:
-    """Serving plane under edge churn: batched deltas + lookups (E12).
+def _churn_requests(graph, colors0, n, delta, churn, reads_per_delta, seed):
+    """The deterministic churn stream shared by E12 and E13.
 
-    Builds a canonical artifact offline, then serves one deterministic
-    request stream — edge inserts/deletes/demand changes with
-    interleaved color/palette/schedule lookups — through two twin
-    sessions: the knob-selected ``repair_path`` (timed, best of
-    ``repeats``) and a per-delta full-recompute baseline (timed once).
-    Verifies the twins land on bit-identical colorings *and* response
-    streams, and that the final artifact is the canonical fixed point.
-    Path-dependent costs (speedup, touched edges, fallbacks, cache
-    stats) stay in ``timing``, so rows diff clean across
-    ``repair_path`` values.
+    One delta (delete/insert/set_list round-robin) followed by
+    ``reads_per_delta`` lookups, over the evolving edge set (seeded from
+    the offline coloring ``colors0``), all drawn from a single seeded
+    RNG — a pure function of its arguments, which is what lets the
+    daemon scenario drive the exact same stream at an in-process session
+    and over a socket.  Returns ``(requests, num_deltas)``.
     """
-    import hashlib
     import random
 
-    from repro.graphs import generators
-    from repro.graphs.delta import DeltaGraph
-    from repro.runtime.spec import canonical_json
-    from repro.serving import (
-        ColoringArtifact,
-        ServingSession,
-        build_artifact,
-        resolve_repair_path,
-    )
-
-    n = int(ctx.params["n"])
-    delta = int(ctx.params["delta"])
-    churn = float(ctx.params["churn"])
-    reads_per_delta = int(ctx.params.get("reads_per_delta", 3))
-    graph = generators.random_regular_graph(
-        n, delta, seed=int(ctx.params["graph_seed"])
-    )
-
-    # Offline build (untimed): the artifact every session starts from.
-    colors0 = dict(build_artifact(graph).colors)
-
-    # Deterministic request stream over the evolving edge set.
-    rng = random.Random(ctx.seed)
+    rng = random.Random(seed)
     present = sorted(colors0)
     present_set = set(present)
     requests = []
@@ -974,6 +946,51 @@ def run_serving_churn(ctx: CellContext) -> Dict[str, object]:
                 requests.append({"op": "node_palette", "v": rng.randrange(n)})
             else:
                 requests.append({"op": "schedule", "v": rng.randrange(n)})
+    return requests, num_deltas
+
+
+@runner("serving_churn")
+def run_serving_churn(ctx: CellContext) -> Dict[str, object]:
+    """Serving plane under edge churn: batched deltas + lookups (E12).
+
+    Builds a canonical artifact offline, then serves one deterministic
+    request stream — edge inserts/deletes/demand changes with
+    interleaved color/palette/schedule lookups — through two twin
+    sessions: the knob-selected ``repair_path`` (timed, best of
+    ``repeats``) and a per-delta full-recompute baseline (timed once).
+    Verifies the twins land on bit-identical colorings *and* response
+    streams, and that the final artifact is the canonical fixed point.
+    Path-dependent costs (speedup, touched edges, fallbacks, cache
+    stats) stay in ``timing``, so rows diff clean across
+    ``repair_path`` values.
+    """
+    import hashlib
+
+    from repro.graphs import generators
+    from repro.graphs.delta import DeltaGraph
+    from repro.runtime.spec import canonical_json
+    from repro.serving import (
+        ColoringArtifact,
+        ServingSession,
+        build_artifact,
+        resolve_repair_path,
+    )
+
+    n = int(ctx.params["n"])
+    delta = int(ctx.params["delta"])
+    churn = float(ctx.params["churn"])
+    reads_per_delta = int(ctx.params.get("reads_per_delta", 3))
+    graph = generators.random_regular_graph(
+        n, delta, seed=int(ctx.params["graph_seed"])
+    )
+
+    # Offline build (untimed): the artifact every session starts from.
+    colors0 = dict(build_artifact(graph).colors)
+
+    # Deterministic request stream over the evolving edge set.
+    requests, num_deltas = _churn_requests(
+        graph, colors0, n, delta, churn, reads_per_delta, ctx.seed
+    )
 
     def make_session(path: str) -> ServingSession:
         artifact = ColoringArtifact(DeltaGraph(graph), dict(colors0))
@@ -1024,7 +1041,9 @@ def run_serving_churn(ctx: CellContext) -> Dict[str, object]:
     responses_digest = hashlib.sha256(
         canonical_json(responses).encode("utf-8")
     ).hexdigest()[:16]
-    reports = session.reports
+    # Lossless totals from cache_stats — ``session.reports`` is a capped
+    # ring buffer now and would silently undercount long streams.
+    stats = session.cache_stats()
     return {
         "n": n,
         "delta": delta,
@@ -1040,9 +1059,148 @@ def run_serving_churn(ctx: CellContext) -> Dict[str, object]:
             "wall_seconds": round(best, 4),
             "baseline_wall_seconds": round(baseline_wall, 4),
             "speedup": round(speedup, 2),
-            "touched": sum(r["touched"] for r in reports),
-            "recolored": sum(r["recolored"] for r in reports),
-            "fallbacks": sum(1 for r in reports if r["fallback"]),
-            "cache": session.cache_stats(),
+            "touched": stats["touched"],
+            "recolored": stats["recolored"],
+            "fallbacks": stats["fallbacks"],
+            "cache": stats,
         },
+    }
+
+
+@runner("serving_daemon")
+def run_serving_daemon(ctx: CellContext) -> Dict[str, object]:
+    """Daemon durability under SIGKILL: socket twin + journal replay (E13).
+
+    Drives the shared E12 churn stream at a real ``repro serve --listen``
+    subprocess in lockstep over a socket, SIGKILLs it halfway through,
+    and asserts the two durability contracts:
+
+    * **journal replay**: reloading the artifact after the kill replays
+      the on-disk journal and reproduces the *exact* pre-kill state —
+      same epoch, same coloring, ``verify()`` clean — because every
+      acknowledged delta was journaled before its response;
+    * **socket twin**: the full response stream (across the kill, the
+      restart and a graceful shutdown) is bit-identical to an in-process
+      ``ServingSession`` serving the same requests.  The daemon runs
+      with auto-rebase on while the in-process twin never rebases, so
+      the comparison also pins rebase as a proper twin over the wire.
+
+    Graceful shutdown must compact: after the final ``shutdown`` op the
+    journal is gone and the artifact JSON alone carries the end state.
+    """
+    import hashlib
+    import os
+    import tempfile
+
+    from repro.graphs import generators
+    from repro.runtime.spec import canonical_json
+    from repro.serving import (
+        ColoringArtifact,
+        ServingSession,
+        build_artifact,
+        journal_path,
+        resolve_repair_path,
+    )
+    from repro.serving.daemon import DaemonClient, spawn_daemon_process
+
+    n = int(ctx.params["n"])
+    delta = int(ctx.params["delta"])
+    churn = float(ctx.params["churn"])
+    reads_per_delta = int(ctx.params.get("reads_per_delta", 2))
+    graph = generators.random_regular_graph(
+        n, delta, seed=int(ctx.params["graph_seed"])
+    )
+    built = build_artifact(graph)
+    colors0 = dict(built.colors)
+    requests, num_deltas = _churn_requests(
+        graph, colors0, n, delta, churn, reads_per_delta, ctx.seed
+    )
+    kill_at = len(requests) // 2
+    resolved = resolve_repair_path(ctx.knobs.repair_path)
+
+    with tempfile.TemporaryDirectory(prefix="repro_e13_") as tmp:
+        path = os.path.join(tmp, "artifact.json")
+        built.save(path)
+
+        # In-process twin (never rebases; the daemon auto-rebases).
+        twin = ServingSession(
+            ColoringArtifact.load(path), repair_path=resolved, rebase_policy=None
+        )
+        expected_prefix = twin.serve_batch(requests[:kill_at])
+        prefix_colors = dict(twin.artifact.colors)
+        prefix_epoch = twin.artifact.epoch
+        expected_suffix = twin.serve_batch(requests[kill_at:])
+
+        start = time.perf_counter()
+        # Phase 1: lockstep until the kill point, then SIGKILL mid-stream.
+        process, host, port = spawn_daemon_process(path, repair_path=resolved)
+        try:
+            with DaemonClient(host, port) as client:
+                got_prefix = client.request_many(requests[:kill_at])
+        finally:
+            process.kill()
+            process.wait(timeout=30)
+
+        # Journal replay reproduces the exact pre-kill state.
+        recovered = ColoringArtifact.load(path)
+        assert recovered.epoch == prefix_epoch, (
+            f"replayed epoch {recovered.epoch} != pre-kill epoch {prefix_epoch}"
+        )
+        assert recovered.colors == prefix_colors, (
+            "journal replay diverged from the pre-kill coloring"
+        )
+        recovered.verify()
+
+        # Phase 2: restart from base+journal, finish the stream, shut down.
+        process, host, port = spawn_daemon_process(path, repair_path=resolved)
+        try:
+            with DaemonClient(host, port) as client:
+                got_suffix = client.request_many(requests[kill_at:])
+                ack = client.shutdown()
+            assert ack == {"ok": True, "op": "shutdown"}, f"bad shutdown ack: {ack}"
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        wall = time.perf_counter() - start
+
+        # Graceful shutdown compacted: journal gone, JSON carries the end.
+        assert not os.path.exists(journal_path(path)), (
+            "graceful shutdown left the journal behind"
+        )
+        final = ColoringArtifact.load(path)
+        assert final.epoch == twin.artifact.epoch
+        assert final.colors == twin.artifact.colors, (
+            "compacted artifact diverged from the in-process twin"
+        )
+        final.verify()
+
+    got = got_prefix + got_suffix
+    expected = expected_prefix + expected_suffix
+    assert got == expected, "socket responses diverge from the in-process session"
+    bad = [r for r in got if not r.get("ok")]
+    assert not bad, f"failed daemon responses on n={n}: {bad[:3]}"
+
+    coloring_digest = hashlib.sha256(
+        canonical_json(
+            [[u, v, c] for (u, v), c in sorted(final.colors.items())]
+        ).encode("utf-8")
+    ).hexdigest()[:16]
+    responses_digest = hashlib.sha256(
+        canonical_json(got).encode("utf-8")
+    ).hexdigest()[:16]
+    return {
+        "n": n,
+        "delta": delta,
+        "churn": churn,
+        "rounds": num_deltas,
+        "requests": len(requests),
+        "kill_at": kill_at,
+        "colors": final.num_colors,
+        "epoch": final.epoch,
+        "coloring_digest": coloring_digest,
+        "responses_digest": responses_digest,
+        "verified": True,
+        "timing": {"wall_seconds": round(wall, 4)},
     }

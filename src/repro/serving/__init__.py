@@ -42,17 +42,56 @@ two:
     ``serving_churn`` scenario family measures the speedup the
     incremental path buys under edge churn.
 
+**Durability & long-running serving** (:mod:`repro.serving.journal`,
+:mod:`repro.serving.daemon`)
+    Long-lived sessions stay bounded and survive restarts:
+
+    * *Auto-rebase*: a :class:`RebasePolicy` (default threshold 0.25 on
+      ``overlay_size / base_edges``, ``min_overlay`` 8) folds the
+      :class:`~repro.graphs.DeltaGraph` overlay into a fresh CSR base
+      when it outgrows the base — **epoch-preserving**, so the result
+      cache and per-epoch used-color masks stay valid, and rebasing /
+      never-rebasing sessions are bit-identical twins (an explicit
+      ``rebase`` op exists alongside the policy; ``rebase_policy="off"``
+      disables it).
+    * *Delta journal*: ``save(journal=True)`` appends each absorbed
+      delta ``{epoch, op, u, v, colors}`` to ``<artifact>.journal``
+      (format tag ``repro-coloring-journal/v1``) instead of rewriting
+      the full JSON; ``load()`` replays the journal over the base
+      artifact, healing a torn tail the same way the runtime's result
+      store does; :func:`compact_artifact` folds journal → JSON.
+    * *Daemon*: ``python -m repro serve --listen`` serves the
+      newline-delimited JSON request protocol over a stdlib socket
+      server, journaling every delta **before** acknowledging it
+      (acknowledged ⇒ durable, even under SIGKILL) and compacting the
+      journal on graceful shutdown.  The ``serving_daemon`` scenario
+      (E13) pins socket responses bit-identical to an in-process
+      session and journal-replay recovery after SIGKILL.
+    * *Bounded observability*: ``ServingSession.reports`` is a ring
+      buffer (``reports_cap``, default 256); lossless totals live in
+      ``cache_stats()`` — long-lived sessions never grow without bound.
+
 Entry points: :func:`repro.api.build_coloring_service`, the ``repro
-serve`` / ``repro query`` CLI commands, and the ``serving_churn``
-runner in :mod:`repro.runtime.workloads`.
+serve`` / ``repro query`` CLI commands (including ``serve --listen`` /
+``serve --compact``), and the ``serving_churn`` / ``serving_daemon``
+runners in :mod:`repro.runtime.workloads`.
 """
 
 from repro.serving.artifact import (
     ARTIFACT_FORMAT,
     ColoringArtifact,
+    RebasePolicy,
     artifact_from_coloring,
     artifact_from_list_coloring,
     build_artifact,
+    resolve_rebase_policy,
+)
+from repro.serving.journal import (
+    JOURNAL_FORMAT,
+    DeltaJournal,
+    JournalError,
+    compact_artifact,
+    journal_path,
 )
 from repro.serving.repair import (
     DEFAULT_RADIUS_LIMIT,
@@ -66,15 +105,28 @@ from repro.serving.repair import (
     normalize_list,
     resolve_repair_path,
 )
-from repro.serving.session import DELTA_OPS, READ_OPS, ServingSession, result_cache_key
+from repro.serving.session import (
+    CONTROL_OPS,
+    DEFAULT_REPORTS_CAP,
+    DELTA_OPS,
+    READ_OPS,
+    ServingSession,
+    result_cache_key,
+)
 
 __all__ = [
     "ARTIFACT_FORMAT",
+    "CONTROL_OPS",
     "DEFAULT_RADIUS_LIMIT",
+    "DEFAULT_REPORTS_CAP",
     "DELTA_OPS",
+    "JOURNAL_FORMAT",
     "READ_OPS",
     "REPAIR_PATHS",
     "ColoringArtifact",
+    "DeltaJournal",
+    "JournalError",
+    "RebasePolicy",
     "RepairError",
     "RepairReport",
     "ServingSession",
@@ -84,8 +136,11 @@ __all__ = [
     "artifact_from_coloring",
     "artifact_from_list_coloring",
     "build_artifact",
+    "compact_artifact",
     "full_recompute",
+    "journal_path",
     "normalize_list",
+    "resolve_rebase_policy",
     "resolve_repair_path",
     "result_cache_key",
 ]

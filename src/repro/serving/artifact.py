@@ -29,11 +29,14 @@ point for the repair engine to restore.
 from __future__ import annotations
 
 import json
+import os
+from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.coloring.greedy import UsedColorMasks
 from repro.graphs.core import Graph
 from repro.graphs.delta import DeltaGraph
+from repro.serving.journal import DeltaJournal, delta_record, journal_path
 from repro.serving.repair import (
     RepairError,
     RepairReport,
@@ -52,6 +55,60 @@ ARTIFACT_FORMAT = "repro-coloring-artifact/v1"
 
 def _pair(u: int, v: int) -> Pair:
     return (u, v) if u < v else (v, u)
+
+
+@dataclass(frozen=True)
+class RebasePolicy:
+    """When to fold the :class:`DeltaGraph` overlay into a fresh CSR base.
+
+    Every overlay entry taxes every ``neighbors()`` call on its nodes,
+    so a long-lived session must rebase once the overlay outgrows the
+    base — but a rebase is an O(n + m) snapshot, so not after every
+    delta.  The policy triggers when the overlay holds at least
+    ``min_overlay`` entries **and** ``overlay_size / base_edges``
+    reaches ``threshold``, which amortizes the O(m) fold against the
+    Θ(threshold · m) deltas that grew the overlay.
+
+    A rebase is epoch-preserving (the edge set is unchanged), so it is
+    invisible to the serving plane's deterministic core: cached answers,
+    per-epoch :class:`UsedColorMasks` and response streams are
+    bit-identical between a rebasing session and a never-rebasing twin
+    (pinned by the rebase twin tests).
+    """
+
+    threshold: float = 0.25
+    min_overlay: int = 8
+
+    def __post_init__(self) -> None:
+        if self.threshold <= 0:
+            raise ValueError(f"threshold must be > 0, got {self.threshold!r}")
+        if self.min_overlay < 1:
+            raise ValueError(f"min_overlay must be >= 1, got {self.min_overlay!r}")
+
+    def should_rebase(self, graph: DeltaGraph) -> bool:
+        overlay = graph.overlay_size
+        if overlay < self.min_overlay:
+            return False
+        return overlay >= self.threshold * max(1, graph.base.num_edges)
+
+
+def resolve_rebase_policy(value) -> Optional[RebasePolicy]:
+    """Normalize a ``rebase_policy`` knob to a policy or ``None``.
+
+    ``"auto"`` resolves to the default :class:`RebasePolicy`; ``None``
+    and ``"off"`` disable automatic rebasing; a :class:`RebasePolicy`
+    passes through.
+    """
+    if value is None or value == "off":
+        return None
+    if value == "auto":
+        return RebasePolicy()
+    if isinstance(value, RebasePolicy):
+        return value
+    raise ValueError(
+        f"unknown rebase_policy {value!r}; expected 'auto', 'off', None "
+        "or a RebasePolicy"
+    )
 
 
 class ColoringArtifact:
@@ -82,6 +139,12 @@ class ColoringArtifact:
             self._palette[c] = self._palette.get(c, 0) + 1
         self._masks: Optional[UsedColorMasks] = None
         self._masks_epoch = -1
+        # Delta records pending a journal append: populated only when
+        # journal tracking is on (loaded/saved artifacts), drained by
+        # ``save``.  In-memory artifacts that are never persisted pay
+        # nothing.
+        self._journal_tracking = False
+        self._pending_deltas: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------ meta
     @property
@@ -121,6 +184,7 @@ class ColoringArtifact:
             "max_color": self.max_color,
             "num_lists": len(self.lists),
             "overlay_size": self.graph.overlay_size,
+            "base_edges": self.graph.base.num_edges,
             "canonical": self.canonical,
             "builder": self.builder,
         }
@@ -173,19 +237,54 @@ class ColoringArtifact:
     def insert(self, u: int, v: int, **kwargs) -> RepairReport:
         """Absorb an edge insertion (see :func:`repro.serving.repair.apply_insert`)."""
         self._require_canonical("insert")
-        return apply_insert(self, u, v, **kwargs)
+        report = apply_insert(self, u, v, **kwargs)
+        self._record_delta("insert", u, v, None)
+        return report
 
     def delete(self, u: int, v: int, **kwargs) -> RepairReport:
         """Absorb an edge deletion (see :func:`repro.serving.repair.apply_delete`)."""
         self._require_canonical("delete")
-        return apply_delete(self, u, v, **kwargs)
+        report = apply_delete(self, u, v, **kwargs)
+        self._record_delta("delete", u, v, None)
+        return report
 
     def set_list(
         self, u: int, v: int, colors: Optional[Sequence[int]], **kwargs
     ) -> RepairReport:
         """Absorb a demand-list change (see :func:`repro.serving.repair.apply_set_list`)."""
         self._require_canonical("set_list")
-        return apply_set_list(self, u, v, colors, **kwargs)
+        report = apply_set_list(self, u, v, colors, **kwargs)
+        self._record_delta("set_list", u, v, colors)
+        return report
+
+    def _record_delta(self, op: str, u: int, v: int, colors) -> None:
+        """Queue a journal record for a just-absorbed delta (when tracking)."""
+        if self._journal_tracking:
+            self._pending_deltas.append(delta_record(self.epoch, op, u, v, colors))
+
+    # ---------------------------------------------------------------- rebase
+    def rebase(self) -> int:
+        """Fold the graph overlay into a fresh CSR base; return entries folded.
+
+        Epoch-preserving: the edge set, the coloring and every per-epoch
+        cache (result cache entries, :class:`UsedColorMasks`) stay
+        valid — a rebase is maintenance, not a delta, and is therefore
+        never journaled (replay rebuilds its own overlay and may rebase
+        on its own schedule without affecting the replayed state).
+        """
+        folded = self.graph.overlay_size
+        if folded:
+            self.graph.rebase()
+        return folded
+
+    def maybe_rebase(self, policy: Optional[RebasePolicy]) -> int:
+        """Rebase iff ``policy`` says the overlay has outgrown the base.
+
+        Returns the overlay entries folded (0 when no rebase happened).
+        """
+        if policy is not None and policy.should_rebase(self.graph):
+            return self.rebase()
+        return 0
 
     def _require_canonical(self, op: str) -> None:
         if not self.canonical:
@@ -321,17 +420,90 @@ class ColoringArtifact:
         artifact._epoch_base = int(payload.get("epoch", 0))
         return artifact
 
-    def save(self, path: str) -> None:
-        """Write the artifact as compact JSON to ``path``."""
-        with open(path, "w", encoding="utf-8") as handle:
+    def save(self, path: str, *, journal: bool = False, fsync: bool = False) -> None:
+        """Persist the artifact at ``path``.
+
+        ``journal=False`` (the default) writes the full snapshot: the
+        artifact JSON is rewritten atomically (temp file + rename, the
+        result store's ``compact`` idiom) and a now-superseded
+        ``<path>.journal`` is deleted — everything it recorded is baked
+        into the new base.
+
+        ``journal=True`` appends the deltas absorbed since the last save
+        to ``<path>.journal`` instead — O(deltas) disk work instead of
+        O(m), the long-lived daemon's per-delta durability path.  It
+        requires the artifact JSON to exist (first saves are full saves)
+        and delta tracking to be on, which :meth:`load` and every full
+        :meth:`save` arm automatically.
+        """
+        if journal:
+            if not self._journal_tracking:
+                raise RepairError(
+                    "journal save needs delta tracking: load() the artifact or "
+                    "full-save it once first"
+                )
+            if not os.path.exists(path):
+                raise RepairError(
+                    f"journal save without a base artifact at {path}; "
+                    "full-save first"
+                )
+            DeltaJournal(journal_path(path), fsync=fsync).append(self._pending_deltas)
+            self._pending_deltas = []
+            return
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
             json.dump(self.to_json(), handle, separators=(",", ":"))
             handle.write("\n")
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+        DeltaJournal(journal_path(path)).clear()
+        self._journal_tracking = True
+        self._pending_deltas = []
 
     @classmethod
     def load(cls, path: str) -> "ColoringArtifact":
-        """Read an artifact written by :meth:`save`."""
+        """Read an artifact written by :meth:`save`, replaying its journal.
+
+        When ``<path>.journal`` exists, every record above the base
+        JSON's epoch is re-absorbed in order (records the base already
+        folded in are skipped), so the loaded artifact lands on the
+        exact state of the last acknowledged delta — bit-identical,
+        because each replayed delta repairs toward the same canonical
+        fixed point the original session maintained.  A torn trailing
+        record (interrupted append) is skipped by the journal layer; an
+        epoch that fails to line up raises :class:`RepairError`.
+        """
         with open(path, "r", encoding="utf-8") as handle:
-            return cls.from_json(json.load(handle))
+            artifact = cls.from_json(json.load(handle))
+        artifact._journal_tracking = True
+        journal = DeltaJournal(journal_path(path))
+        if journal.exists():
+            for record in journal.records():
+                epoch = int(record["epoch"])
+                if epoch <= artifact.epoch:
+                    continue  # already folded into the base JSON
+                op = record["op"]
+                u, v = int(record["u"]), int(record["v"])
+                if op == "insert":
+                    artifact.insert(u, v)
+                elif op == "delete":
+                    artifact.delete(u, v)
+                elif op == "set_list":
+                    artifact.set_list(u, v, record.get("colors"))
+                else:
+                    raise RepairError(f"journal record with unknown op {op!r}")
+                if artifact.epoch != epoch:
+                    raise RepairError(
+                        f"journal replay drifted: record epoch {epoch}, "
+                        f"artifact epoch {artifact.epoch}"
+                    )
+            # Replay re-queued the records it applied; they are already
+            # durable in the journal, so a later journal save must not
+            # re-append them.
+            artifact._pending_deltas = []
+        return artifact
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -1,0 +1,332 @@
+"""Long-lived serving daemon: a socket batch endpoint over one artifact.
+
+``python -m repro serve --listen`` turns the serving plane into a
+process that outlives any single batch: a stdlib
+:class:`socketserver.TCPServer` fronting one
+:class:`~repro.serving.session.ServingSession` over a loaded
+:class:`~repro.serving.artifact.ColoringArtifact`.
+
+**Protocol** — newline-delimited JSON, lockstep per connection: each
+request line is answered with exactly one response line (the
+:meth:`ServingSession.query` response, canonical key order), in order.
+Any number of sequential connections may come and go; the server is
+single-threaded by design, so requests are globally serialized and the
+response stream is bit-identical to an in-process session serving the
+same request sequence (pinned by the ``serving_daemon`` scenario, E13).
+One extra op exists only on the wire: ``{"op": "shutdown"}`` is
+acknowledged and then gracefully stops the daemon.
+
+**Durability** — with journaling on (the default), every absorbed delta
+is appended to the artifact's on-disk journal *before* its response is
+written: an acknowledged delta is a durable delta.  A SIGKILLed daemon
+therefore loses nothing it acknowledged — restarting replays the journal
+(:meth:`ColoringArtifact.load`) and resumes bit-identically.  Graceful
+shutdown (the ``shutdown`` op, or SIGTERM/SIGINT under the CLI) compacts
+the journal into a fresh full artifact JSON on the way out.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import socket
+import socketserver
+import threading
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from repro.serving.artifact import ColoringArtifact
+from repro.serving.journal import DeltaJournal, journal_path
+from repro.serving.session import DELTA_OPS, ServingSession
+
+#: Default bind address; port 0 lets the OS pick a free port.
+DEFAULT_LISTEN = "127.0.0.1:0"
+
+
+def parse_address(listen: str) -> Tuple[str, int]:
+    """Split ``host:port`` (or bare ``:port`` / ``port``) into a pair."""
+    host, _, port = listen.rpartition(":")
+    if not port.isdigit():
+        raise ValueError(f"listen address {listen!r} is not HOST:PORT")
+    return host or "127.0.0.1", int(port)
+
+
+class _Handler(socketserver.StreamRequestHandler):
+    """One connection: JSON lines in, JSON lines out, lockstep."""
+
+    def handle(self) -> None:  # pragma: no cover - exercised via sockets
+        daemon: "ColoringDaemon" = self.server.daemon  # type: ignore[attr-defined]
+        for raw in self.rfile:
+            try:
+                line = raw.decode("utf-8").strip()
+            except UnicodeDecodeError:
+                line = ""
+            if not line:
+                continue
+            response = daemon.handle_line(line)
+            self.wfile.write(
+                (json.dumps(response, sort_keys=True) + "\n").encode("utf-8")
+            )
+            self.wfile.flush()
+            if response.get("op") == "shutdown" and response.get("ok"):
+                break
+
+
+class ColoringDaemon:
+    """The serving loop: artifact + session + socket server + journal.
+
+    ``journal=True`` (default) write-throughs every absorbed delta to
+    ``<artifact>.journal`` before acknowledging it; ``fsync=True``
+    additionally survives OS death, mirroring the result store's
+    durability knob.  :meth:`stop` with ``compact=True`` (graceful
+    shutdown) folds the journal into the artifact JSON; ``compact=False``
+    abandons the process state, leaving the journal for the next
+    :meth:`ColoringArtifact.load` to replay — the crash path, minus the
+    crash.
+    """
+
+    def __init__(
+        self,
+        artifact_path: str,
+        *,
+        listen: str = DEFAULT_LISTEN,
+        journal: bool = True,
+        fsync: bool = False,
+        cache_size: int = 1024,
+        repair_path: str = "auto",
+        radius_limit: Optional[int] = None,
+        rebase_policy="auto",
+    ) -> None:
+        self.artifact_path = artifact_path
+        self.journal = journal
+        self.fsync = fsync
+        self.host, self.port = parse_address(listen)
+        artifact = ColoringArtifact.load(artifact_path)
+        self.session = ServingSession(
+            artifact,
+            cache_size=cache_size,
+            repair_path=repair_path,
+            radius_limit=radius_limit,
+            rebase_policy=rebase_policy,
+        )
+        self._server: Optional[socketserver.TCPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._shutdown = threading.Event()
+        self.requests_served = 0
+
+    # --------------------------------------------------------------- serving
+    def handle_line(self, line: str) -> Dict[str, object]:
+        """Answer one protocol line (shared by the socket handler and tests)."""
+        try:
+            request = json.loads(line)
+        except json.JSONDecodeError as exc:
+            return {"ok": False, "op": None, "error": f"malformed request: {exc}"}
+        if not isinstance(request, Mapping):
+            return {"ok": False, "op": None, "error": "request must be a JSON object"}
+        if request.get("op") == "shutdown":
+            self.requests_served += 1
+            self._shutdown.set()
+            return {"ok": True, "op": "shutdown"}
+        response = self.session.query(request)
+        if self.journal and response.get("ok") and response.get("op") in DELTA_OPS:
+            # Durability before acknowledgment: once the caller sees the
+            # response, the delta survives any kill.
+            self.session.artifact.save(
+                self.artifact_path, journal=True, fsync=self.fsync
+            )
+        self.requests_served += 1
+        return response
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> Tuple[str, int]:
+        """Bind and serve in a background thread; return (host, port)."""
+        if self._server is not None:
+            raise RuntimeError("daemon already started")
+        socketserver.TCPServer.allow_reuse_address = True
+        self._server = socketserver.TCPServer((self.host, self.port), _Handler)
+        self._server.daemon = self  # type: ignore[attr-defined]
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            daemon=True,
+        )
+        self._thread.start()
+        return self.host, self.port
+
+    def request_shutdown(self) -> None:
+        """Ask the daemon to stop (signal handlers and tests call this)."""
+        self._shutdown.set()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until a shutdown was requested (op or signal)."""
+        return self._shutdown.wait(timeout)
+
+    def stop(self, compact: bool = True) -> int:
+        """Stop serving; optionally compact the journal.  Returns records folded.
+
+        ``compact=True`` is the graceful path: the in-memory artifact
+        (which already contains every journaled delta) is full-saved,
+        folding and deleting the journal.  ``compact=False`` leaves the
+        on-disk base + journal pair untouched for the next load.
+        """
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        folded = 0
+        if compact:
+            journal = DeltaJournal(journal_path(self.artifact_path))
+            folded = len(journal.records()) if journal.exists() else 0
+            self.session.artifact.save(self.artifact_path, fsync=self.fsync)
+        return folded
+
+
+def run_daemon(
+    artifact_path: str,
+    listen: str = DEFAULT_LISTEN,
+    *,
+    journal: bool = True,
+    fsync: bool = False,
+    cache_size: int = 1024,
+    repair_path: str = "auto",
+    radius_limit: Optional[int] = None,
+    rebase_policy="auto",
+    log=print,
+) -> int:
+    """The ``repro serve --listen`` loop: serve until shutdown, then compact.
+
+    Prints ``listening on HOST:PORT`` (drivers parse it to discover the
+    OS-assigned port) and installs SIGTERM/SIGINT handlers that trigger
+    the same graceful shutdown as the ``shutdown`` op.  SIGKILL, by
+    definition, skips compaction — that is what the journal is for.
+    """
+    daemon = ColoringDaemon(
+        artifact_path,
+        listen=listen,
+        journal=journal,
+        fsync=fsync,
+        cache_size=cache_size,
+        repair_path=repair_path,
+        radius_limit=radius_limit,
+        rebase_policy=rebase_policy,
+    )
+    host, port = daemon.start()
+    if log:
+        log(f"listening on {host}:{port}")
+    previous = {}
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        previous[signum] = signal.signal(
+            signum, lambda _s, _f: daemon.request_shutdown()
+        )
+    try:
+        daemon.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+        folded = daemon.stop(compact=True)
+    if log:
+        stats = daemon.session.cache_stats()
+        log(
+            f"shutdown: {daemon.requests_served} requests served, "
+            f"{stats['deltas_applied']} deltas, {folded} journal records compacted"
+        )
+    return 0
+
+
+class DaemonClient:
+    """A lockstep client for the daemon protocol (tests, probes, drivers)."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._rfile = self._sock.makefile("r", encoding="utf-8")
+        self._wfile = self._sock.makefile("w", encoding="utf-8")
+
+    def request(self, request: Mapping) -> Dict[str, object]:
+        """Send one request and block for its response line."""
+        self._wfile.write(json.dumps(dict(request), sort_keys=True) + "\n")
+        self._wfile.flush()
+        line = self._rfile.readline()
+        if not line:
+            raise ConnectionError("daemon closed the connection mid-request")
+        return json.loads(line)
+
+    def request_many(self, requests: List[Mapping]) -> List[Dict[str, object]]:
+        """Lockstep batch: each request is acknowledged before the next."""
+        return [self.request(request) for request in requests]
+
+    def shutdown(self) -> Dict[str, object]:
+        """Gracefully stop the daemon (it compacts its journal and exits)."""
+        return self.request({"op": "shutdown"})
+
+    def close(self) -> None:
+        for stream in (self._rfile, self._wfile):
+            try:
+                stream.close()
+            except OSError:  # pragma: no cover - teardown best-effort
+                pass
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - teardown best-effort
+            pass
+
+    def __enter__(self) -> "DaemonClient":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+
+def spawn_daemon_process(
+    artifact_path: str,
+    *,
+    listen: str = DEFAULT_LISTEN,
+    journal: bool = True,
+    repair_path: str = "auto",
+    extra_args: Optional[List[str]] = None,
+    timeout: float = 30.0,
+):
+    """Start ``python -m repro serve --listen`` as a subprocess.
+
+    Returns ``(process, host, port)`` once the daemon reports its bound
+    address.  Used by the E13 runner, the chaos probe and the CLI tests —
+    the SIGKILL experiments need a real process to kill.
+    """
+    import subprocess
+    import sys
+    import time
+
+    import repro
+
+    src_dir = os.path.dirname(os.path.dirname(os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = src_dir + (os.pathsep + existing if existing else "")
+    command = [sys.executable, "-m", "repro", "serve", "--listen", listen,
+               "--artifact", artifact_path, "--repair-path", repair_path]
+    if not journal:
+        command.append("--no-journal")
+    command.extend(extra_args or [])
+    process = subprocess.Popen(
+        command,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        bufsize=1,
+        env=env,
+    )
+    deadline = time.monotonic() + timeout
+    line = ""
+    while time.monotonic() < deadline:
+        line = process.stdout.readline()
+        if line.startswith("listening on "):
+            address = line.split("listening on ", 1)[1].strip()
+            host, port = parse_address(address)
+            return process, host, port
+        if not line and process.poll() is not None:
+            break
+    process.kill()
+    raise RuntimeError(f"daemon failed to start (last output: {line!r})")

@@ -1,0 +1,216 @@
+"""Append-only delta journal: artifact durability without rewrites.
+
+A :class:`ColoringArtifact` persisted as JSON is a *full* snapshot —
+rewriting it on every absorbed delta is O(m) disk work per O(1) change,
+which is exactly the cost profile a long-lived serving daemon cannot
+afford.  The journal is the append-only alternative, the serving-plane
+analogue of the runtime's JSONL result store (:mod:`repro.runtime.store`):
+
+* the journal lives **next to** the artifact JSON, at
+  ``<artifact>.journal``;
+* line 1 is a header ``{"format": "repro-coloring-journal/v1"}``;
+* every later line is one absorbed delta, in application order::
+
+      {"epoch": 12, "op": "insert",   "u": 3, "v": 9,  "colors": null}
+      {"epoch": 13, "op": "delete",   "u": 0, "v": 4,  "colors": null}
+      {"epoch": 14, "op": "set_list", "u": 1, "v": 7,  "colors": [2, 4, 6]}
+
+  ``epoch`` is the artifact epoch *after* the delta was absorbed —
+  strictly increasing, which is what makes replay verifiable and
+  re-application idempotent (records at or below the base artifact's
+  epoch are skipped).
+
+**Durability contract.**  Appends flush per record (optionally fsync),
+and — reusing the result store's torn-write healing idiom — an append
+first truncates any torn trailing line left by an interrupted writer,
+while reads simply skip a torn tail (with a warning naming the byte
+offset).  A SIGKILLed daemon therefore loses at most the one delta it
+was mid-append on, and every delta it *acknowledged* is recoverable:
+``ColoringArtifact.load`` replays the journal over the base JSON and
+lands bit-identically on the pre-kill state, because every replayed
+delta repairs toward the same canonical fixed point the live session
+maintained (see :mod:`repro.serving.repair`).
+
+:func:`compact_artifact` folds the journal back into the artifact JSON
+(the explicit rewrite, mirroring ``scenarios compact`` on the result
+store); the daemon runs it on graceful shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+from typing import Dict, List
+
+logger = logging.getLogger(__name__)
+
+#: On-disk journal format tag; bump on breaking layout changes.
+JOURNAL_FORMAT = "repro-coloring-journal/v1"
+
+#: Fields of one delta record, in canonical order.
+RECORD_FIELDS = ("epoch", "op", "u", "v", "colors")
+
+
+def journal_path(artifact_path: str) -> str:
+    """The journal's location next to an artifact JSON file."""
+    return artifact_path + ".journal"
+
+
+def delta_record(epoch: int, op: str, u: int, v: int, colors=None) -> Dict[str, object]:
+    """One canonical journal record for an absorbed delta."""
+    return {
+        "epoch": int(epoch),
+        "op": str(op),
+        "u": int(u),
+        "v": int(v),
+        "colors": None if colors is None else [int(c) for c in colors],
+    }
+
+
+class JournalError(ValueError):
+    """The journal is unreadable or inconsistent with its artifact."""
+
+
+class DeltaJournal:
+    """An append-only JSONL file of absorbed deltas next to an artifact.
+
+    The file layer only: records in, records out, torn tails healed.
+    Interpretation (replay, epoch matching) belongs to
+    :meth:`repro.serving.artifact.ColoringArtifact.load`.
+    """
+
+    def __init__(self, path: str, fsync: bool = False) -> None:
+        self.path = path
+        self.fsync = fsync
+
+    def exists(self) -> bool:
+        return os.path.exists(self.path)
+
+    def clear(self) -> None:
+        """Delete the journal file (after a full save folded it in)."""
+        if os.path.exists(self.path):
+            os.remove(self.path)
+
+    # ------------------------------------------------------------- appending
+    def _heal_torn_tail(self) -> None:
+        """Truncate a torn trailing line before appending after it.
+
+        Same idiom as ``ResultStore._heal_torn_tail``: an interrupted
+        append leaves a fragment with no newline; writing new records
+        after it would corrupt the middle of the file, so the fragment
+        is dropped (the delta it belonged to was never acknowledged).
+        """
+        if not os.path.exists(self.path):
+            return
+        size = os.path.getsize(self.path)
+        if size == 0:
+            return
+        with open(self.path, "rb+") as handle:
+            handle.seek(-1, os.SEEK_END)
+            if handle.read(1) == b"\n":
+                return
+            handle.seek(0)
+            content = handle.read()
+            keep = content.rfind(b"\n") + 1
+            handle.truncate(keep)
+        logger.warning(
+            "%s: healed torn trailing record at byte offset %d (%d bytes dropped)",
+            self.path,
+            keep,
+            size - keep,
+        )
+
+    def append(self, records: List[Dict[str, object]]) -> None:
+        """Append delta records (creating the file, header first, if new)."""
+        if not records:
+            return
+        directory = os.path.dirname(self.path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+        self._heal_torn_tail()
+        with open(self.path, "a", encoding="utf-8") as handle:
+            if fresh:
+                handle.write(json.dumps({"format": JOURNAL_FORMAT}) + "\n")
+            for record in records:
+                row = {field: record.get(field) for field in RECORD_FIELDS}
+                handle.write(json.dumps(row, sort_keys=True, separators=(",", ":")))
+                handle.write("\n")
+            handle.flush()
+            if self.fsync:
+                os.fsync(handle.fileno())
+
+    # --------------------------------------------------------------- reading
+    def records(self) -> List[Dict[str, object]]:
+        """All complete delta records, in file order.
+
+        A torn trailing line is skipped (the interrupted append never
+        acknowledged); a corrupt line anywhere else, a missing or wrong
+        header, or non-increasing epochs raise :class:`JournalError` —
+        those mean the file was edited, not interrupted.
+        """
+        if not self.exists():
+            return []
+        with open(self.path, "r", encoding="utf-8") as handle:
+            lines = handle.readlines()
+        records: List[Dict[str, object]] = []
+        header_seen = False
+        last_epoch = None
+        for lineno, line in enumerate(lines):
+            stripped = line.strip()
+            if not stripped:
+                continue
+            torn = lineno == len(lines) - 1 and not line.endswith("\n")
+            try:
+                row = json.loads(stripped)
+            except json.JSONDecodeError:
+                if torn:
+                    logger.warning(
+                        "%s: skipping torn trailing record (line %d); the "
+                        "delta it carried was never acknowledged",
+                        self.path,
+                        lineno + 1,
+                    )
+                    break
+                raise JournalError(
+                    f"{self.path}:{lineno + 1}: corrupt record in the middle "
+                    "of the journal"
+                ) from None
+            if not header_seen:
+                fmt = row.get("format") if isinstance(row, dict) else None
+                if fmt != JOURNAL_FORMAT:
+                    raise JournalError(
+                        f"{self.path}: unsupported journal format {fmt!r}"
+                    )
+                header_seen = True
+                continue
+            if not isinstance(row, dict) or row.get("op") is None:
+                raise JournalError(f"{self.path}:{lineno + 1}: malformed delta record")
+            epoch = int(row.get("epoch", -1))
+            if last_epoch is not None and epoch <= last_epoch:
+                raise JournalError(
+                    f"{self.path}:{lineno + 1}: non-increasing epoch "
+                    f"{epoch} after {last_epoch}"
+                )
+            last_epoch = epoch
+            records.append(row)
+        return records
+
+
+def compact_artifact(path: str, fsync: bool = False) -> int:
+    """Fold ``<path>.journal`` into the artifact JSON; return records folded.
+
+    Loads the artifact (which replays the journal), rewrites the full
+    JSON atomically, and deletes the journal — the serving-plane
+    ``compact``, run by the daemon on graceful shutdown and by
+    ``python -m repro serve --compact``.  A journal-less artifact
+    compacts to itself (returns 0).
+    """
+    from repro.serving.artifact import ColoringArtifact
+
+    journal = DeltaJournal(journal_path(path), fsync=fsync)
+    folded = len(journal.records()) if journal.exists() else 0
+    artifact = ColoringArtifact.load(path)
+    artifact.save(path, fsync=fsync)
+    return folded

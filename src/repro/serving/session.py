@@ -11,9 +11,10 @@ op                fields                                 answer payload
 ``node_palette``  ``v``                                  ``colors``, ``degree``
 ``schedule``      ``v``                                  ``slots`` ([color, neighbor])
 ``stats``         —                                      artifact summary
-``insert``        ``u``, ``v``                           repair report
-``delete``        ``u``, ``v``                           repair report
-``set_list``      ``u``, ``v``, ``colors`` (or null)     repair report
+``insert``        ``u``, ``v``                           ``epoch``
+``delete``        ``u``, ``v``                           ``epoch``
+``set_list``      ``u``, ``v``, ``colors`` (or null)     ``epoch``
+``rebase``        —                                      ``epoch``
 ================  =====================================  ==================
 
 Read ops are answered through a keyed LRU cache.  Keys reuse the
@@ -21,11 +22,26 @@ runtime's content-key recipe (:func:`repro.runtime.spec.canonical_json`
 + truncated sha256, the exact idiom of ``spec.cache_key``) over
 ``{"epoch": artifact.epoch, "request": request}`` — folding the epoch in
 means a delta never serves a stale answer: old-epoch entries simply stop
-being addressable and age out of the LRU.  Delta ops are never cached
-(they are mutations) and their *reports* carry path-dependent cost
-fields, so :meth:`ServingSession.serve_batch` keeps reports out of the
-response stream's deterministic core (see the ``serving_churn`` runner,
-which digests responses across ``repair_path`` values).
+being addressable and age out of the LRU.  Cached entries are isolated
+by **defensive deep copies** on both put and hit: a caller mutating a
+response it received can never corrupt the answer a later identical
+request sees.  Delta ops are never cached (they are mutations) and their
+*reports* carry path-dependent cost fields, so
+:meth:`ServingSession.serve_batch` keeps reports out of the response
+stream's deterministic core (see the ``serving_churn`` runner, which
+digests responses across ``repair_path`` values).
+
+Long-lived sessions stay bounded: :attr:`ServingSession.reports` is a
+ring buffer of the most recent ``reports_cap`` repair reports (older
+ones age out), while :meth:`cache_stats` carries the lossless totals —
+``deltas_applied``, ``touched``, ``recolored``, ``fallbacks``,
+``rebases``, ``overlay_folded`` — so observability never requires
+unbounded memory.  The ``rebase`` op (and the automatic
+:class:`~repro.serving.artifact.RebasePolicy`) folds the delta overlay
+into a fresh CSR base; it is epoch-preserving, so its response carries
+nothing policy-dependent and rebasing/never-rebasing twins answer
+identical streams (``stats`` is the one deliberately policy-dependent
+op: ``overlay_size`` / ``base_edges`` are observability fields).
 
 Every response carries ``ok`` — failed requests (absent edge, exhausted
 demand list, malformed op) answer ``{"ok": False, "error": ...}``
@@ -35,18 +51,24 @@ philosophy: one bad cell never kills the sweep.
 
 from __future__ import annotations
 
+import copy
 import hashlib
-from collections import OrderedDict
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Mapping, Optional, Sequence
 
 from repro.runtime.spec import canonical_json
-from repro.serving.artifact import ColoringArtifact
+from repro.serving.artifact import ColoringArtifact, resolve_rebase_policy
 from repro.serving.repair import RepairError, resolve_repair_path
 
 #: Read-only ops eligible for the result cache.
 READ_OPS = ("color", "node_palette", "schedule", "stats")
 #: Mutating ops routed to the repair engine.
 DELTA_OPS = ("insert", "delete", "set_list")
+#: Maintenance ops: never cached, never journaled, epoch-preserving.
+CONTROL_OPS = ("rebase",)
+
+#: Default size of the per-session repair-report ring buffer.
+DEFAULT_REPORTS_CAP = 256
 
 
 def result_cache_key(epoch: int, request: Mapping) -> str:
@@ -78,23 +100,42 @@ class ServingSession:
         cache_size: int = 1024,
         repair_path: str = "auto",
         radius_limit: Optional[int] = None,
+        rebase_policy="auto",
+        reports_cap: int = DEFAULT_REPORTS_CAP,
     ) -> None:
         if cache_size < 0:
             raise ValueError("cache_size must be non-negative")
+        if reports_cap < 0:
+            raise ValueError("reports_cap must be non-negative")
         self.artifact = artifact
         self.repair_path = resolve_repair_path(repair_path)
         self.radius_limit = radius_limit
+        self.rebase_policy = resolve_rebase_policy(rebase_policy)
         self._cache: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self._cache_size = cache_size
         self._hits = 0
         self._misses = 0
         self._evictions = 0
         self._deltas_applied = 0
-        self.reports: List[Dict[str, object]] = []
+        self._touched_total = 0
+        self._recolored_total = 0
+        self._fallbacks_total = 0
+        self._rebases = 0
+        self._overlay_folded = 0
+        #: Ring buffer of the most recent repair reports (observability
+        #: only; lossless totals live in :meth:`cache_stats`).
+        self.reports: Deque[Dict[str, object]] = deque(maxlen=reports_cap)
 
     # ----------------------------------------------------------------- cache
     def cache_stats(self) -> Dict[str, int]:
-        """Hit/miss/eviction counters plus current size."""
+        """Observability counters: cache traffic, delta totals, rebases.
+
+        The delta totals (``deltas_applied`` / ``touched`` /
+        ``recolored`` / ``fallbacks``) are lossless even after the
+        :attr:`reports` ring buffer has aged individual reports out —
+        the bounded-memory observability contract for long-lived
+        sessions.
+        """
         return {
             "hits": self._hits,
             "misses": self._misses,
@@ -102,6 +143,13 @@ class ServingSession:
             "size": len(self._cache),
             "capacity": self._cache_size,
             "deltas_applied": self._deltas_applied,
+            "touched": self._touched_total,
+            "recolored": self._recolored_total,
+            "fallbacks": self._fallbacks_total,
+            "rebases": self._rebases,
+            "overlay_folded": self._overlay_folded,
+            "reports_retained": len(self.reports),
+            "reports_cap": self.reports.maxlen,
         }
 
     def _cache_get(self, key: str) -> Optional[Dict[str, object]]:
@@ -111,12 +159,14 @@ class ServingSession:
             return None
         self._hits += 1
         self._cache.move_to_end(key)
-        return cached
+        # Defensive copy: the cached entry is private to the cache, so a
+        # caller mutating its answer cannot corrupt later hits.
+        return copy.deepcopy(cached)
 
     def _cache_put(self, key: str, response: Dict[str, object]) -> None:
         if self._cache_size == 0:
             return
-        self._cache[key] = response
+        self._cache[key] = copy.deepcopy(response)
         self._cache.move_to_end(key)
         while len(self._cache) > self._cache_size:
             self._cache.popitem(last=False)
@@ -126,8 +176,9 @@ class ServingSession:
     def query(self, request: Mapping) -> Dict[str, object]:
         """Answer one request; never raises on a bad request.
 
-        Read answers are shared through the cache; the returned dict is
-        the cached object itself, so callers must treat it as frozen.
+        Every returned dict is the caller's to keep: cached answers are
+        deep-copied on put and on hit, so mutating a response never
+        corrupts the cache.
         """
         op = request.get("op")
         try:
@@ -141,6 +192,13 @@ class ServingSession:
                 return response
             if op in DELTA_OPS:
                 return self._apply_delta(op, request)
+            if op == "rebase":
+                self._overlay_folded += self.artifact.rebase()
+                self._rebases += 1
+                # Epoch-preserving and policy-independent: the response
+                # must match on twins with different rebase histories,
+                # so folded counts stay in ``cache_stats``.
+                return {"ok": True, "op": op, "epoch": self.artifact.epoch}
             raise RepairError(f"unknown op {op!r}")
         except (RepairError, ValueError, KeyError, TypeError) as exc:
             return {"ok": False, "op": op, "error": str(exc) or repr(exc)}
@@ -185,7 +243,15 @@ class ServingSession:
             colors = request.get("colors")
             report = artifact.set_list(u, v, colors, **kwargs)
         self._deltas_applied += 1
+        self._touched_total += report.touched
+        self._recolored_total += report.recolored
+        self._fallbacks_total += int(report.fallback)
         self.reports.append(report.as_dict())
+        folded = artifact.maybe_rebase(self.rebase_policy)
+        if folded:
+            self._rebases += 1
+            self._overlay_folded += folded
         # ``epoch`` is path-independent (one bump per absorbed delta);
-        # the cost fields live only in ``session.reports``.
+        # the cost fields live only in ``session.reports`` and the
+        # ``cache_stats`` totals.
         return {"ok": True, "op": op, "epoch": report.epoch}

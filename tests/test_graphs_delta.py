@@ -120,6 +120,56 @@ class TestSnapshots:
         dg.insert_edge(1, 2)
         assert dg.has_edge(1, 2)
 
+    def test_rebase_replaces_base_and_reads_are_transparent(self):
+        # The holder contract: ``base`` is a *new* object after a rebase
+        # (anyone who cached the old one is stale), while every read on
+        # the DeltaGraph itself is rebase-transparent.
+        dg = DeltaGraph(generators.random_regular_graph(20, 4, seed=3))
+        old_base = dg.base
+        if dg.has_edge(0, 11):
+            dg.delete_edge(0, 11)
+        else:
+            dg.insert_edge(0, 11)
+        reads_before = (
+            [dg.neighbors(v) for v in dg.nodes()],
+            [dg.degree(v) for v in dg.nodes()],
+            sorted(dg.edge_pairs()),
+            dg.num_edges,
+            dg.max_degree(),
+        )
+        dg.rebase()
+        assert dg.base is not old_base
+        reads_after = (
+            [dg.neighbors(v) for v in dg.nodes()],
+            [dg.degree(v) for v in dg.nodes()],
+            sorted(dg.edge_pairs()),
+            dg.num_edges,
+            dg.max_degree(),
+        )
+        assert reads_after == reads_before
+
+    def test_repeated_rebase_under_churn_matches_model(self):
+        base = generators.random_regular_graph(30, 4, seed=5)
+        dg = DeltaGraph(base)
+        model = {base.edge_endpoints(e) for e in base.edges()}
+        rng = random.Random(23)
+        n = base.num_nodes
+        for step in range(150):
+            u, v = rng.randrange(n), rng.randrange(n)
+            if u == v:
+                continue
+            key = (u, v) if u < v else (v, u)
+            if key in model:
+                dg.delete_edge(u, v)
+                model.discard(key)
+            else:
+                dg.insert_edge(u, v)
+                model.add(key)
+            if step % 10 == 9:
+                dg.rebase()
+                assert dg.overlay_size == 0
+            assert sorted(dg.edge_pairs()) == sorted(model)
+
 
 class TestRandomizedEquivalence:
     def test_matches_reference_model(self):

@@ -20,6 +20,7 @@ from repro.runtime.workloads import RUNNERS, CellContext
 from repro.serving import (
     DEFAULT_RADIUS_LIMIT,
     ColoringArtifact,
+    RebasePolicy,
     RepairError,
     ServingSession,
     artifact_from_coloring,
@@ -27,6 +28,7 @@ from repro.serving import (
     build_artifact,
     full_recompute,
     normalize_list,
+    resolve_rebase_policy,
     resolve_repair_path,
     result_cache_key,
 )
@@ -258,7 +260,8 @@ class TestServingSession:
         req = {"op": "node_palette", "v": 3}
         first = session.query(req)
         assert first["ok"] and session.cache_stats()["misses"] == 1
-        assert session.query(req) is first  # served from cache
+        hit = session.query(req)  # served from cache (as a defensive copy)
+        assert hit == first and hit is not first
         assert session.cache_stats()["hits"] == 1
         # a delta bumps the epoch: same request misses, answer may differ
         session.query({"op": "delete", "u": 3, "v": session.artifact.schedule(3)[0][1]})
@@ -325,6 +328,156 @@ class TestServingSession:
         assert isinstance(session, ServingSession)
         assert session.repair_path == "recompute"
         assert session.query({"op": "stats"})["ok"]
+
+    def test_mutating_a_response_cannot_corrupt_the_cache(self):
+        # Regression: query() used to hand back the cached dict itself,
+        # so a caller scribbling on its answer poisoned every later hit.
+        session = ServingSession(build_artifact(small_graph()))
+        req = {"op": "node_palette", "v": 3}
+        pristine = {k: (list(v) if isinstance(v, list) else v)
+                    for k, v in session.query(req).items()}
+        victim = session.query(req)  # cache hit
+        victim["colors"].append(999)
+        victim["ok"] = False
+        again = session.query(req)  # another hit: must be unscathed
+        assert again == pristine
+        # the put path is isolated too: mutate the *first* (miss) answer
+        other = {"op": "schedule", "v": 5}
+        first = session.query(other)
+        first["slots"].clear()
+        assert session.query(other)["slots"]  # cached copy kept its slots
+
+    def test_reports_ring_buffer_stays_bounded(self):
+        # Regression: session.reports grew one dict per delta forever.
+        graph = generators.cycle_graph(12)
+        session = ServingSession(
+            build_artifact(graph), reports_cap=16, rebase_policy=None
+        )
+        u, v = 0, 1
+        for _ in range(5000):  # 10^4 deltas: alternate delete/insert
+            assert session.query({"op": "delete", "u": u, "v": v})["ok"]
+            assert session.query({"op": "insert", "u": u, "v": v})["ok"]
+        stats = session.cache_stats()
+        assert len(session.reports) == 16  # bounded
+        assert stats["reports_retained"] == 16 and stats["reports_cap"] == 16
+        assert stats["deltas_applied"] == 10_000  # totals are lossless
+        assert stats["touched"] >= 10_000
+        assert session.artifact.epoch == 10_000
+        zero = ServingSession(build_artifact(graph), reports_cap=0)
+        zero.query({"op": "delete", "u": 0, "v": 1})
+        assert len(zero.reports) == 0
+        assert zero.cache_stats()["deltas_applied"] == 1
+        with pytest.raises(ValueError, match="reports_cap"):
+            ServingSession(build_artifact(graph), reports_cap=-1)
+
+
+# --------------------------------------------------------------------- rebase
+class TestRebasePolicy:
+    def test_resolve_rebase_policy(self):
+        assert resolve_rebase_policy(None) is None
+        assert resolve_rebase_policy("off") is None
+        assert resolve_rebase_policy("auto") == RebasePolicy()
+        custom = RebasePolicy(threshold=0.5, min_overlay=2)
+        assert resolve_rebase_policy(custom) is custom
+        with pytest.raises(ValueError, match="rebase_policy"):
+            resolve_rebase_policy("sometimes")
+        with pytest.raises(ValueError):
+            RebasePolicy(threshold=0.0)
+        with pytest.raises(ValueError):
+            RebasePolicy(min_overlay=0)
+
+    def test_rebase_op_is_epoch_preserving_and_policy_independent(self):
+        session = ServingSession(build_artifact(small_graph()), rebase_policy=None)
+        iu, iv = absent_pair(session.artifact.graph)
+        epoch = session.query({"op": "insert", "u": iu, "v": iv})["epoch"]
+        before = session.query({"op": "node_palette", "v": iu})
+        assert session.artifact.graph.overlay_size == 1
+        ack = session.query({"op": "rebase"})
+        assert ack == {"ok": True, "op": "rebase", "epoch": epoch}
+        assert session.artifact.graph.overlay_size == 0
+        assert session.query({"op": "node_palette", "v": iu}) == before
+        assert session.cache_stats()["rebases"] == 1
+        assert session.cache_stats()["overlay_folded"] == 1
+        assert session.artifact.verify()
+
+    def test_rebase_under_churn_twins_stay_identical(self):
+        # Randomized twin: a session that rebases every k deltas must
+        # answer the exact same stream as one that never rebases — and a
+        # third that auto-rebases on the overlay-ratio policy.
+        graph = generators.random_regular_graph(48, 4, seed=11)
+        rng = random.Random(20260808)
+        present = sorted(build_artifact(graph).colors)
+        present_set = set(present)
+        requests = []
+        for i in range(120):
+            if rng.random() < 0.5 and present:
+                idx = rng.randrange(len(present))
+                u, v = present[idx]
+                present[idx] = present[-1]
+                present.pop()
+                present_set.discard((u, v))
+                requests.append({"op": "delete", "u": u, "v": v})
+            else:
+                while True:
+                    u, v = rng.randrange(48), rng.randrange(48)
+                    key = (u, v) if u < v else (v, u)
+                    if u != v and key not in present_set:
+                        break
+                present.append(key)
+                present_set.add(key)
+                requests.append({"op": "insert", "u": key[0], "v": key[1]})
+            requests.append({"op": "node_palette", "v": rng.randrange(48)})
+            if i % 7 == 0 and present:
+                u, v = present[rng.randrange(len(present))]
+                requests.append({"op": "color", "u": u, "v": v})
+
+        never = ServingSession(build_artifact(graph), rebase_policy=None)
+        never_responses = never.serve_batch(requests)
+
+        every_k = ServingSession(build_artifact(graph), rebase_policy=None)
+        k_responses = []
+        for i, request in enumerate(requests):
+            k_responses.append(every_k.query(request))
+            if i % 9 == 8:
+                every_k.query({"op": "rebase"})
+
+        auto = ServingSession(
+            build_artifact(graph),
+            rebase_policy=RebasePolicy(threshold=0.05, min_overlay=4),
+        )
+        auto_responses = auto.serve_batch(requests)
+
+        assert k_responses == never_responses
+        assert auto_responses == never_responses
+        for session in (never, every_k, auto):
+            assert session.artifact.colors == never.artifact.colors
+            assert session.artifact.epoch == never.artifact.epoch
+            assert session.artifact.verify()
+        # The rebasing twins actually rebased, and the policy twin's
+        # overlay stayed bounded under sustained churn.
+        assert every_k.cache_stats()["rebases"] >= 10
+        assert auto.cache_stats()["rebases"] >= 1
+        policy = auto.rebase_policy
+        bound = max(
+            policy.min_overlay,
+            policy.threshold * auto.artifact.graph.base.num_edges,
+        )
+        assert auto.artifact.graph.overlay_size <= bound
+        # The never-rebasing twin is the leak the policy exists to stop.
+        assert never.artifact.graph.overlay_size > bound
+
+    def test_auto_policy_threshold_arithmetic(self):
+        graph = generators.cycle_graph(40)  # 40 base edges
+        dg = DeltaGraph(graph)
+        policy = RebasePolicy(threshold=0.25, min_overlay=8)
+        for i in range(7):
+            dg.delete_edge(i, i + 1)
+        assert not policy.should_rebase(dg)  # below min_overlay
+        dg.delete_edge(7, 8)
+        assert not policy.should_rebase(dg)  # 8 < 0.25 * 40 = 10
+        dg.delete_edge(8, 9)
+        dg.delete_edge(9, 10)
+        assert policy.should_rebase(dg)  # 10 >= 10
 
 
 # -------------------------------------------------------------------- persist
