@@ -33,7 +33,11 @@ Asserted afterwards:
    worker kills, retries and store healing left no trace in the data;
 5. the SIGKILLed daemon's journal replay reproduces the exact pre-kill
    artifact state, and the full cross-kill response stream is
-   bit-identical to the uninterrupted session.
+   bit-identical to the uninterrupted session;
+6. the observability trace sink shares the store's torn-tail contract:
+   a torn trailing span (a tracer killed mid-write) is skipped on read,
+   healed before the next append, and ``repro obs report`` still
+   renders over the healed file.
 
 Exit status 0 when all assertions hold.
 """
@@ -155,6 +159,38 @@ def daemon_kill_replay_probe(workdir: str) -> None:
     )
 
 
+def trace_sink_probe(workdir: str) -> None:
+    """Phase 6: a torn trailing span heals and the report still renders."""
+    from repro.obs import trace as obs_trace
+    from repro.obs.report import summarize
+
+    path = os.path.join(workdir, "chaos-trace.jsonl")
+    trc = obs_trace.configure(path)
+    with trc.span("runtime.cell.run", spec="chaos_probes", cell_index=0):
+        pass
+    trc.close()
+    with open(path, "a", encoding="utf-8") as handle:
+        handle.write('{"trace_id": "killed-mid-write", "span_id": "x"')  # no \n
+
+    events = obs_trace.read_events(path)
+    check(
+        [e["name"] for e in events] == ["runtime.cell.run"],
+        "torn trailing span skipped on read",
+    )
+
+    trc = obs_trace.configure(path)  # reopening heals the tail first
+    with trc.span("serving.delta", touched=2):
+        pass
+    trc.close()
+    obs_trace.reset()
+    summary = summarize(path)
+    check(summary["spans"] == 2, "trace sink healed before the next append")
+    check(
+        summary["repair_radius"] == {2: 1},
+        "obs report renders over the healed trace",
+    )
+
+
 def main() -> int:
     workdir = tempfile.mkdtemp(prefix="chaos-check-")
     try:
@@ -221,6 +257,9 @@ def main() -> int:
 
         # --- phase 5: daemon SIGKILL + journal replay ------------------
         daemon_kill_replay_probe(workdir)
+
+        # --- phase 6: torn trace sink heals ----------------------------
+        trace_sink_probe(workdir)
 
         print("chaos check passed")
         return 0

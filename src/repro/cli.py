@@ -27,6 +27,11 @@ delta requests against a saved artifact::
 
     python -m repro serve --listen 127.0.0.1:0 --artifact art.json
     python -m repro serve --compact --artifact art.json
+
+The ``obs`` subcommand family renders traces from the observability
+plane (:mod:`repro.obs`) — enable with ``REPRO_TRACE=1``, then::
+
+    python -m repro obs report benchmarks/results/trace
 """
 
 from __future__ import annotations
@@ -263,6 +268,10 @@ def main(argv: Optional[list] = None) -> int:
         return serve_main(argv[1:])
     if argv and argv[0] == "query":
         return query_main(argv[1:])
+    if argv and argv[0] == "obs":
+        from repro.obs.cli import obs_main
+
+        return obs_main(argv[1:])
 
     parser = argparse.ArgumentParser(description="Distributed edge coloring reproduction")
     parser.add_argument(

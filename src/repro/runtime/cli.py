@@ -91,7 +91,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
-#: Columns of the machine-readable report formats, in order.
+#: Columns of the machine-readable report formats, in order.  The
+#: ``*_s`` columns are the setup/solve/verify phase split runners record
+#: in ``timing["phases"]`` (empty for runners without one) — timing
+#: fields, so present in reports but never in diffs.
 _REPORT_COLUMNS = (
     "spec",
     "cell_index",
@@ -103,6 +106,9 @@ _REPORT_COLUMNS = (
     "messages",
     "verified",
     "wall_seconds",
+    "setup_s",
+    "solve_s",
+    "verify_s",
 )
 
 
@@ -115,12 +121,16 @@ def _report_records(rows):
     ):
         result = row.get("result", {}) or {}
         error = row.get("error", {}) or {}
+        phases = row.get("timing", {}).get("phases", {}) or {}
         record = {
             "spec": row.get("spec", "?"),
             "cell_index": row.get("cell_index"),
             "status": "error" if is_error_row(row) else "ok",
             "verified": result.get("verified"),
             "wall_seconds": row.get("timing", {}).get("wall_seconds"),
+            "setup_s": phases.get("setup"),
+            "solve_s": phases.get("solve"),
+            "verify_s": phases.get("verify"),
         }
         for field in ("n", "delta", "colors", "rounds", "messages"):
             record[field] = result.get(field)
@@ -172,8 +182,16 @@ def _render_report_table(rows) -> None:
             f"total wall {sum(w for w in walls if w):.3f}s"
         )
         for row in sorted(spec_rows, key=lambda r: (r.get("cell_index", -1), r.get("key", ""))):
-            wall = row.get("timing", {}).get("wall_seconds")
+            timing = row.get("timing", {})
+            wall = timing.get("wall_seconds")
             wall_note = f"  {wall}s" if wall is not None else ""
+            phases = timing.get("phases") or {}
+            if phases:
+                split = "/".join(
+                    f"{phase}={phases[phase]}" for phase in ("setup", "solve", "verify")
+                    if phase in phases
+                )
+                wall_note += f"  ({split})"
             if is_error_row(row):
                 error = row.get("error", {})
                 print(

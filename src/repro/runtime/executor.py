@@ -53,12 +53,13 @@ from __future__ import annotations
 
 import multiprocessing
 import multiprocessing.connection
-import os
 import time
 import traceback
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs import get_registry, tracer
+from repro.obs import trace as obs_trace
 from repro.runtime import workloads
 from repro.runtime.spec import Knobs, RetryPolicy, ScenarioSpec, cache_key, cell_seed
 from repro.runtime.store import ResultStore, is_error_row
@@ -102,7 +103,16 @@ def _build_payload(spec: ScenarioSpec, index: int, cell, knobs: Knobs) -> Dict[s
 
 
 def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
-    """Run one cell payload and build its result row (worker entry point)."""
+    """Run one cell payload and build its result row (worker entry point).
+
+    The optional ``trace`` payload field carries the parent's span
+    context across the process boundary; it seeds the ambient tracing
+    context and never enters the result row (built from explicit fields
+    below) or the cache key (computed from spec data, not the payload).
+    """
+    trace_ctx = payload.get("trace")
+    if trace_ctx:
+        obs_trace.set_context(trace_ctx.get("trace_id"), trace_ctx.get("span_id"))
     run = workloads.get_runner(payload["runner"])
     context = workloads.CellContext(
         params=payload["params"],
@@ -110,9 +120,16 @@ def execute_payload(payload: Dict[str, object]) -> Dict[str, object]:
         knobs=Knobs(**payload["knobs"]),
         repeats=payload["repeats"],
     )
-    start = time.perf_counter()
-    result = run(context)
-    wall = time.perf_counter() - start
+    span = tracer().span(
+        "runtime.cell.run",
+        spec=payload["spec"],
+        cell_index=payload["cell_index"],
+        runner=payload["runner"],
+    )
+    with span:
+        start = time.perf_counter()
+        result = run(context)
+        wall = time.perf_counter() - start
     if not isinstance(result, dict):
         raise TypeError(
             f"runner {payload['runner']!r} returned {type(result).__name__}, expected dict"
@@ -203,6 +220,7 @@ class _QueueItem:
     not_before: float = 0.0  # monotonic time the next attempt may start
     solo: bool = False  # crash retry: run with no concurrent workers
     first_start: Optional[float] = None
+    enqueued: float = 0.0  # monotonic enqueue time (queued-span duration)
 
 
 @dataclass
@@ -246,22 +264,43 @@ def _run_process_per_cell(
     degrades them to serial execution); an empty list on a normal run.
     """
     context = _pool_context()
+    trc = tracer()
+    registry = get_registry()
+    now0 = time.monotonic()
     queue: List[_QueueItem] = [
-        _QueueItem(payload=p, position=i) for i, p in enumerate(pending)
+        _QueueItem(payload=p, position=i, enqueued=now0) for i, p in enumerate(pending)
     ]
     active: List[_Active] = []
     degraded = False
 
+    def lifecycle(name: str, item: _QueueItem, dur: float, **attrs) -> None:
+        """Scheduler-side span for one cell lifecycle transition."""
+        trc.emit(
+            name,
+            time.time() - dur,
+            dur,
+            spec=item.payload["spec"],
+            cell_index=item.payload["cell_index"],
+            attempt=item.attempt,
+            **attrs,
+        )
+
     def fail(item: _QueueItem, failure: Dict[str, object], now: float) -> None:
         """Retry the attempt or quarantine the cell."""
+        registry.counter(f"runtime.failures.{failure.get('kind', 'unknown')}").inc()
         if item.attempt < 1 + retry.max_retries:
             delay = retry.backoff_for(item.payload["key"], item.attempt)
+            lifecycle("runtime.cell.retry", item, 0.0, kind=failure.get("kind"))
+            registry.counter("runtime.retries").inc()
             item.attempt += 1
             item.not_before = now + delay
             item.solo = failure.get("kind") == "crash"
+            item.enqueued = now
             queue.append(item)
         else:
             wall = now - (item.first_start if item.first_start is not None else now)
+            lifecycle("runtime.cell.quarantined", item, wall, kind=failure.get("kind"))
+            registry.counter("runtime.quarantined").inc()
             finalize(item.position, error_row(item.payload, failure, item.attempt, wall))
 
     while queue or active:
@@ -299,6 +338,8 @@ def _run_process_per_cell(
                     degraded = True
                     break
                 child_conn.close()  # parent keeps only the read end -> EOF on death
+                if trc.enabled:
+                    lifecycle("runtime.cell.queued", item, now - item.enqueued)
                 if item.first_start is None:
                     item.first_start = now
                 deadline = (
@@ -333,6 +374,13 @@ def _run_process_per_cell(
             _reap(entry)
             now = time.monotonic()
             if kind == "ok":
+                if trc.enabled:
+                    lifecycle(
+                        "runtime.cell.done",
+                        entry.item,
+                        now - (entry.item.first_start or now),
+                    )
+                registry.counter("runtime.cells_done").inc()
                 finalize(entry.item.position, data)
             elif kind == "error":
                 fail(entry.item, data, now)
@@ -444,6 +492,23 @@ def run_scenario(
         _build_payload(spec, index, cell, knobs) for index, cell in spec.iter_cells(quick=quick)
     ]
 
+    trc = tracer()
+    scenario_span = trc.span(
+        "runtime.scenario", spec=spec.name, workers=workers, quick=quick
+    )
+    scenario_span.__enter__()
+    if trc.enabled:
+        # Propagate the scenario span into the worker subprocesses via an
+        # optional payload field.  Rows are built from explicit payload
+        # fields (execute_payload/error_row), so the context never
+        # reaches a row, a cache key, or a diff.
+        trace_ctx = {
+            "trace_id": scenario_span.trace_id,
+            "span_id": scenario_span.span_id,
+        }
+        for payload in payloads:
+            payload["trace"] = trace_ctx
+
     cached: Dict[str, Dict[str, object]] = {}
     if resume and store is not None:
         # Key index only (no row parsing) to decide what is missing —
@@ -489,12 +554,16 @@ def run_scenario(
             record(buffered.pop(flushed))
             flushed += 1
 
-    if workers > 1 and len(pending) > 1:
-        leftover = _run_process_per_cell(pending, workers, retry, finalize)
-        if leftover:
-            _run_serial(leftover, retry, finalize)
-    else:
-        _run_serial([(i, p, 1) for i, p in enumerate(pending)], retry, finalize)
+    try:
+        if workers > 1 and len(pending) > 1:
+            leftover = _run_process_per_cell(pending, workers, retry, finalize)
+            if leftover:
+                _run_serial(leftover, retry, finalize)
+        else:
+            _run_serial([(i, p, 1) for i, p in enumerate(pending)], retry, finalize)
+    finally:
+        scenario_span.set(executed=len(pending), cached=len(cached))
+        scenario_span.__exit__(None, None, None)
 
     rows = [cached.get(p["key"]) or fresh[p["key"]] for p in payloads]
     errored = [row for row in rows if is_error_row(row)]

@@ -41,6 +41,7 @@ import os
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
+from repro.obs import get_registry
 from repro.runtime.spec import canonical_json
 
 logger = logging.getLogger(__name__)
@@ -107,6 +108,7 @@ class ResultStore:
             keep,
             size - keep,
         )
+        get_registry().counter("store.heals").inc()
         return keep
 
     def append(self, row: Dict[str, object]) -> None:
@@ -132,6 +134,7 @@ class ResultStore:
             handle.flush()
             if self.fsync:
                 os.fsync(handle.fileno())
+        get_registry().counter("store.appends").inc()
 
     # --------------------------------------------------------------- reading
     def rows(self) -> List[Dict[str, object]]:

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Mapping, Tuple
 
 from repro import api
+from repro.obs import PhaseTimer
 from repro.runtime.spec import Knobs
 
 RUNNERS: Dict[str, Callable[["CellContext"], Dict[str, object]]] = {}
@@ -81,6 +82,17 @@ def _timed(ctx: CellContext, run: Callable[[], object]) -> Tuple[object, float]:
     return first, best
 
 
+def _phases(runner_name: str) -> PhaseTimer:
+    """A setup/solve/verify phase split for one cell execution.
+
+    The split lands in the row's ``timing["phases"]`` sub-dict — timing
+    is already excluded from every diff and cache key, so phase walls
+    vary freely between runs — and each phase additionally emits a
+    ``runtime.phase.<name>`` span when tracing is enabled.
+    """
+    return PhaseTimer("runtime.phase", runner=runner_name)
+
+
 # ------------------------------------------------------------------ E1: LOCAL
 @runner("local_coloring")
 def run_local_coloring(ctx: CellContext) -> Dict[str, object]:
@@ -90,18 +102,22 @@ def run_local_coloring(ctx: CellContext) -> Dict[str, object]:
     from repro.graphs import generators
     from repro.verification.checkers import list_coloring_violations
 
+    phases = _phases("local_coloring")
     n = int(ctx.params["n"])
     delta = int(ctx.params["delta"])
-    graph = generators.random_regular_graph(n, delta, seed=int(ctx.params["graph_seed"]))
-    outcome, wall = _timed(
-        ctx, lambda: api.color_edges_local(graph, scan_path=ctx.knobs.scan_path)
-    )
-    bound = max(1, 2 * delta - 1)
-    assert outcome.is_proper, f"improper coloring on n={n} delta={delta}"
-    assert outcome.num_colors <= bound, f"color bound violated on n={n} delta={delta}"
-    instance = uniform_instance(graph)
-    violations = list_coloring_violations(graph, outcome.colors, instance.lists)
-    assert not violations, f"list violations on n={n} delta={delta}"
+    with phases.phase("setup"):
+        graph = generators.random_regular_graph(n, delta, seed=int(ctx.params["graph_seed"]))
+    with phases.phase("solve"):
+        outcome, wall = _timed(
+            ctx, lambda: api.color_edges_local(graph, scan_path=ctx.knobs.scan_path)
+        )
+    with phases.phase("verify"):
+        bound = max(1, 2 * delta - 1)
+        assert outcome.is_proper, f"improper coloring on n={n} delta={delta}"
+        assert outcome.num_colors <= bound, f"color bound violated on n={n} delta={delta}"
+        instance = uniform_instance(graph)
+        violations = list_coloring_violations(graph, outcome.colors, instance.lists)
+        assert not violations, f"list violations on n={n} delta={delta}"
     return {
         "n": n,
         "delta": delta,
@@ -110,7 +126,7 @@ def run_local_coloring(ctx: CellContext) -> Dict[str, object]:
         "rounds": outcome.rounds,
         "paper_round_bound": round(theorem_d4_round_bound(bound, delta, n)),
         "verified": True,
-        "timing": {"wall_seconds": round(wall, 4)},
+        "timing": {"wall_seconds": round(wall, 4), "phases": phases.as_timing()},
     }
 
 
@@ -121,20 +137,24 @@ def run_list_instance(ctx: CellContext) -> Dict[str, object]:
     from repro.graphs import generators
     from repro.verification.checkers import list_coloring_violations
 
+    phases = _phases("list_instance")
     n = int(ctx.params["n"])
     delta = int(ctx.params["delta"])
-    graph = generators.random_regular_graph(n, delta, seed=int(ctx.params["graph_seed"]))
-    lists, space = generators.list_edge_coloring_lists(
-        graph, slack=float(ctx.params.get("slack", 1.0)), seed=int(ctx.params["list_seed"])
-    )
-    instance = ListEdgeColoringInstance(graph, {e: lists[e] for e in graph.edges()}, space)
-    outcome, wall = _timed(
-        ctx,
-        lambda: api.color_edges_local(graph, instance=instance, scan_path=ctx.knobs.scan_path),
-    )
-    assert outcome.is_proper, f"improper list coloring on n={n} delta={delta}"
-    violations = list_coloring_violations(graph, outcome.colors, instance.lists)
-    assert not violations, f"list violations on n={n} delta={delta}"
+    with phases.phase("setup"):
+        graph = generators.random_regular_graph(n, delta, seed=int(ctx.params["graph_seed"]))
+        lists, space = generators.list_edge_coloring_lists(
+            graph, slack=float(ctx.params.get("slack", 1.0)), seed=int(ctx.params["list_seed"])
+        )
+        instance = ListEdgeColoringInstance(graph, {e: lists[e] for e in graph.edges()}, space)
+    with phases.phase("solve"):
+        outcome, wall = _timed(
+            ctx,
+            lambda: api.color_edges_local(graph, instance=instance, scan_path=ctx.knobs.scan_path),
+        )
+    with phases.phase("verify"):
+        assert outcome.is_proper, f"improper list coloring on n={n} delta={delta}"
+        violations = list_coloring_violations(graph, outcome.colors, instance.lists)
+        assert not violations, f"list violations on n={n} delta={delta}"
     return {
         "n": n,
         "delta": delta,
@@ -143,7 +163,7 @@ def run_list_instance(ctx: CellContext) -> Dict[str, object]:
         "rounds": outcome.rounds,
         "list_violations": 0,
         "verified": True,
-        "timing": {"wall_seconds": round(wall, 4)},
+        "timing": {"wall_seconds": round(wall, 4), "phases": phases.as_timing()},
     }
 
 
@@ -154,17 +174,21 @@ def run_congest_coloring(ctx: CellContext) -> Dict[str, object]:
     from repro.core.parameters import theorem63_round_bound
     from repro.graphs import generators
 
+    phases = _phases("congest_coloring")
     n = int(ctx.params["n"])
     delta = int(ctx.params["delta"])
     epsilon = float(ctx.params.get("epsilon", 0.5))
-    graph = generators.random_regular_graph(n, delta, seed=int(ctx.params["graph_seed"]))
-    outcome, wall = _timed(
-        ctx,
-        lambda: api.color_edges_congest(graph, epsilon=epsilon, scan_path=ctx.knobs.scan_path),
-    )
-    assert outcome.is_proper, f"improper congest coloring on n={n} delta={delta}"
-    palette = outcome.details["palette_size"]
-    assert palette <= outcome.bound, f"palette bound violated on n={n} delta={delta}"
+    with phases.phase("setup"):
+        graph = generators.random_regular_graph(n, delta, seed=int(ctx.params["graph_seed"]))
+    with phases.phase("solve"):
+        outcome, wall = _timed(
+            ctx,
+            lambda: api.color_edges_congest(graph, epsilon=epsilon, scan_path=ctx.knobs.scan_path),
+        )
+    with phases.phase("verify"):
+        assert outcome.is_proper, f"improper congest coloring on n={n} delta={delta}"
+        palette = outcome.details["palette_size"]
+        assert palette <= outcome.bound, f"palette bound violated on n={n} delta={delta}"
     return {
         "n": n,
         "delta": delta,
@@ -175,7 +199,7 @@ def run_congest_coloring(ctx: CellContext) -> Dict[str, object]:
         "rounds": outcome.rounds,
         "paper_round_bound": round(theorem63_round_bound(epsilon, delta, n)),
         "verified": True,
-        "timing": {"wall_seconds": round(wall, 4)},
+        "timing": {"wall_seconds": round(wall, 4), "phases": phases.as_timing()},
     }
 
 
@@ -186,20 +210,24 @@ def run_bipartite_coloring(ctx: CellContext) -> Dict[str, object]:
     from repro.core.parameters import lemma61_round_bound
     from repro.graphs import generators
 
+    phases = _phases("bipartite_coloring")
     side = int(ctx.params["side"])
     delta = int(ctx.params["delta"])
     epsilon = float(ctx.params.get("epsilon", 0.5))
-    graph, bipartition = generators.regular_bipartite_graph(
-        side, delta, seed=int(ctx.params["graph_seed"])
-    )
-    outcome, wall = _timed(
-        ctx,
-        lambda: api.color_edges_bipartite(
-            graph, bipartition, epsilon=epsilon, scan_path=ctx.knobs.scan_path
-        ),
-    )
-    assert outcome.is_proper, f"improper bipartite coloring at delta={delta}"
-    assert outcome.num_colors <= 4 * delta, f"color blowup at delta={delta}"
+    with phases.phase("setup"):
+        graph, bipartition = generators.regular_bipartite_graph(
+            side, delta, seed=int(ctx.params["graph_seed"])
+        )
+    with phases.phase("solve"):
+        outcome, wall = _timed(
+            ctx,
+            lambda: api.color_edges_bipartite(
+                graph, bipartition, epsilon=epsilon, scan_path=ctx.knobs.scan_path
+            ),
+        )
+    with phases.phase("verify"):
+        assert outcome.is_proper, f"improper bipartite coloring at delta={delta}"
+        assert outcome.num_colors <= 4 * delta, f"color blowup at delta={delta}"
     return {
         "side": side,
         "delta": delta,
@@ -211,7 +239,7 @@ def run_bipartite_coloring(ctx: CellContext) -> Dict[str, object]:
         "rounds": outcome.rounds,
         "paper_round_bound": round(lemma61_round_bound(epsilon, delta)),
         "verified": True,
-        "timing": {"wall_seconds": round(wall, 4)},
+        "timing": {"wall_seconds": round(wall, 4), "phases": phases.as_timing()},
     }
 
 
@@ -420,26 +448,30 @@ def run_linial_audit(ctx: CellContext) -> Dict[str, object]:
     """E8 — message-passing Linial audited end to end on the simulator."""
     from repro.graphs import generators
 
+    phases = _phases("linial_audit")
     n = int(ctx.params["n"])
     degree = int(ctx.params.get("degree", 4))
     factor = int(ctx.params.get("id_space_factor", 8))
-    graph = generators.graph_with_scrambled_ids(
-        generators.random_regular_graph(n, degree, seed=n), seed=n, id_space_factor=factor
-    )
-    network = api.build_linial_network(graph)
-    outcome, wall = _timed(
-        ctx,
-        lambda: api.run_linial_network(
-            graph,
-            send_plane=ctx.knobs.send_plane,
-            receive_plane=ctx.knobs.receive_plane,
-            network=network,
-        ),
-    )
-    assert outcome.congest_violations == 0, f"congest violations in Linial audit at n={n}"
-    assert outcome.max_message_bits <= outcome.congest_budget_bits, (
-        f"message over budget at n={n}"
-    )
+    with phases.phase("setup"):
+        graph = generators.graph_with_scrambled_ids(
+            generators.random_regular_graph(n, degree, seed=n), seed=n, id_space_factor=factor
+        )
+        network = api.build_linial_network(graph)
+    with phases.phase("solve"):
+        outcome, wall = _timed(
+            ctx,
+            lambda: api.run_linial_network(
+                graph,
+                send_plane=ctx.knobs.send_plane,
+                receive_plane=ctx.knobs.receive_plane,
+                network=network,
+            ),
+        )
+    with phases.phase("verify"):
+        assert outcome.congest_violations == 0, f"congest violations in Linial audit at n={n}"
+        assert outcome.max_message_bits <= outcome.congest_budget_bits, (
+            f"message over budget at n={n}"
+        )
     return {
         "n": n,
         "budget_bits": outcome.congest_budget_bits,
@@ -448,7 +480,7 @@ def run_linial_audit(ctx: CellContext) -> Dict[str, object]:
         "rounds": outcome.rounds,
         "violations": 0,
         "verified": True,
-        "timing": {"wall_seconds": round(wall, 4)},
+        "timing": {"wall_seconds": round(wall, 4), "phases": phases.as_timing()},
     }
 
 
@@ -976,21 +1008,23 @@ def run_serving_churn(ctx: CellContext) -> Dict[str, object]:
         resolve_repair_path,
     )
 
+    phases = _phases("serving_churn")
     n = int(ctx.params["n"])
     delta = int(ctx.params["delta"])
     churn = float(ctx.params["churn"])
     reads_per_delta = int(ctx.params.get("reads_per_delta", 3))
-    graph = generators.random_regular_graph(
-        n, delta, seed=int(ctx.params["graph_seed"])
-    )
+    with phases.phase("setup"):
+        graph = generators.random_regular_graph(
+            n, delta, seed=int(ctx.params["graph_seed"])
+        )
 
-    # Offline build (untimed): the artifact every session starts from.
-    colors0 = dict(build_artifact(graph).colors)
+        # Offline build (untimed): the artifact every session starts from.
+        colors0 = dict(build_artifact(graph).colors)
 
-    # Deterministic request stream over the evolving edge set.
-    requests, num_deltas = _churn_requests(
-        graph, colors0, n, delta, churn, reads_per_delta, ctx.seed
-    )
+        # Deterministic request stream over the evolving edge set.
+        requests, num_deltas = _churn_requests(
+            graph, colors0, n, delta, churn, reads_per_delta, ctx.seed
+        )
 
     def make_session(path: str) -> ServingSession:
         artifact = ColoringArtifact(DeltaGraph(graph), dict(colors0))
@@ -1001,36 +1035,38 @@ def run_serving_churn(ctx: CellContext) -> Dict[str, object]:
     best = None
     session = None
     responses = None
-    for attempt in range(max(1, ctx.repeats)):
-        candidate = make_session(resolved)
+    with phases.phase("solve"):
+        for attempt in range(max(1, ctx.repeats)):
+            candidate = make_session(resolved)
+            start = time.perf_counter()
+            answered = candidate.serve_batch(requests)
+            wall = time.perf_counter() - start
+            if best is None or wall < best:
+                best = wall
+            if attempt == 0:
+                session = candidate
+                responses = answered
+
+        # Per-delta full-recompute baseline twin (timed once).
+        baseline = make_session("recompute")
         start = time.perf_counter()
-        answered = candidate.serve_batch(requests)
-        wall = time.perf_counter() - start
-        if best is None or wall < best:
-            best = wall
-        if attempt == 0:
-            session = candidate
-            responses = answered
+        baseline_responses = baseline.serve_batch(requests)
+        baseline_wall = time.perf_counter() - start
 
-    # Per-delta full-recompute baseline twin (timed once).
-    baseline = make_session("recompute")
-    start = time.perf_counter()
-    baseline_responses = baseline.serve_batch(requests)
-    baseline_wall = time.perf_counter() - start
-
-    bad = [r for r in responses if not r.get("ok")]
-    assert not bad, f"failed responses on n={n} churn={churn}: {bad[:3]}"
-    assert responses == baseline_responses, "twin response streams diverge"
-    assert session.artifact.colors == baseline.artifact.colors, (
-        "incremental repair diverged from full recompute"
-    )
-    session.artifact.verify()
-    speedup = baseline_wall / max(best, 1e-9)
-    if resolved == "incremental" and n >= 1000:
-        assert speedup >= 10, (
-            f"serving speedup {speedup:.1f}x < 10x vs per-delta recompute "
-            f"(n={n}, churn={churn})"
+    with phases.phase("verify"):
+        bad = [r for r in responses if not r.get("ok")]
+        assert not bad, f"failed responses on n={n} churn={churn}: {bad[:3]}"
+        assert responses == baseline_responses, "twin response streams diverge"
+        assert session.artifact.colors == baseline.artifact.colors, (
+            "incremental repair diverged from full recompute"
         )
+        session.artifact.verify()
+        speedup = baseline_wall / max(best, 1e-9)
+        if resolved == "incremental" and n >= 1000:
+            assert speedup >= 10, (
+                f"serving speedup {speedup:.1f}x < 10x vs per-delta recompute "
+                f"(n={n}, churn={churn})"
+            )
 
     final = session.artifact
     coloring_digest = hashlib.sha256(
@@ -1063,6 +1099,7 @@ def run_serving_churn(ctx: CellContext) -> Dict[str, object]:
             "recolored": stats["recolored"],
             "fallbacks": stats["fallbacks"],
             "cache": stats,
+            "phases": phases.as_timing(),
         },
     }
 
@@ -1103,18 +1140,20 @@ def run_serving_daemon(ctx: CellContext) -> Dict[str, object]:
     )
     from repro.serving.daemon import DaemonClient, spawn_daemon_process
 
+    phases = _phases("serving_daemon")
     n = int(ctx.params["n"])
     delta = int(ctx.params["delta"])
     churn = float(ctx.params["churn"])
     reads_per_delta = int(ctx.params.get("reads_per_delta", 2))
-    graph = generators.random_regular_graph(
-        n, delta, seed=int(ctx.params["graph_seed"])
-    )
-    built = build_artifact(graph)
-    colors0 = dict(built.colors)
-    requests, num_deltas = _churn_requests(
-        graph, colors0, n, delta, churn, reads_per_delta, ctx.seed
-    )
+    with phases.phase("setup"):
+        graph = generators.random_regular_graph(
+            n, delta, seed=int(ctx.params["graph_seed"])
+        )
+        built = build_artifact(graph)
+        colors0 = dict(built.colors)
+        requests, num_deltas = _churn_requests(
+            graph, colors0, n, delta, churn, reads_per_delta, ctx.seed
+        )
     kill_at = len(requests) // 2
     resolved = resolve_repair_path(ctx.knobs.repair_path)
 
@@ -1164,23 +1203,26 @@ def run_serving_daemon(ctx: CellContext) -> Dict[str, object]:
                 process.kill()
                 process.wait(timeout=30)
         wall = time.perf_counter() - start
+        phases.record("solve", wall)
 
-        # Graceful shutdown compacted: journal gone, JSON carries the end.
-        assert not os.path.exists(journal_path(path)), (
-            "graceful shutdown left the journal behind"
-        )
-        final = ColoringArtifact.load(path)
-        assert final.epoch == twin.artifact.epoch
-        assert final.colors == twin.artifact.colors, (
-            "compacted artifact diverged from the in-process twin"
-        )
-        final.verify()
+        with phases.phase("verify"):
+            # Graceful shutdown compacted: journal gone, JSON carries the end.
+            assert not os.path.exists(journal_path(path)), (
+                "graceful shutdown left the journal behind"
+            )
+            final = ColoringArtifact.load(path)
+            assert final.epoch == twin.artifact.epoch
+            assert final.colors == twin.artifact.colors, (
+                "compacted artifact diverged from the in-process twin"
+            )
+            final.verify()
 
-    got = got_prefix + got_suffix
-    expected = expected_prefix + expected_suffix
-    assert got == expected, "socket responses diverge from the in-process session"
-    bad = [r for r in got if not r.get("ok")]
-    assert not bad, f"failed daemon responses on n={n}: {bad[:3]}"
+    with phases.phase("verify"):
+        got = got_prefix + got_suffix
+        expected = expected_prefix + expected_suffix
+        assert got == expected, "socket responses diverge from the in-process session"
+        bad = [r for r in got if not r.get("ok")]
+        assert not bad, f"failed daemon responses on n={n}: {bad[:3]}"
 
     coloring_digest = hashlib.sha256(
         canonical_json(
@@ -1202,5 +1244,5 @@ def run_serving_daemon(ctx: CellContext) -> Dict[str, object]:
         "coloring_digest": coloring_digest,
         "responses_digest": responses_digest,
         "verified": True,
-        "timing": {"wall_seconds": round(wall, 4)},
+        "timing": {"wall_seconds": round(wall, 4), "phases": phases.as_timing()},
     }

@@ -28,6 +28,7 @@ the journal into a fresh full artifact JSON on the way out.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import signal
 import socket
@@ -35,9 +36,13 @@ import socketserver
 import threading
 from typing import Dict, List, Mapping, Optional, Tuple
 
+from repro.obs import get_registry, snapshot, tracer
+from repro.obs import trace as obs_trace
 from repro.serving.artifact import ColoringArtifact
 from repro.serving.journal import DeltaJournal, journal_path
 from repro.serving.session import DELTA_OPS, ServingSession
+
+logger = logging.getLogger(__name__)
 
 #: Default bind address; port 0 lets the OS pick a free port.
 DEFAULT_LISTEN = "127.0.0.1:0"
@@ -116,26 +121,69 @@ class ColoringDaemon:
 
     # --------------------------------------------------------------- serving
     def handle_line(self, line: str) -> Dict[str, object]:
-        """Answer one protocol line (shared by the socket handler and tests)."""
+        """Answer one protocol line (shared by the socket handler and tests).
+
+        Two wire-only extras on top of the session protocol (``shutdown``
+        precedent): an optional ``"trace"`` request field carries the
+        caller's span context across the socket and is stripped before
+        the session sees the request — it never affects the response or
+        the result cache; and ``{"op": "stats", "scope": "daemon"}``
+        answers the extended introspection snapshot (bare ``stats``
+        stays a session op so daemon and in-process twins answer it
+        identically).
+        """
         try:
             request = json.loads(line)
         except json.JSONDecodeError as exc:
             return {"ok": False, "op": None, "error": f"malformed request: {exc}"}
         if not isinstance(request, Mapping):
             return {"ok": False, "op": None, "error": "request must be a JSON object"}
-        if request.get("op") == "shutdown":
+        trace_ctx = request.get("trace")
+        if trace_ctx is not None:
+            request = {k: v for k, v in request.items() if k != "trace"}
+            if isinstance(trace_ctx, Mapping):
+                obs_trace.set_context(
+                    trace_ctx.get("trace_id"), trace_ctx.get("span_id")
+                )
+        op = request.get("op")
+        if op == "shutdown":
             self.requests_served += 1
             self._shutdown.set()
             return {"ok": True, "op": "shutdown"}
-        response = self.session.query(request)
-        if self.journal and response.get("ok") and response.get("op") in DELTA_OPS:
-            # Durability before acknowledgment: once the caller sees the
-            # response, the delta survives any kill.
-            self.session.artifact.save(
-                self.artifact_path, journal=True, fsync=self.fsync
-            )
+        if op == "stats" and request.get("scope") == "daemon":
+            self.requests_served += 1
+            return self.daemon_stats()
+        with tracer().span("daemon.request", op=op):
+            response = self.session.query(request)
+            if self.journal and response.get("ok") and response.get("op") in DELTA_OPS:
+                # Durability before acknowledgment: once the caller sees the
+                # response, the delta survives any kill.
+                self.session.artifact.save(
+                    self.artifact_path, journal=True, fsync=self.fsync
+                )
+        if trace_ctx is not None:
+            obs_trace.set_context(None, None)
         self.requests_served += 1
+        get_registry().counter("daemon.requests").inc()
         return response
+
+    def daemon_stats(self) -> Dict[str, object]:
+        """The read-only introspection snapshot: registry + session + artifact.
+
+        Deliberately a *daemon-scope* answer (never routed through the
+        session or its result cache): the payload is observability, not
+        an answer, and it varies with process history — exactly what the
+        twin contracts exclude.
+        """
+        return {
+            "ok": True,
+            "op": "stats",
+            "scope": "daemon",
+            "requests_served": self.requests_served,
+            "registry": snapshot(),
+            "cache_stats": self.session.cache_stats(),
+            "artifact": self.session.artifact.stats(),
+        }
 
     # ------------------------------------------------------------- lifecycle
     def start(self) -> Tuple[str, int]:
@@ -195,14 +243,18 @@ def run_daemon(
     repair_path: str = "auto",
     radius_limit: Optional[int] = None,
     rebase_policy="auto",
-    log=print,
+    log=None,
 ) -> int:
     """The ``repro serve --listen`` loop: serve until shutdown, then compact.
 
-    Prints ``listening on HOST:PORT`` (drivers parse it to discover the
-    OS-assigned port) and installs SIGTERM/SIGINT handlers that trigger
-    the same graceful shutdown as the ``shutdown`` op.  SIGKILL, by
-    definition, skips compaction — that is what the journal is for.
+    Prints ``listening on HOST:PORT`` to stdout (drivers —
+    :func:`spawn_daemon_process` included — parse that exact line to
+    discover the OS-assigned port); everything else goes through the
+    module logger like the journal and the store.  ``log`` is an
+    optional extra sink for both lines (legacy hook; tests).  Installs
+    SIGTERM/SIGINT handlers that trigger the same graceful shutdown as
+    the ``shutdown`` op.  SIGKILL, by definition, skips compaction —
+    that is what the journal is for.
     """
     daemon = ColoringDaemon(
         artifact_path,
@@ -215,6 +267,10 @@ def run_daemon(
         rebase_policy=rebase_policy,
     )
     host, port = daemon.start()
+    # This exact stdout line is the port-discovery protocol; keep it a
+    # print regardless of logging configuration.
+    print(f"listening on {host}:{port}", flush=True)
+    logger.info("listening on %s:%d", host, port)
     if log:
         log(f"listening on {host}:{port}")
     previous = {}
@@ -228,12 +284,14 @@ def run_daemon(
         for signum, handler in previous.items():
             signal.signal(signum, handler)
         folded = daemon.stop(compact=True)
+    stats = daemon.session.cache_stats()
+    summary = (
+        f"shutdown: {daemon.requests_served} requests served, "
+        f"{stats['deltas_applied']} deltas, {folded} journal records compacted"
+    )
+    logger.info("%s", summary)
     if log:
-        stats = daemon.session.cache_stats()
-        log(
-            f"shutdown: {daemon.requests_served} requests served, "
-            f"{stats['deltas_applied']} deltas, {folded} journal records compacted"
-        )
+        log(summary)
     return 0
 
 

@@ -43,6 +43,8 @@ import logging
 import os
 from typing import Dict, List
 
+from repro.obs import get_registry, tracer
+
 logger = logging.getLogger(__name__)
 
 #: On-disk journal format tag; bump on breaking layout changes.
@@ -120,6 +122,7 @@ class DeltaJournal:
             keep,
             size - keep,
         )
+        get_registry().counter("journal.heals").inc()
 
     def append(self, records: List[Dict[str, object]]) -> None:
         """Append delta records (creating the file, header first, if new)."""
@@ -128,18 +131,20 @@ class DeltaJournal:
         directory = os.path.dirname(self.path)
         if directory:
             os.makedirs(directory, exist_ok=True)
-        fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
-        self._heal_torn_tail()
-        with open(self.path, "a", encoding="utf-8") as handle:
-            if fresh:
-                handle.write(json.dumps({"format": JOURNAL_FORMAT}) + "\n")
-            for record in records:
-                row = {field: record.get(field) for field in RECORD_FIELDS}
-                handle.write(json.dumps(row, sort_keys=True, separators=(",", ":")))
-                handle.write("\n")
-            handle.flush()
-            if self.fsync:
-                os.fsync(handle.fileno())
+        with tracer().span("journal.append", records=len(records)):
+            fresh = not os.path.exists(self.path) or os.path.getsize(self.path) == 0
+            self._heal_torn_tail()
+            with open(self.path, "a", encoding="utf-8") as handle:
+                if fresh:
+                    handle.write(json.dumps({"format": JOURNAL_FORMAT}) + "\n")
+                for record in records:
+                    row = {field: record.get(field) for field in RECORD_FIELDS}
+                    handle.write(json.dumps(row, sort_keys=True, separators=(",", ":")))
+                    handle.write("\n")
+                handle.flush()
+                if self.fsync:
+                    os.fsync(handle.fileno())
+        get_registry().counter("journal.appends").inc(len(records))
 
     # --------------------------------------------------------------- reading
     def records(self) -> List[Dict[str, object]]:
@@ -209,8 +214,11 @@ def compact_artifact(path: str, fsync: bool = False) -> int:
     """
     from repro.serving.artifact import ColoringArtifact
 
-    journal = DeltaJournal(journal_path(path), fsync=fsync)
-    folded = len(journal.records()) if journal.exists() else 0
-    artifact = ColoringArtifact.load(path)
-    artifact.save(path, fsync=fsync)
+    with tracer().span("journal.compact", artifact=path) as span:
+        journal = DeltaJournal(journal_path(path), fsync=fsync)
+        folded = len(journal.records()) if journal.exists() else 0
+        artifact = ColoringArtifact.load(path)
+        artifact.save(path, fsync=fsync)
+        span.set(folded=folded)
+    get_registry().counter("journal.compactions").inc()
     return folded

@@ -56,6 +56,7 @@ import hashlib
 from collections import OrderedDict, deque
 from typing import Deque, Dict, List, Mapping, Optional, Sequence
 
+from repro.obs import get_registry, tracer
 from repro.runtime.spec import canonical_json
 from repro.serving.artifact import ColoringArtifact, resolve_rebase_policy
 from repro.serving.repair import RepairError, resolve_repair_path
@@ -69,6 +70,9 @@ CONTROL_OPS = ("rebase",)
 
 #: Default size of the per-session repair-report ring buffer.
 DEFAULT_REPORTS_CAP = 256
+
+#: Repair-radius histogram buckets (touched-node counts, not seconds).
+RADIUS_BUCKETS = (0, 1, 2, 4, 8, 16, 32, 64, 128, 256, 1024)
 
 
 def result_cache_key(epoch: int, request: Mapping) -> str:
@@ -136,7 +140,7 @@ class ServingSession:
         the bounded-memory observability contract for long-lived
         sessions.
         """
-        return {
+        stats = {
             "hits": self._hits,
             "misses": self._misses,
             "evictions": self._evictions,
@@ -151,6 +155,11 @@ class ServingSession:
             "reports_retained": len(self.reports),
             "reports_cap": self.reports.maxlen,
         }
+        # Mirror the totals into the process-wide metrics registry (as
+        # gauges, so one snapshot covers all three planes) without
+        # changing this method's long-standing return shape.
+        get_registry().update(stats, prefix="serving.cache.")
+        return stats
 
     def _cache_get(self, key: str) -> Optional[Dict[str, object]]:
         cached = self._cache.get(key)
@@ -183,22 +192,27 @@ class ServingSession:
         op = request.get("op")
         try:
             if op in READ_OPS:
-                key = result_cache_key(self.artifact.epoch, request)
-                cached = self._cache_get(key)
-                if cached is not None:
-                    return cached
-                response = self._answer_read(op, request)
-                self._cache_put(key, response)
-                return response
+                with tracer().span("serving.query", op=op) as span:
+                    key = result_cache_key(self.artifact.epoch, request)
+                    cached = self._cache_get(key)
+                    if cached is not None:
+                        span.set(cache_hit=True)
+                        return cached
+                    response = self._answer_read(op, request)
+                    self._cache_put(key, response)
+                    span.set(cache_hit=False)
+                    return response
             if op in DELTA_OPS:
-                return self._apply_delta(op, request)
+                with tracer().span("serving.delta", op=op) as span:
+                    return self._apply_delta(op, request, span)
             if op == "rebase":
-                self._overlay_folded += self.artifact.rebase()
-                self._rebases += 1
-                # Epoch-preserving and policy-independent: the response
-                # must match on twins with different rebase histories,
-                # so folded counts stay in ``cache_stats``.
-                return {"ok": True, "op": op, "epoch": self.artifact.epoch}
+                with tracer().span("serving.rebase"):
+                    self._overlay_folded += self.artifact.rebase()
+                    self._rebases += 1
+                    # Epoch-preserving and policy-independent: the response
+                    # must match on twins with different rebase histories,
+                    # so folded counts stay in ``cache_stats``.
+                    return {"ok": True, "op": op, "epoch": self.artifact.epoch}
             raise RepairError(f"unknown op {op!r}")
         except (RepairError, ValueError, KeyError, TypeError) as exc:
             return {"ok": False, "op": op, "error": str(exc) or repr(exc)}
@@ -231,7 +245,7 @@ class ServingSession:
         # op == "stats"
         return {"ok": True, "op": op, **artifact.stats()}
 
-    def _apply_delta(self, op: str, request: Mapping) -> Dict[str, object]:
+    def _apply_delta(self, op: str, request: Mapping, span=None) -> Dict[str, object]:
         artifact = self.artifact
         u, v = int(request["u"]), int(request["v"])
         kwargs = {"path": self.repair_path, "radius_limit": self.radius_limit}
@@ -247,6 +261,20 @@ class ServingSession:
         self._recolored_total += report.recolored
         self._fallbacks_total += int(report.fallback)
         self.reports.append(report.as_dict())
+        if span is not None:
+            span.set(
+                touched=report.touched,
+                recolored=report.recolored,
+                fallback=bool(report.fallback),
+                path=report.path,
+            )
+        registry = get_registry()
+        registry.counter("serving.deltas_applied").inc()
+        registry.histogram("serving.repair_radius", buckets=RADIUS_BUCKETS).observe(
+            report.touched
+        )
+        if report.fallback:
+            registry.counter("serving.fallbacks").inc()
         folded = artifact.maybe_rebase(self.rebase_policy)
         if folded:
             self._rebases += 1

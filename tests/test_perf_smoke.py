@@ -65,6 +65,34 @@ def test_e1_large_within_budget():
 
 
 @pytest.mark.perf_smoke
+def test_disabled_tracing_overhead_within_budget():
+    """Disabled instrumentation costs <5% of an E1 cell's budget.
+
+    An E1 cell crosses on the order of dozens of tracer touch points
+    (cell lifecycle, phase split, store append); 100k disabled spans —
+    three orders of magnitude more than a real cell ever triggers —
+    must still fit inside 5% of the E1 smoke budget, so the per-cell
+    overhead with tracing off is noise.
+    """
+    from repro.obs import trace as obs_trace
+
+    obs_trace.reset()
+    trc = obs_trace.tracer()
+    if trc.enabled:  # REPRO_TRACE=1 in the environment: budget n/a
+        pytest.skip("tracing enabled via environment")
+    start = time.perf_counter()
+    for index in range(100_000):
+        with trc.span("runtime.cell.run", spec="e1_sweep", cell_index=index) as span:
+            span.set(runner="local_coloring")
+    wall = time.perf_counter() - start
+    budget = 0.05 * E1_DELTA16_BUDGET_SECONDS
+    assert wall < budget, (
+        f"100k disabled spans took {wall:.3f}s, over the {budget}s "
+        "(5% of E1) overhead budget"
+    )
+
+
+@pytest.mark.perf_smoke
 def test_e8_linial_n10k_batched_within_budget():
     n = 10_000
     graph = generators.graph_with_scrambled_ids(
