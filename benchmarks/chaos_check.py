@@ -16,7 +16,11 @@ One small sweep, three adversaries at once:
   store between runs;
 * **daemon kill** — a serving daemon subprocess SIGKILLed mid-stream,
   restarted from its base artifact + delta journal, and diffed against
-  an uninterrupted in-process run.
+  an uninterrupted in-process run;
+* **concurrent clients + kill** — four client threads hammer a daemon
+  running with journal rotation caps; the daemon is SIGKILLed
+  mid-traffic and the base + rotated segments + active journal must
+  replay every acknowledged write.
 
 Asserted afterwards:
 
@@ -34,7 +38,13 @@ Asserted afterwards:
 5. the SIGKILLed daemon's journal replay reproduces the exact pre-kill
    artifact state, and the full cross-kill response stream is
    bit-identical to the uninterrupted session;
-6. the observability trace sink shares the store's torn-tail contract:
+6. under four concurrent clients and rotation caps, the kill leaves
+   rotated ``.journal.N`` segments behind, every acknowledged write
+   epoch is distinct (the writer lock's total order), replaying
+   base + segments + active journal reaches at least the highest
+   acknowledged epoch, and a restart + graceful shutdown compacts
+   segments and journal away;
+7. the observability trace sink shares the store's torn-tail contract:
    a torn trailing span (a tracer killed mid-write) is skipped on read,
    healed before the next append, and ``repro obs report`` still
    renders over the healed file.
@@ -99,7 +109,7 @@ def daemon_kill_replay_probe(workdir: str) -> None:
     """
     from repro.graphs import generators
     from repro.serving import ColoringArtifact, ServingSession, build_artifact, journal_path
-    from repro.serving.daemon import DaemonClient, spawn_daemon_process
+    from repro.serving.daemon import connect, spawn_daemon_process
 
     graph = generators.random_regular_graph(80, 4, seed=5)
     path = os.path.join(workdir, "chaos-artifact.json")
@@ -122,7 +132,7 @@ def daemon_kill_replay_probe(workdir: str) -> None:
 
     process, host, port = spawn_daemon_process(path)
     try:
-        with DaemonClient(host, port) as client:
+        with connect((host, port)) as client:
             got_prefix = client.request_many(requests[:cut])
     finally:
         process.kill()
@@ -136,7 +146,7 @@ def daemon_kill_replay_probe(workdir: str) -> None:
 
     process, host, port = spawn_daemon_process(path)
     try:
-        with DaemonClient(host, port) as client:
+        with connect((host, port)) as client:
             got_suffix = client.request_many(requests[cut:])
             client.shutdown()
         process.wait(timeout=30)
@@ -159,8 +169,155 @@ def daemon_kill_replay_probe(workdir: str) -> None:
     )
 
 
+def concurrent_clients_kill_probe(workdir: str) -> None:
+    """Phase 6: 4 concurrent clients + rotation caps + SIGKILL mid-traffic.
+
+    Each client thread owns one node (owners pairwise non-adjacent, so
+    write sets are disjoint) and toggles its base edges over its own
+    socket while the daemon rotates its journal every 8 records.  The
+    daemon is SIGKILLed while traffic is in flight; afterwards the
+    retained ``.journal.N`` segments plus the active journal must
+    replay every *acknowledged* write (journal-before-ack inside the
+    writer lock), the acknowledged write epochs must be pairwise
+    distinct (the writer lock's total order), and a restart + graceful
+    shutdown must compact segments and journal away.
+    """
+    import threading
+    import time
+
+    from repro.graphs import generators
+    from repro.serving import (
+        ColoringArtifact,
+        DeltaJournal,
+        build_artifact,
+        journal_path,
+        segment_paths,
+    )
+    from repro.serving.daemon import connect, spawn_daemon_process
+
+    clients, kill_after_writes = 4, 30
+    graph = generators.random_regular_graph(80, 4, seed=5)
+    path = os.path.join(workdir, "chaos-concurrent.json")
+    base = os.path.join(workdir, "chaos-concurrent-base.json")
+    built = build_artifact(graph)
+    built.save(path)
+    built.save(base)
+
+    owners, excluded = [], set()
+    for node in range(graph.num_nodes):
+        if node in excluded:
+            continue
+        owners.append(node)
+        excluded.add(node)
+        excluded.update(graph.neighbors(node))
+        if len(owners) == clients:
+            break
+
+    process, host, port = spawn_daemon_process(
+        path, extra_args=["--journal-max-records", "8"]
+    )
+    acks = [[] for _ in owners]
+    write_count = threading.Lock()
+    total_writes = [0]
+
+    def hammer(index, owner):
+        edges = sorted((owner, w) if owner < w else (w, owner) for w in graph.neighbors(owner))
+        try:
+            with connect((host, port)) as client:
+                while True:
+                    for u, v in edges:
+                        for op in ("delete", "insert"):
+                            ack = client.request({"op": op, "u": u, "v": v})
+                            if ack.get("ok"):
+                                acks[index].append(ack)
+                                with write_count:
+                                    total_writes[0] += 1
+                        read = client.request({"op": "node_palette", "v": owner})
+                        if not read.get("ok"):
+                            return
+        except (ConnectionError, OSError, ValueError):
+            return  # the kill severed this connection mid-request
+
+    threads = [
+        threading.Thread(target=hammer, args=(i, o), daemon=True)
+        for i, o in enumerate(owners)
+    ]
+    for thread in threads:
+        thread.start()
+    try:
+        while True:
+            with write_count:
+                if total_writes[0] >= kill_after_writes:
+                    break
+            if process.poll() is not None:
+                raise RuntimeError("daemon died before the kill point")
+            time.sleep(0.005)
+    finally:
+        process.kill()
+        process.wait(timeout=30)
+    for thread in threads:
+        thread.join(timeout=30)
+
+    acked = [ack for per_client in acks for ack in per_client]
+    check(len(acked) >= kill_after_writes, "concurrent traffic reached the kill point")
+    epochs = [ack["epoch"] for ack in acked]
+    check(
+        len(set(epochs)) == len(epochs),
+        "acknowledged write epochs are pairwise distinct across clients",
+    )
+    for per_client in acks:
+        client_epochs = [ack["epoch"] for ack in per_client]
+        check(
+            client_epochs == sorted(client_epochs),
+            "per-client ack order follows epoch order",
+        )
+
+    segments = segment_paths(path)
+    check(len(segments) >= 2, f"kill left >=2 rotated journal segments ({len(segments)})")
+    recovered = ColoringArtifact.load(path)
+    check(
+        recovered.epoch >= max(epochs) and recovered.verify(),
+        "segment replay reaches every acknowledged epoch and verifies",
+    )
+
+    # The journal chain (segments + active) is itself a consistent
+    # total order: strictly increasing epochs across the chain.
+    chain = []
+    for segment in segments + [journal_path(path)]:
+        journal = DeltaJournal(segment)
+        if journal.exists():
+            chain.extend(record["epoch"] for record in journal.records())
+    check(
+        all(b > a for a, b in zip(chain, chain[1:])),
+        "journal chain epochs strictly increase across segments",
+    )
+
+    # Restart + graceful shutdown folds everything back into the JSON.
+    process, host, port = spawn_daemon_process(
+        path, extra_args=["--journal-max-records", "8"]
+    )
+    try:
+        with connect((host, port)) as client:
+            ack = client.shutdown()
+        check(ack == {"ok": True, "op": "shutdown"}, "restarted daemon acks shutdown")
+        process.wait(timeout=30)
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=30)
+    check(
+        not os.path.exists(journal_path(path)) and segment_paths(path) == [],
+        "graceful shutdown compacted journal and rotated segments",
+    )
+    final = ColoringArtifact.load(path)
+    check(
+        final.epoch == recovered.epoch and final.verify(),
+        "post-compaction artifact carries the recovered state",
+    )
+
+
 def trace_sink_probe(workdir: str) -> None:
-    """Phase 6: a torn trailing span heals and the report still renders."""
+    """Phase 7: a torn trailing span heals and the report still renders."""
     from repro.obs import trace as obs_trace
     from repro.obs.report import summarize
 
@@ -258,7 +415,10 @@ def main() -> int:
         # --- phase 5: daemon SIGKILL + journal replay ------------------
         daemon_kill_replay_probe(workdir)
 
-        # --- phase 6: torn trace sink heals ----------------------------
+        # --- phase 6: concurrent clients + rotation + SIGKILL ----------
+        concurrent_clients_kill_probe(workdir)
+
+        # --- phase 7: torn trace sink heals ----------------------------
         trace_sink_probe(workdir)
 
         print("chaos check passed")

@@ -113,6 +113,12 @@ def measure_runtime(quick: bool, log=print) -> list:
                 "messages": result.get("messages"),
                 "verified": bool(result.get("verified")),
             }
+            # The concurrent-clients daemon cell reports its speedup over
+            # the serialized client schedule; surface it in the BENCH
+            # trajectory (the >=2x acceptance gate reads it here).
+            if "clients" in result:
+                record["clients"] = result["clients"]
+                record["speedup"] = row["timing"].get("speedup")
             records.append(record)
             if log:
                 log(
@@ -214,6 +220,17 @@ def environment_metadata() -> dict:
     }
 
 
+def cell_key(record: dict) -> tuple:
+    """Identity of a measured cell across BENCH records.
+
+    ``(scenario, n, delta)`` alone is not unique: the E13 concurrent-
+    clients cell shares its graph with the kill/replay cell, so the
+    ``clients`` count joins the key (absent on every other cell and on
+    seed-baseline records, where it is ``None``).
+    """
+    return (record["scenario"], record["n"], record["delta"], record.get("clients"))
+
+
 def check_regressions(
     committed: list, fresh: list, tolerance: float, log=print
 ) -> list:
@@ -227,11 +244,10 @@ def check_regressions(
     perf PR being *undone*, not ordinary machine noise.  Returns the
     list of regression descriptions (empty = pass).
     """
-    committed_index = {(r["scenario"], r["n"], r["delta"]): r for r in committed}
+    committed_index = {cell_key(r): r for r in committed}
     by_scenario: dict = {}
     for record in fresh:
-        key = (record["scenario"], record["n"], record["delta"])
-        old = committed_index.get(key)
+        old = committed_index.get(cell_key(record))
         if old is None:
             continue
         entry = by_scenario.setdefault(
@@ -265,15 +281,13 @@ def check_regressions(
 
 def summarize(before: list, after: list) -> dict:
     """Per-scenario wall totals and before/after speedups (matched cells only)."""
-    before_index = {(r["scenario"], r["n"], r["delta"]): r for r in before}
+    before_index = {cell_key(r): r for r in before}
     names = sorted({r["scenario"] for r in after})
     summary = {}
     for name in names:
         cells = [r for r in after if r["scenario"] == name]
         matched = [
-            (before_index[(r["scenario"], r["n"], r["delta"])], r)
-            for r in cells
-            if (r["scenario"], r["n"], r["delta"]) in before_index
+            (before_index[cell_key(r)], r) for r in cells if cell_key(r) in before_index
         ]
         after_total = sum(r["wall_seconds"] for r in cells)
         entry = {"after_wall_seconds": round(after_total, 4), "cells": len(cells)}
@@ -336,10 +350,9 @@ def main() -> int:
             # keep the per-cell minimum, so machine-state drift across the
             # baseline run cannot masquerade as a regression (or a win).
             print("re-measuring current tree (sandwich pass) ...")
-            second = {(r["scenario"], r["n"], r["delta"]): r for r in measure(quick=args.quick, log=None)}
+            second = {cell_key(r): r for r in measure(quick=args.quick, log=None)}
             for record in records:
-                key = (record["scenario"], record["n"], record["delta"])
-                other = second.get(key)
+                other = second.get(cell_key(record))
                 if other and other["wall_seconds"] < record["wall_seconds"]:
                     record["wall_seconds"] = other["wall_seconds"]
         except Exception as error:  # pragma: no cover - environment dependent

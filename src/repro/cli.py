@@ -37,7 +37,6 @@ plane (:mod:`repro.obs`) — enable with ``REPRO_TRACE=1``, then::
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import Optional
 
@@ -140,6 +139,18 @@ def serve_main(argv: list) -> int:
         default="auto",
         help="daemon mode: fold the delta overlay when it outgrows the base",
     )
+    parser.add_argument(
+        "--journal-max-bytes",
+        type=int,
+        default=None,
+        help="daemon mode: rotate the delta journal when it reaches this size",
+    )
+    parser.add_argument(
+        "--journal-max-records",
+        type=int,
+        default=None,
+        help="daemon mode: rotate the delta journal when it holds this many records",
+    )
     args = parser.parse_args(argv)
 
     if args.compact:
@@ -166,6 +177,8 @@ def serve_main(argv: list) -> int:
             repair_path=args.repair_path,
             radius_limit=args.radius_limit,
             rebase_policy=args.rebase_policy,
+            journal_max_bytes=args.journal_max_bytes,
+            journal_max_records=args.journal_max_records,
         )
 
     if not args.out:
@@ -189,7 +202,7 @@ def query_main(argv: list) -> int:
     mutate the in-memory artifact; ``--save`` writes the mutated
     artifact back to disk after the batch.
     """
-    from repro.serving import ColoringArtifact, ServingSession
+    from repro.serving import ColoringArtifact, ServingSession, protocol
 
     parser = argparse.ArgumentParser(
         prog="repro query", description="Serve queries/deltas against a coloring artifact"
@@ -231,14 +244,11 @@ def query_main(argv: list) -> int:
     )
     args = parser.parse_args(argv)
 
-    requests = [json.loads(text) for text in args.request]
+    lines = list(args.request)
     if args.requests_file:
         with open(args.requests_file, "r", encoding="utf-8") as handle:
-            for line in handle:
-                line = line.strip()
-                if line:
-                    requests.append(json.loads(line))
-    if not requests:
+            lines.extend(line.strip() for line in handle if line.strip())
+    if not lines:
         print("no requests given (use --request or --requests-file)", file=sys.stderr)
         return 2
 
@@ -247,8 +257,17 @@ def query_main(argv: list) -> int:
         artifact, repair_path=args.repair_path, radius_limit=args.radius_limit
     )
     failures = 0
-    for response in session.serve_batch(requests):
-        print(json.dumps(response, sort_keys=True))
+    for line in lines:
+        # The protocol layer turns a malformed line into the same
+        # structured error answer a daemon would send, instead of a
+        # traceback — the CLI speaks repro-serving/v1 like everyone else.
+        try:
+            request = protocol.decode_request_line(line)
+        except protocol.ProtocolError as exc:
+            response = exc.response.to_wire()
+        else:
+            response = session.query(protocol.strip_envelope(request))
+        print(protocol.encode_response(response))
         if not response.get("ok"):
             failures += 1
     if args.save:

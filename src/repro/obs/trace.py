@@ -266,33 +266,41 @@ class Tracer:
 _tracer: Optional[object] = None
 _tracer_pid: Optional[int] = None
 
-# Ambient (trace_id, span_id) context stack, per process.  Thread-local
-# would be stricter; the daemon serves requests single-threaded and the
-# executor is process-parallel, so a plain list is sufficient and cheap.
-_context_stack: List[Tuple[str, Optional[str]]] = []
-_seed_context: Tuple[Optional[str], Optional[str]] = (None, None)
+# Ambient (trace_id, span_id) context, per *thread*.  The threaded
+# serving daemon handles connections concurrently, each carrying its own
+# propagated context, so the stack and the seed both live in
+# thread-local storage — a handler thread can never re-parent another
+# connection's spans.  (Forked executor workers are single-threaded and
+# see an ordinary per-process copy, exactly as before.)
+class _ContextState(threading.local):
+    def __init__(self) -> None:
+        self.stack: List[Tuple[str, Optional[str]]] = []
+        self.seed: Tuple[Optional[str], Optional[str]] = (None, None)
+
+
+_context = _ContextState()
 
 
 def _push_context(trace_id: str, span_id: str) -> None:
-    _context_stack.append((trace_id, span_id))
+    _context.stack.append((trace_id, span_id))
 
 
 def _pop_context() -> None:
-    if _context_stack:
-        _context_stack.pop()
+    if _context.stack:
+        _context.stack.pop()
 
 
 def current_context() -> Tuple[Optional[str], Optional[str]]:
     """The ambient ``(trace_id, parent span_id)`` for a new span."""
-    if _context_stack:
-        return _context_stack[-1]
-    return _seed_context
+    if _context.stack:
+        return _context.stack[-1]
+    return _context.seed
 
 
 def set_context(trace_id: Optional[str], span_id: Optional[str] = None) -> None:
-    """Seed the ambient context (cross-process/socket propagation)."""
-    global _seed_context
-    _seed_context = (trace_id, span_id)
+    """Seed the calling thread's ambient context (cross-process/socket
+    propagation; each daemon handler thread seeds its own)."""
+    _context.seed = (trace_id, span_id)
 
 
 def trace_dir() -> str:

@@ -59,6 +59,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         send_plane=args.send_plane,
         receive_plane=args.receive_plane,
         repair_path=args.repair_path,
+        client_plane=args.client_plane,
     )
     retry = spec.retry
     if args.timeout is not None:
@@ -300,6 +301,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_run.add_argument(
         "--repair-path", dest="repair_path", help="serving delta-repair twin knob"
+    )
+    p_run.add_argument(
+        "--client-plane", dest="client_plane", help="serving daemon client-plane knob"
     )
     p_run.add_argument("--no-progress", action="store_true", help="suppress per-cell lines")
     p_run.set_defaults(func=_cmd_run)

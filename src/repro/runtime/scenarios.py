@@ -342,6 +342,23 @@ register(
                 params={"n": 600, "delta": 8, "churn": 0.05, "graph_seed": 9},
                 quick=False,
             ),
+            # Concurrent-clients cell: 4 socket clients with ~2ms think
+            # time between requests; the threading daemon must beat the
+            # same streams replayed serially by >= 2x (timing-only — the
+            # deterministic core is identical across client planes).
+            Cell(
+                params={
+                    "n": 200,
+                    "delta": 6,
+                    "graph_seed": 9,
+                    "clients": 4,
+                    "toggles": 3,
+                    "reads_per_write": 3,
+                    "client_delay_ms": 2.0,
+                    "min_speedup": 2.0,
+                    "journal_max_records": 16,
+                }
+            ),
         ],
         tags=("bench", "perf", "serving", "faults"),
     )

@@ -175,20 +175,25 @@ class Knobs:
     :mod:`repro.core.engine`); ``send_plane`` / ``receive_plane`` select
     the simulator send and receive planes (see
     :mod:`repro.distributed.network`); ``repair_path`` selects the
-    serving plane's delta-repair twin (see :mod:`repro.serving.repair`).
-    All default to the environment overrides CI uses
+    serving plane's delta-repair twin (see :mod:`repro.serving.repair`);
+    ``client_plane`` selects how the ``serving_daemon`` concurrent
+    cells drive their clients (``concurrent`` threads vs a ``serial``
+    schedule — bit-identical result cores by the linearizability
+    contract).  All default to the environment overrides CI uses
     (``REPRO_SCAN_PATH`` / ``REPRO_SEND_PLANE`` /
-    ``REPRO_RECEIVE_PLANE`` / ``REPRO_REPAIR_PATH``) and fall back to
-    ``"auto"``.  The *resolved* values enter the cache key: a row
-    computed under a forced engine is never reused for another engine,
-    even though the engines are bit-identical by contract — the cache
-    key must not encode that proof obligation.
+    ``REPRO_RECEIVE_PLANE`` / ``REPRO_REPAIR_PATH`` /
+    ``REPRO_CLIENT_PLANE``) and fall back to ``"auto"``.  The
+    *resolved* values enter the cache key: a row computed under a
+    forced engine is never reused for another engine, even though the
+    engines are bit-identical by contract — the cache key must not
+    encode that proof obligation.
     """
 
     scan_path: str = "auto"
     send_plane: str = "auto"
     receive_plane: str = "auto"
     repair_path: str = "auto"
+    client_plane: str = "auto"
 
     def as_dict(self) -> Dict[str, str]:
         return {
@@ -196,6 +201,7 @@ class Knobs:
             "send_plane": self.send_plane,
             "receive_plane": self.receive_plane,
             "repair_path": self.repair_path,
+            "client_plane": self.client_plane,
         }
 
 
@@ -204,6 +210,7 @@ def resolve_knobs(
     send_plane: Optional[str] = None,
     receive_plane: Optional[str] = None,
     repair_path: Optional[str] = None,
+    client_plane: Optional[str] = None,
 ) -> Knobs:
     """Resolve knobs: explicit argument > environment override > ``auto``."""
     if scan_path is None:
@@ -218,11 +225,16 @@ def resolve_knobs(
         repair_path = (
             os.environ.get("REPRO_REPAIR_PATH", "").strip().lower() or "auto"
         )
+    if client_plane is None:
+        client_plane = (
+            os.environ.get("REPRO_CLIENT_PLANE", "").strip().lower() or "auto"
+        )
     return Knobs(
         scan_path=scan_path,
         send_plane=send_plane,
         receive_plane=receive_plane,
         repair_path=repair_path,
+        client_plane=client_plane,
     )
 
 

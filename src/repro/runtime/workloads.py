@@ -1104,6 +1104,253 @@ def run_serving_churn(ctx: CellContext) -> Dict[str, object]:
     }
 
 
+def _concurrent_client_streams(colors0, n, clients, toggles, reads_per_write, seed):
+    """Disjoint per-client request streams for the concurrent E13 cell.
+
+    Each client owns one node; owners are pairwise **non-adjacent**, so
+    the per-client write sets (delete → insert toggles of base edges
+    incident to the owner) are disjoint and every toggle pair restores
+    the edge it removed — the final graph equals the base graph at every
+    interleaving, and the canonical fixed point makes the final coloring
+    interleaving-independent.  Reads query base edges incident to *no*
+    owner, so they are valid (``ok``) at every moment of every schedule.
+    A pure function of its arguments: the concurrent and serial client
+    planes replay the exact same streams.  Returns ``(streams,
+    writes_per_pass)``.
+    """
+    import random
+
+    rng = random.Random(seed)
+    adjacency: Dict[int, set] = {}
+    for u, v in colors0:
+        adjacency.setdefault(u, set()).add(v)
+        adjacency.setdefault(v, set()).add(u)
+    candidates = list(range(n))
+    rng.shuffle(candidates)
+    owners, excluded = [], set()
+    for node in candidates:
+        if node in excluded or len(adjacency.get(node, ())) < toggles:
+            continue
+        owners.append(node)
+        excluded.add(node)
+        excluded.update(adjacency[node])
+        if len(owners) == clients:
+            break
+    assert len(owners) == clients, (
+        f"could not pick {clients} pairwise-non-adjacent owner nodes "
+        f"with degree >= {toggles} (n={n})"
+    )
+    owner_set = set(owners)
+    stable = sorted(
+        edge for edge in colors0 if edge[0] not in owner_set and edge[1] not in owner_set
+    )
+    assert stable, "no owner-free base edges left for the read streams"
+
+    streams = []
+    for index, owner in enumerate(owners):
+        client_rng = random.Random(f"{seed}:client:{index}")
+        edges = sorted(edge for edge in colors0 if owner in edge)[:toggles]
+        stream: List[Dict[str, object]] = []
+        for u, v in edges:
+            for op in ("delete", "insert"):
+                stream.append({"op": op, "u": u, "v": v})
+                for _ in range(reads_per_write):
+                    pick = client_rng.randrange(4)
+                    if pick == 0:
+                        stream.append({"op": "stats"})
+                    elif pick == 1:
+                        ru, _rv = stable[client_rng.randrange(len(stable))]
+                        stream.append({"op": "node_palette", "v": ru})
+                    else:
+                        ru, rv = stable[client_rng.randrange(len(stable))]
+                        stream.append({"op": "color", "u": ru, "v": rv})
+        streams.append(stream)
+    writes_per_pass = 2 * toggles * clients
+    return streams, writes_per_pass
+
+
+def _run_daemon_concurrent(ctx: CellContext) -> Dict[str, object]:
+    """The concurrent-clients E13 cell: N socket clients vs a serial twin.
+
+    Spawns one ``repro serve --listen`` subprocess (journal rotation caps
+    on) and drives the same disjoint per-client streams at it three
+    times: two *measured* passes scheduled by the resolved
+    ``client_plane`` knob (``concurrent`` = one thread per client,
+    ``serial`` = the same streams back to back on one connection) plus
+    one serial baseline pass.  Both planes execute identical requests in
+    identical pass structure, so the deterministic result core — counts,
+    final epoch, canonical coloring digest — is bit-identical across
+    planes (CI diffs the two stores with ``--ignore-knobs``); only
+    ``timing`` carries the plane, the walls and the speedup.  Response
+    *digests* are deliberately excluded from the core: read payloads
+    observe the interleaving (that is the point of snapshot reads), and
+    the linearizability tests, not this runner, pin their validity.
+
+    Each client's think time (``client_delay_ms``) models a remote
+    caller doing work between requests — that is the latency the
+    threading daemon overlaps; a serialized daemon cannot, which is what
+    the ``min_speedup`` gate measures on the concurrent plane.
+    """
+    import hashlib
+    import os
+    import tempfile
+    import threading
+
+    from repro.graphs import generators
+    from repro.runtime.spec import canonical_json
+    from repro.serving import (
+        ColoringArtifact,
+        build_artifact,
+        journal_path,
+        resolve_repair_path,
+    )
+    from repro.serving.daemon import connect, spawn_daemon_process
+
+    phases = _phases("serving_daemon")
+    n = int(ctx.params["n"])
+    delta = int(ctx.params["delta"])
+    clients = int(ctx.params["clients"])
+    toggles = int(ctx.params.get("toggles", 3))
+    reads_per_write = int(ctx.params.get("reads_per_write", 3))
+    delay = float(ctx.params.get("client_delay_ms", 2.0)) / 1000.0
+    min_speedup = float(ctx.params.get("min_speedup", 0.0))
+    journal_max_records = ctx.params.get("journal_max_records")
+    plane = (ctx.knobs.client_plane or "auto").strip().lower()
+    if plane == "auto":
+        plane = "concurrent"
+    if plane not in ("concurrent", "serial"):
+        raise ValueError(f"unknown client_plane {plane!r}")
+    resolved = resolve_repair_path(ctx.knobs.repair_path)
+
+    with phases.phase("setup"):
+        graph = generators.random_regular_graph(
+            n, delta, seed=int(ctx.params["graph_seed"])
+        )
+        built = build_artifact(graph)
+        colors0 = dict(built.colors)
+        epoch0 = built.epoch
+        streams, writes_per_pass = _concurrent_client_streams(
+            colors0, n, clients, toggles, reads_per_write, ctx.seed
+        )
+    requests_per_pass = sum(len(stream) for stream in streams)
+
+    with tempfile.TemporaryDirectory(prefix="repro_e13c_") as tmp:
+        path = os.path.join(tmp, "artifact.json")
+        built.save(path)
+        extra_args = []
+        if journal_max_records is not None:
+            extra_args = ["--journal-max-records", str(int(journal_max_records))]
+        process, host, port = spawn_daemon_process(
+            path, repair_path=resolved, extra_args=extra_args
+        )
+
+        def drive(stream, client, acks):
+            for request in stream:
+                time.sleep(delay)
+                acks.append(client.request(request))
+
+        def concurrent_pass():
+            acks = [[] for _ in streams]
+            def work(index, stream):
+                with connect((host, port)) as client:
+                    drive(stream, client, acks[index])
+            threads = [
+                threading.Thread(target=work, args=(i, s), daemon=True)
+                for i, s in enumerate(streams)
+            ]
+            start = time.perf_counter()
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            return acks, time.perf_counter() - start
+
+        def serial_pass():
+            acks = [[] for _ in streams]
+            start = time.perf_counter()
+            with connect((host, port)) as client:
+                for index, stream in enumerate(streams):
+                    drive(stream, client, acks[index])
+            return acks, time.perf_counter() - start
+
+        solve_start = time.perf_counter()
+        try:
+            measured = concurrent_pass if plane == "concurrent" else serial_pass
+            acks_a, wall_a = measured()
+            acks_b, wall_b = measured()
+            measured_wall = min(wall_a, wall_b)
+            acks_c, serial_wall = serial_pass()
+            passes = (acks_a, acks_b, acks_c)
+            with connect((host, port)) as client:
+                ack = client.shutdown()
+            assert ack == {"ok": True, "op": "shutdown"}, f"bad shutdown ack: {ack}"
+            process.wait(timeout=30)
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+        phases.record("solve", time.perf_counter() - solve_start)
+        speedup = serial_wall / max(measured_wall, 1e-9)
+
+        with phases.phase("verify"):
+            for pass_index, acks in enumerate(passes):
+                flat = [response for per_client in acks for response in per_client]
+                bad = [r for r in flat if not r.get("ok")]
+                assert not bad, f"failed responses in pass {pass_index}: {bad[:3]}"
+                write_epochs = sorted(
+                    r["epoch"]
+                    for r in flat
+                    if r["op"] in ("insert", "delete", "set_list")
+                )
+                lo = epoch0 + pass_index * writes_per_pass
+                assert len(write_epochs) == writes_per_pass
+                assert write_epochs == list(range(lo + 1, lo + writes_per_pass + 1)), (
+                    f"write epochs in pass {pass_index} are not the contiguous "
+                    f"total order ({lo + 1}..{lo + writes_per_pass})"
+                )
+            # Graceful shutdown compacted: no journal, no rotated segments.
+            assert not os.path.exists(journal_path(path)), (
+                "graceful shutdown left the journal behind"
+            )
+            final = ColoringArtifact.load(path)
+            assert final.epoch == epoch0 + len(passes) * writes_per_pass
+            assert final.colors == colors0, (
+                "toggled writes did not restore the canonical base coloring"
+            )
+            final.verify()
+            if plane == "concurrent" and min_speedup:
+                assert speedup >= min_speedup, (
+                    f"concurrent clients speedup {speedup:.2f}x < {min_speedup}x "
+                    f"over the serialized schedule ({clients} clients)"
+                )
+
+    coloring_digest = hashlib.sha256(
+        canonical_json(
+            [[u, v, c] for (u, v), c in sorted(final.colors.items())]
+        ).encode("utf-8")
+    ).hexdigest()[:16]
+    return {
+        "n": n,
+        "delta": delta,
+        "clients": clients,
+        "rounds": len(passes) * writes_per_pass,
+        "requests": len(passes) * requests_per_pass,
+        "writes_per_pass": writes_per_pass,
+        "passes": len(passes),
+        "colors": final.num_colors,
+        "epoch": final.epoch,
+        "coloring_digest": coloring_digest,
+        "verified": True,
+        "timing": {
+            "wall_seconds": round(measured_wall, 4),
+            "serial_wall_seconds": round(serial_wall, 4),
+            "speedup": round(speedup, 2),
+            "client_plane": plane,
+            "phases": phases.as_timing(),
+        },
+    }
+
+
 @runner("serving_daemon")
 def run_serving_daemon(ctx: CellContext) -> Dict[str, object]:
     """Daemon durability under SIGKILL: socket twin + journal replay (E13).
@@ -1124,7 +1371,15 @@ def run_serving_daemon(ctx: CellContext) -> Dict[str, object]:
 
     Graceful shutdown must compact: after the final ``shutdown`` op the
     journal is gone and the artifact JSON alone carries the end state.
+
+    Cells carrying a ``clients`` parameter dispatch to the
+    concurrent-clients variant (:func:`_run_daemon_concurrent`), which
+    measures the threading daemon's speedup over a serialized client
+    schedule under the ``client_plane`` knob.
     """
+    if "clients" in ctx.params:
+        return _run_daemon_concurrent(ctx)
+
     import hashlib
     import os
     import tempfile
@@ -1138,7 +1393,7 @@ def run_serving_daemon(ctx: CellContext) -> Dict[str, object]:
         journal_path,
         resolve_repair_path,
     )
-    from repro.serving.daemon import DaemonClient, spawn_daemon_process
+    from repro.serving.daemon import connect, spawn_daemon_process
 
     phases = _phases("serving_daemon")
     n = int(ctx.params["n"])
@@ -1174,7 +1429,7 @@ def run_serving_daemon(ctx: CellContext) -> Dict[str, object]:
         # Phase 1: lockstep until the kill point, then SIGKILL mid-stream.
         process, host, port = spawn_daemon_process(path, repair_path=resolved)
         try:
-            with DaemonClient(host, port) as client:
+            with connect((host, port)) as client:
                 got_prefix = client.request_many(requests[:kill_at])
         finally:
             process.kill()
@@ -1193,7 +1448,7 @@ def run_serving_daemon(ctx: CellContext) -> Dict[str, object]:
         # Phase 2: restart from base+journal, finish the stream, shut down.
         process, host, port = spawn_daemon_process(path, repair_path=resolved)
         try:
-            with DaemonClient(host, port) as client:
+            with connect((host, port)) as client:
                 got_suffix = client.request_many(requests[kill_at:])
                 ack = client.shutdown()
             assert ack == {"ok": True, "op": "shutdown"}, f"bad shutdown ack: {ack}"

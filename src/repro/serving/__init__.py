@@ -61,12 +61,22 @@ two:
       artifact, healing a torn tail the same way the runtime's result
       store does; :func:`compact_artifact` folds journal → JSON.
     * *Daemon*: ``python -m repro serve --listen`` serves the
-      newline-delimited JSON request protocol over a stdlib socket
-      server, journaling every delta **before** acknowledging it
-      (acknowledged ⇒ durable, even under SIGKILL) and compacting the
-      journal on graceful shutdown.  The ``serving_daemon`` scenario
-      (E13) pins socket responses bit-identical to an in-process
-      session and journal-replay recovery after SIGKILL.
+      versioned ``repro-serving/v1`` wire protocol
+      (:mod:`repro.serving.protocol` is the normative spec) over a
+      threading socket server — reads from any number of connections
+      execute concurrently against the current epoch while writes
+      serialize on the session's writer lock, journaled **before**
+      acknowledgment inside that critical section (acknowledged ⇒
+      durable, even under SIGKILL).  A :class:`RotationPolicy`
+      (``--journal-max-bytes`` / ``--journal-max-records``) caps the
+      active journal with online compact-and-rotate into
+      ``<artifact>.journal.N`` segments; graceful shutdown compacts
+      everything.  :func:`connect` returns the same duck-typed client
+      for an in-process artifact or a daemon address.  The
+      ``serving_daemon`` scenario (E13) pins socket responses
+      bit-identical to an in-process session, journal-replay recovery
+      after SIGKILL, and the concurrent-clients cell's speedup over a
+      serialized schedule.
     * *Bounded observability*: ``ServingSession.reports`` is a ring
       buffer (``reports_cap``, default 256); lossless totals live in
       ``cache_stats()`` — long-lived sessions never grow without bound.
@@ -86,12 +96,33 @@ from repro.serving.artifact import (
     build_artifact,
     resolve_rebase_policy,
 )
+from repro.serving.daemon import (
+    ColoringDaemon,
+    DaemonClient,
+    SessionClient,
+    connect,
+    spawn_daemon_process,
+)
 from repro.serving.journal import (
     JOURNAL_FORMAT,
     DeltaJournal,
     JournalError,
+    RotationPolicy,
     compact_artifact,
     journal_path,
+    resolve_rotation,
+    segment_paths,
+)
+from repro.serving.protocol import (
+    ERROR_CODES,
+    PROTOCOL_FORMAT,
+    DeltaRequest,
+    ErrorResponse,
+    ProtocolError,
+    QueryRequest,
+    RebaseRequest,
+    StatsRequest,
+    parse_request,
 )
 from repro.serving.repair import (
     DEFAULT_RADIUS_LIMIT,
@@ -120,16 +151,28 @@ __all__ = [
     "DEFAULT_RADIUS_LIMIT",
     "DEFAULT_REPORTS_CAP",
     "DELTA_OPS",
+    "ERROR_CODES",
     "JOURNAL_FORMAT",
+    "PROTOCOL_FORMAT",
     "READ_OPS",
     "REPAIR_PATHS",
     "ColoringArtifact",
+    "ColoringDaemon",
+    "DaemonClient",
     "DeltaJournal",
+    "DeltaRequest",
+    "ErrorResponse",
     "JournalError",
+    "ProtocolError",
+    "QueryRequest",
     "RebasePolicy",
+    "RebaseRequest",
     "RepairError",
     "RepairReport",
+    "RotationPolicy",
     "ServingSession",
+    "SessionClient",
+    "StatsRequest",
     "apply_delete",
     "apply_insert",
     "apply_set_list",
@@ -137,10 +180,15 @@ __all__ = [
     "artifact_from_list_coloring",
     "build_artifact",
     "compact_artifact",
+    "connect",
     "full_recompute",
     "journal_path",
     "normalize_list",
+    "parse_request",
     "resolve_rebase_policy",
     "resolve_repair_path",
+    "resolve_rotation",
     "result_cache_key",
+    "segment_paths",
+    "spawn_daemon_process",
 ]

@@ -36,7 +36,14 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from repro.coloring.greedy import UsedColorMasks
 from repro.graphs.core import Graph
 from repro.graphs.delta import DeltaGraph
-from repro.serving.journal import DeltaJournal, delta_record, journal_path
+from repro.serving.journal import (
+    DeltaJournal,
+    RotationPolicy,
+    clear_segments,
+    delta_record,
+    journal_path,
+    segment_paths,
+)
 from repro.serving.repair import (
     RepairError,
     RepairReport,
@@ -142,9 +149,12 @@ class ColoringArtifact:
         # Delta records pending a journal append: populated only when
         # journal tracking is on (loaded/saved artifacts), drained by
         # ``save``.  In-memory artifacts that are never persisted pay
-        # nothing.
+        # nothing.  ``_journal_records`` counts records in the *active*
+        # journal file (rotation policies cap it without re-reading the
+        # file on every append).
         self._journal_tracking = False
         self._pending_deltas: List[Dict[str, object]] = []
+        self._journal_records = 0
 
     # ------------------------------------------------------------------ meta
     @property
@@ -196,7 +206,9 @@ class ColoringArtifact:
         try:
             return self.colors[key]
         except KeyError:
-            raise RepairError(f"edge {key} is not present") from None
+            raise RepairError(
+                f"edge {key} is not present", code="absent-edge"
+            ) from None
 
     def masks(self) -> UsedColorMasks:
         """Per-node used-color bitmasks for the current epoch (cached)."""
@@ -215,7 +227,10 @@ class ColoringArtifact:
         path's advantage under churn (one rebuild per delta).
         """
         if not 0 <= v < self.graph.num_nodes:
-            raise RepairError(f"node {v} out of range for {self.graph.num_nodes} nodes")
+            raise RepairError(
+                f"node {v} out of range for {self.graph.num_nodes} nodes",
+                code="node-out-of-range",
+            )
         colors = self.colors
         return sorted(colors[_pair(v, w)] for w in self.graph.neighbors(v))
 
@@ -227,7 +242,10 @@ class ColoringArtifact:
         ``v`` talks to that neighbor.
         """
         if not 0 <= v < self.graph.num_nodes:
-            raise RepairError(f"node {v} out of range for {self.graph.num_nodes} nodes")
+            raise RepairError(
+                f"node {v} out of range for {self.graph.num_nodes} nodes",
+                code="node-out-of-range",
+            )
         colors = self.colors
         return sorted(
             ((colors[_pair(v, w)], w) for w in self.graph.neighbors(v)),
@@ -291,7 +309,8 @@ class ColoringArtifact:
             raise RepairError(
                 f"cannot apply {op!r}: artifact built by {self.builder!r} is "
                 "lookup-only (no canonical fixed point to repair towards); "
-                "rebuild with build_artifact() to serve deltas"
+                "rebuild with build_artifact() to serve deltas",
+                code="lookup-only",
             )
 
     # ------------------------------------------------- repair-engine hooks
@@ -420,21 +439,77 @@ class ColoringArtifact:
         artifact._epoch_base = int(payload.get("epoch", 0))
         return artifact
 
-    def save(self, path: str, *, journal: bool = False, fsync: bool = False) -> None:
+    def _write_full(self, path: str, fsync: bool = False) -> None:
+        """Atomically rewrite the full artifact JSON (journal untouched)."""
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(self.to_json(), handle, separators=(",", ":"))
+            handle.write("\n")
+            handle.flush()
+            if fsync:
+                os.fsync(handle.fileno())
+        os.replace(tmp, path)
+
+    def _rotate(self, path: str, rotation: RotationPolicy, fsync: bool) -> None:
+        """Online compact-and-rotate the active journal (cap was hit).
+
+        Ordering is the durability argument: (1) the in-memory
+        artifact — which already contains every journaled delta — is
+        atomically full-saved, so from that instant every journal
+        record is at or below the base epoch and replay skips it;
+        (2) the active journal is renamed to the next ``.journal.N``
+        segment; (3) segments beyond ``keep_segments`` are pruned.  A
+        SIGKILL between any two steps loses nothing: before (1) the
+        old base + journal replay; after (1) the new base supersedes
+        whatever journal files remain.
+        """
+        from repro.obs import get_registry, tracer
+
+        with tracer().span("journal.rotate", artifact=path) as span:
+            self._write_full(path, fsync=fsync)
+            active = journal_path(path)
+            segments = segment_paths(path)
+            if os.path.exists(active):
+                next_n = 1
+                if segments:
+                    last = segments[-1]
+                    next_n = int(last.rsplit(".", 1)[1]) + 1
+                os.replace(active, f"{active}.{next_n}")
+                segments.append(f"{active}.{next_n}")
+            self._journal_records = 0
+            pruned = 0
+            if rotation.keep_segments >= 0:
+                excess = segments[: max(0, len(segments) - rotation.keep_segments)]
+                for old in excess:
+                    os.remove(old)
+                    pruned += 1
+            span.set(segments=len(segments) - pruned, pruned=pruned)
+        get_registry().counter("journal.rotations").inc()
+
+    def save(
+        self,
+        path: str,
+        *,
+        journal: bool = False,
+        fsync: bool = False,
+        rotation: Optional[RotationPolicy] = None,
+    ) -> None:
         """Persist the artifact at ``path``.
 
         ``journal=False`` (the default) writes the full snapshot: the
         artifact JSON is rewritten atomically (temp file + rename, the
         result store's ``compact`` idiom) and a now-superseded
-        ``<path>.journal`` is deleted — everything it recorded is baked
-        into the new base.
+        ``<path>.journal`` — rotated segments included — is deleted:
+        everything they recorded is baked into the new base.
 
         ``journal=True`` appends the deltas absorbed since the last save
         to ``<path>.journal`` instead — O(deltas) disk work instead of
         O(m), the long-lived daemon's per-delta durability path.  It
         requires the artifact JSON to exist (first saves are full saves)
         and delta tracking to be on, which :meth:`load` and every full
-        :meth:`save` arm automatically.
+        :meth:`save` arm automatically.  With a ``rotation`` policy, an
+        active journal that outgrew a cap is compact-and-rotated after
+        the append (see :meth:`_rotate`).
         """
         if journal:
             if not self._journal_tracking:
@@ -448,39 +523,47 @@ class ColoringArtifact:
                     "full-save first"
                 )
             DeltaJournal(journal_path(path), fsync=fsync).append(self._pending_deltas)
+            self._journal_records += len(self._pending_deltas)
             self._pending_deltas = []
+            if rotation is not None and rotation.should_rotate(
+                journal_path(path), self._journal_records
+            ):
+                self._rotate(path, rotation, fsync)
             return
-        tmp = path + ".tmp"
-        with open(tmp, "w", encoding="utf-8") as handle:
-            json.dump(self.to_json(), handle, separators=(",", ":"))
-            handle.write("\n")
-            handle.flush()
-            if fsync:
-                os.fsync(handle.fileno())
-        os.replace(tmp, path)
+        self._write_full(path, fsync=fsync)
         DeltaJournal(journal_path(path)).clear()
+        clear_segments(path)
         self._journal_tracking = True
         self._pending_deltas = []
+        self._journal_records = 0
 
     @classmethod
     def load(cls, path: str) -> "ColoringArtifact":
         """Read an artifact written by :meth:`save`, replaying its journal.
 
-        When ``<path>.journal`` exists, every record above the base
-        JSON's epoch is re-absorbed in order (records the base already
-        folded in are skipped), so the loaded artifact lands on the
-        exact state of the last acknowledged delta — bit-identical,
-        because each replayed delta repairs toward the same canonical
-        fixed point the original session maintained.  A torn trailing
-        record (interrupted append) is skipped by the journal layer; an
-        epoch that fails to line up raises :class:`RepairError`.
+        Rotated ``<path>.journal.N`` segments are replayed in ascending
+        ``N``, then the active ``<path>.journal``: in every file, a
+        record above the base JSON's epoch is re-absorbed in order and
+        records the base already folded in are skipped, so the loaded
+        artifact lands on the exact state of the last acknowledged
+        delta — bit-identical, because each replayed delta repairs
+        toward the same canonical fixed point the original session
+        maintained.  (Under the fold-first rotation ordering, segments
+        only ever hold already-folded records — the skip makes them
+        harmless history.)  A torn trailing record (interrupted append)
+        is skipped by the journal layer; an epoch that fails to line up
+        raises :class:`RepairError`.
         """
         with open(path, "r", encoding="utf-8") as handle:
             artifact = cls.from_json(json.load(handle))
         artifact._journal_tracking = True
-        journal = DeltaJournal(journal_path(path))
-        if journal.exists():
-            for record in journal.records():
+        active = DeltaJournal(journal_path(path))
+        journals = [DeltaJournal(p) for p in segment_paths(path)] + [active]
+        for journal in journals:
+            if not journal.exists():
+                continue
+            records = journal.records()
+            for record in records:
                 epoch = int(record["epoch"])
                 if epoch <= artifact.epoch:
                     continue  # already folded into the base JSON
@@ -499,10 +582,12 @@ class ColoringArtifact:
                         f"journal replay drifted: record epoch {epoch}, "
                         f"artifact epoch {artifact.epoch}"
                     )
-            # Replay re-queued the records it applied; they are already
-            # durable in the journal, so a later journal save must not
-            # re-append them.
-            artifact._pending_deltas = []
+            if journal is active:
+                artifact._journal_records = len(records)
+        # Replay re-queued the records it applied; they are already
+        # durable in the journal, so a later journal save must not
+        # re-append them.
+        artifact._pending_deltas = []
         return artifact
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -34,6 +34,22 @@ maintained (see :mod:`repro.serving.repair`).
 :func:`compact_artifact` folds the journal back into the artifact JSON
 (the explicit rewrite, mirroring ``scenarios compact`` on the result
 store); the daemon runs it on graceful shutdown.
+
+**Rotation.**  A weeks-long daemon cannot let the active journal grow
+without bound (unbounded disk, O(journal) replay).  A
+:class:`RotationPolicy` caps the active journal by bytes and/or record
+count; when a cap is hit, :meth:`ColoringArtifact.save` performs an
+online *compact-and-rotate*: the in-memory artifact is atomically
+full-saved (the fold — after it, every journal record is at or below
+the base epoch), the active journal is renamed to the next
+``<artifact>.journal.N`` segment, and segments beyond
+``keep_segments`` are pruned.  The ordering is SIGKILL-safe at every
+point: the fold lands first, so replay (which skips records at or
+below the base epoch) never double-applies a rotated record, and a
+kill between fold and rename merely leaves an already-superseded
+active journal.  ``load()`` replays segments in ascending ``N`` and
+then the active journal, under the same drift checks; a full save or
+compaction deletes segments along with the journal.
 """
 
 from __future__ import annotations
@@ -41,7 +57,9 @@ from __future__ import annotations
 import json
 import logging
 import os
-from typing import Dict, List
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional
 
 from repro.obs import get_registry, tracer
 
@@ -57,6 +75,79 @@ RECORD_FIELDS = ("epoch", "op", "u", "v", "colors")
 def journal_path(artifact_path: str) -> str:
     """The journal's location next to an artifact JSON file."""
     return artifact_path + ".journal"
+
+
+_SEGMENT_RE = re.compile(r"\.journal\.(\d+)$")
+
+
+def segment_paths(artifact_path: str) -> List[str]:
+    """Existing rotated segments ``<artifact>.journal.N``, ascending ``N``."""
+    base = journal_path(artifact_path)
+    directory = os.path.dirname(base) or "."
+    name = os.path.basename(base)
+    found = []
+    if os.path.isdir(directory):
+        for entry in os.listdir(directory):
+            if entry.startswith(name + "."):
+                match = _SEGMENT_RE.search(entry)
+                if match:
+                    found.append((int(match.group(1)), os.path.join(directory, entry)))
+    return [path for _n, path in sorted(found)]
+
+
+def clear_segments(artifact_path: str) -> None:
+    """Delete every rotated segment (a full save superseded them all)."""
+    for path in segment_paths(artifact_path):
+        os.remove(path)
+
+
+@dataclass(frozen=True)
+class RotationPolicy:
+    """Caps on the active journal that trigger compact-and-rotate.
+
+    ``max_bytes`` / ``max_records`` bound the active journal (either
+    may be ``None`` for uncapped); ``keep_segments`` bounds how many
+    rotated ``<artifact>.journal.N`` segments are retained — older
+    segments are pruned, which is safe because the fold-first rotation
+    ordering means a segment never holds the only copy of a record.
+    """
+
+    max_bytes: Optional[int] = None
+    max_records: Optional[int] = None
+    keep_segments: int = 2
+
+    def __post_init__(self) -> None:
+        for name in ("max_bytes", "max_records"):
+            value = getattr(self, name)
+            if value is not None and value < 1:
+                raise ValueError(f"{name} must be >= 1, got {value!r}")
+        if self.max_bytes is None and self.max_records is None:
+            raise ValueError("rotation policy needs max_bytes and/or max_records")
+        if self.keep_segments < 0:
+            raise ValueError(f"keep_segments must be >= 0, got {self.keep_segments!r}")
+
+    def should_rotate(self, path: str, records: int) -> bool:
+        """Has the active journal at ``path`` outgrown a cap?"""
+        if self.max_records is not None and records >= self.max_records:
+            return True
+        if (
+            self.max_bytes is not None
+            and os.path.exists(path)
+            and os.path.getsize(path) >= self.max_bytes
+        ):
+            return True
+        return False
+
+
+def resolve_rotation(value) -> Optional[RotationPolicy]:
+    """Normalize a rotation knob: ``None``/``"off"`` disable, a policy passes."""
+    if value is None or value == "off":
+        return None
+    if isinstance(value, RotationPolicy):
+        return value
+    raise ValueError(
+        f"unknown rotation {value!r}; expected None, 'off' or a RotationPolicy"
+    )
 
 
 def delta_record(epoch: int, op: str, u: int, v: int, colors=None) -> Dict[str, object]:

@@ -80,7 +80,17 @@ DEFAULT_RADIUS_LIMIT = 256
 
 
 class RepairError(ValueError):
-    """A delta cannot be absorbed (e.g. an edge's demand list is exhausted)."""
+    """A delta cannot be absorbed (e.g. an edge's demand list is exhausted).
+
+    ``code`` is the stable machine-readable failure class from
+    :data:`repro.serving.protocol.ERROR_CODES` (default
+    ``"repair-failed"``); the serving plane folds it into the
+    structured error response so clients never parse message text.
+    """
+
+    def __init__(self, message: str, *, code: str = "repair-failed") -> None:
+        super().__init__(message)
+        self.code = code
 
 
 def _pair(u: int, v: int) -> Pair:
@@ -111,9 +121,11 @@ def normalize_list(colors: Iterable[int]) -> Tuple[int, ...]:
     """
     normalized = tuple(sorted(set(int(c) for c in colors)))
     if not normalized:
-        raise RepairError("a demand list must contain at least one color")
+        raise RepairError("a demand list must contain at least one color", code="bad-list")
     if normalized[0] < 0:
-        raise RepairError(f"demand list contains negative color {normalized[0]}")
+        raise RepairError(
+            f"demand list contains negative color {normalized[0]}", code="bad-list"
+        )
     return normalized
 
 
@@ -131,7 +143,10 @@ def choose_color(blocked: int, demand: Optional[Tuple[int, ...]]) -> int:
     for c in demand:
         if not (blocked >> c) & 1:
             return c
-    raise RepairError(f"demand list {demand} exhausted (blocked mask {blocked:#x})")
+    raise RepairError(
+        f"demand list {demand} exhausted (blocked mask {blocked:#x})",
+        code="list-exhausted",
+    )
 
 
 @dataclass(frozen=True)
@@ -333,7 +348,7 @@ def apply_delete(
     limit = DEFAULT_RADIUS_LIMIT if radius_limit is None else radius_limit
     key = _pair(u, v)
     if not artifact.graph.has_edge(u, v):
-        raise RepairError(f"edge {key} is not present")
+        raise RepairError(f"edge {key} is not present", code="absent-edge")
     c_del = artifact.colors[key]
     # Seeds must be collected *before* the edge disappears from
     # neighbor rows: lower-priority neighbors that might now reclaim
@@ -381,7 +396,7 @@ def apply_set_list(
     limit = DEFAULT_RADIUS_LIMIT if radius_limit is None else radius_limit
     key = _pair(u, v)
     if not artifact.graph.has_edge(u, v):
-        raise RepairError(f"edge {key} is not present")
+        raise RepairError(f"edge {key} is not present", code="absent-edge")
     if colors is None:
         artifact.lists.pop(key, None)
     else:

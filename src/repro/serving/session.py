@@ -1,32 +1,40 @@
 """The online serving loop: sessions, batched queries, keyed result cache.
 
 A :class:`ServingSession` fronts a :class:`~repro.serving.artifact.ColoringArtifact`
-with the request/response surface the CLI and the ``serving_churn``
-runner speak.  Requests are plain mappings with an ``op`` field:
+with the request/response surface of the ``repro-serving/v1`` wire
+protocol — :mod:`repro.serving.protocol` is the normative spec; this
+module implements it for in-process callers (the CLI, the
+``serving_churn`` runner) and for the daemon that shares the session
+over a socket.
 
-================  =====================================  ==================
-op                fields                                 answer payload
-================  =====================================  ==================
-``color``         ``u``, ``v``                           ``color``
-``node_palette``  ``v``                                  ``colors``, ``degree``
-``schedule``      ``v``                                  ``slots`` ([color, neighbor])
-``stats``         —                                      artifact summary
-``insert``        ``u``, ``v``                           ``epoch``
-``delete``        ``u``, ``v``                           ``epoch``
-``set_list``      ``u``, ``v``, ``colors`` (or null)     ``epoch``
-``rebase``        —                                      ``epoch``
-================  =====================================  ==================
+**Concurrency (reader/writer epochs).**  The session is safe for many
+threads: read ops (``color`` / ``node_palette`` / ``schedule`` /
+``stats``) execute *concurrently* under the shared side of a
+writer-preferring readers/writer lock, each against a snapshot of the
+current epoch (the lock guarantees no write moves the epoch mid-read);
+write ops (``insert`` / ``delete`` / ``set_list`` / ``rebase``)
+serialize on the exclusive side, which establishes the **total order**
+the twin discipline requires — every write response carries the unique
+epoch it produced, and any interleaving of clients is bit-identical to
+the serial schedule that replays the writes in epoch order (pinned by
+the linearizability tests).  The lock exports the
+``serving.readers_active`` and ``serving.write_queue_depth`` gauges.
+:attr:`ServingSession.write_hook`, when set, is invoked inside the
+writer critical section after each successful delta — the daemon hangs
+its journal-before-ack persistence there, so journal order equals
+epoch order equals ack order.
 
-Read ops are answered through a keyed LRU cache.  Keys reuse the
-runtime's content-key recipe (:func:`repro.runtime.spec.canonical_json`
-+ truncated sha256, the exact idiom of ``spec.cache_key``) over
-``{"epoch": artifact.epoch, "request": request}`` — folding the epoch in
-means a delta never serves a stale answer: old-epoch entries simply stop
-being addressable and age out of the LRU.  Cached entries are isolated
-by **defensive deep copies** on both put and hit: a caller mutating a
-response it received can never corrupt the answer a later identical
-request sees.  Delta ops are never cached (they are mutations) and their
-*reports* carry path-dependent cost fields, so
+Read ops are answered through a keyed LRU cache (its own small mutex,
+so concurrent readers share hits).  Keys reuse the runtime's
+content-key recipe (:func:`repro.runtime.spec.canonical_json` +
+truncated sha256, the exact idiom of ``spec.cache_key``) over
+``{"epoch": artifact.epoch, "request": request}`` — folding the epoch
+in means a delta never serves a stale answer: old-epoch entries simply
+stop being addressable and age out of the LRU.  Cached entries are
+isolated by **defensive deep copies** on both put and hit: a caller
+mutating a response it received can never corrupt the answer a later
+identical request sees.  Delta ops are never cached (they are
+mutations) and their *reports* carry path-dependent cost fields, so
 :meth:`ServingSession.serve_batch` keeps reports out of the response
 stream's deterministic core (see the ``serving_churn`` runner, which
 digests responses across ``repair_path`` values).
@@ -43,30 +51,43 @@ nothing policy-dependent and rebasing/never-rebasing twins answer
 identical streams (``stats`` is the one deliberately policy-dependent
 op: ``overlay_size`` / ``base_edges`` are observability fields).
 
-Every response carries ``ok`` — failed requests (absent edge, exhausted
-demand list, malformed op) answer ``{"ok": False, "error": ...}``
-instead of poisoning the batch, mirroring the runtime's quarantine
-philosophy: one bad cell never kills the sweep.
+Every response carries ``ok`` — failed requests answer the protocol's
+structured error shape (``{"ok": False, "error": ..., "code": ...}``
+with a stable machine code) instead of poisoning the batch, mirroring
+the runtime's quarantine philosophy: one bad cell never kills the
+sweep.
 """
 
 from __future__ import annotations
 
 import copy
 import hashlib
+import threading
 from collections import OrderedDict, deque
-from typing import Deque, Dict, List, Mapping, Optional, Sequence
+from contextlib import contextmanager
+from typing import Callable, Deque, Dict, List, Mapping, Optional, Sequence
 
 from repro.obs import get_registry, tracer
 from repro.runtime.spec import canonical_json
+from repro.serving import protocol
 from repro.serving.artifact import ColoringArtifact, resolve_rebase_policy
+from repro.serving.protocol import (
+    DeltaRequest,
+    ProtocolError,
+    QueryRequest,
+    RebaseRequest,
+    ShutdownRequest,
+    StatsRequest,
+)
 from repro.serving.repair import RepairError, resolve_repair_path
 
-#: Read-only ops eligible for the result cache.
-READ_OPS = ("color", "node_palette", "schedule", "stats")
+#: Read-only ops eligible for the result cache (re-exported from the
+#: protocol module, which is normative).
+READ_OPS = protocol.READ_OPS
 #: Mutating ops routed to the repair engine.
-DELTA_OPS = ("insert", "delete", "set_list")
+DELTA_OPS = protocol.DELTA_OPS
 #: Maintenance ops: never cached, never journaled, epoch-preserving.
-CONTROL_OPS = ("rebase",)
+CONTROL_OPS = protocol.CONTROL_OPS
 
 #: Default size of the per-session repair-report ring buffer.
 DEFAULT_REPORTS_CAP = 256
@@ -87,12 +108,68 @@ def result_cache_key(epoch: int, request: Mapping) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:24]
 
 
+class _ReadWriteLock:
+    """Writer-preferring readers/writer lock for epoch-snapshot serving.
+
+    Any number of readers share the lock; a writer is exclusive.  Once
+    a writer is *waiting*, new readers queue behind it — writers are
+    never starved, and the write queue drains in arrival order under
+    the condition variable, which is what makes write epochs a total
+    order.  The current levels are exported as the
+    ``serving.readers_active`` and ``serving.write_queue_depth``
+    gauges.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    @contextmanager
+    def read(self):
+        registry = get_registry()
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+            registry.gauge("serving.readers_active").set(self._readers)
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._readers -= 1
+                registry.gauge("serving.readers_active").set(self._readers)
+                if not self._readers:
+                    self._cond.notify_all()
+
+    @contextmanager
+    def write(self):
+        registry = get_registry()
+        with self._cond:
+            self._writers_waiting += 1
+            registry.gauge("serving.write_queue_depth").set(self._writers_waiting)
+            while self._writer or self._readers:
+                self._cond.wait()
+            self._writers_waiting -= 1
+            registry.gauge("serving.write_queue_depth").set(self._writers_waiting)
+            self._writer = True
+        try:
+            yield
+        finally:
+            with self._cond:
+                self._writer = False
+                self._cond.notify_all()
+
+
 class ServingSession:
     """A query/delta session over one artifact, with an LRU answer cache.
 
-    ``repair_path`` pins which twin absorbs deltas (``auto`` →
-    ``incremental``); ``radius_limit`` bounds the incremental worklist
-    before it falls back to recompute.  Cache statistics are exposed via
+    Safe for concurrent use from many threads (see the module
+    docstring): reads share, writes serialize.  ``repair_path`` pins
+    which twin absorbs deltas (``auto`` → ``incremental``);
+    ``radius_limit`` bounds the incremental worklist before it falls
+    back to recompute.  Cache statistics are exposed via
     :meth:`cache_stats` and deliberately kept *out* of responses — they
     are observability, not answers.
     """
@@ -117,6 +194,14 @@ class ServingSession:
         self.rebase_policy = resolve_rebase_policy(rebase_policy)
         self._cache: "OrderedDict[str, Dict[str, object]]" = OrderedDict()
         self._cache_size = cache_size
+        self._cache_mutex = threading.Lock()
+        self._lock = _ReadWriteLock()
+        #: Called inside the writer critical section after every
+        #: successful delta, with the about-to-be-returned response.
+        #: The daemon sets this to its journal append so an absorbed
+        #: delta is durable *before* its acknowledgment escapes the
+        #: lock — journal order equals epoch order equals ack order.
+        self.write_hook: Optional[Callable[[Dict[str, object]], None]] = None
         self._hits = 0
         self._misses = 0
         self._evictions = 0
@@ -140,21 +225,26 @@ class ServingSession:
         the bounded-memory observability contract for long-lived
         sessions.
         """
-        stats = {
-            "hits": self._hits,
-            "misses": self._misses,
-            "evictions": self._evictions,
-            "size": len(self._cache),
-            "capacity": self._cache_size,
-            "deltas_applied": self._deltas_applied,
-            "touched": self._touched_total,
-            "recolored": self._recolored_total,
-            "fallbacks": self._fallbacks_total,
-            "rebases": self._rebases,
-            "overlay_folded": self._overlay_folded,
-            "reports_retained": len(self.reports),
-            "reports_cap": self.reports.maxlen,
-        }
+        with self._cache_mutex:
+            stats = {
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+                "size": len(self._cache),
+                "capacity": self._cache_size,
+            }
+        stats.update(
+            {
+                "deltas_applied": self._deltas_applied,
+                "touched": self._touched_total,
+                "recolored": self._recolored_total,
+                "fallbacks": self._fallbacks_total,
+                "rebases": self._rebases,
+                "overlay_folded": self._overlay_folded,
+                "reports_retained": len(self.reports),
+                "reports_cap": self.reports.maxlen,
+            }
+        )
         # Mirror the totals into the process-wide metrics registry (as
         # gauges, so one snapshot covers all three planes) without
         # changing this method's long-standing return shape.
@@ -162,24 +252,32 @@ class ServingSession:
         return stats
 
     def _cache_get(self, key: str) -> Optional[Dict[str, object]]:
-        cached = self._cache.get(key)
-        if cached is None:
-            self._misses += 1
-            return None
-        self._hits += 1
-        self._cache.move_to_end(key)
-        # Defensive copy: the cached entry is private to the cache, so a
-        # caller mutating its answer cannot corrupt later hits.
-        return copy.deepcopy(cached)
+        with self._cache_mutex:
+            cached = self._cache.get(key)
+            if cached is None:
+                self._misses += 1
+                return None
+            self._hits += 1
+            self._cache.move_to_end(key)
+            # Defensive copy: the cached entry is private to the cache, so
+            # a caller mutating its answer cannot corrupt later hits.
+            return copy.deepcopy(cached)
 
     def _cache_put(self, key: str, response: Dict[str, object]) -> None:
         if self._cache_size == 0:
             return
-        self._cache[key] = copy.deepcopy(response)
-        self._cache.move_to_end(key)
-        while len(self._cache) > self._cache_size:
-            self._cache.popitem(last=False)
-            self._evictions += 1
+        with self._cache_mutex:
+            self._cache[key] = copy.deepcopy(response)
+            self._cache.move_to_end(key)
+            while len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+                self._evictions += 1
+
+    # ------------------------------------------------------------------ locks
+    def exclusive(self):
+        """The writer critical section, for callers outside :meth:`query`
+        (the daemon's final compacting save; tests)."""
+        return self._lock.write()
 
     # --------------------------------------------------------------- serving
     def query(self, request: Mapping) -> Dict[str, object]:
@@ -187,75 +285,102 @@ class ServingSession:
 
         Every returned dict is the caller's to keep: cached answers are
         deep-copied on put and on hit, so mutating a response never
-        corrupts the cache.
+        corrupts the cache.  Reads run under the shared lock (many
+        threads answer concurrently at a stable epoch); writes run
+        under the exclusive lock, in total order.
         """
-        op = request.get("op")
         try:
-            if op in READ_OPS:
-                with tracer().span("serving.query", op=op) as span:
-                    key = result_cache_key(self.artifact.epoch, request)
-                    cached = self._cache_get(key)
-                    if cached is not None:
-                        span.set(cache_hit=True)
-                        return cached
-                    response = self._answer_read(op, request)
-                    self._cache_put(key, response)
-                    span.set(cache_hit=False)
-                    return response
-            if op in DELTA_OPS:
-                with tracer().span("serving.delta", op=op) as span:
-                    return self._apply_delta(op, request, span)
-            if op == "rebase":
-                with tracer().span("serving.rebase"):
-                    self._overlay_folded += self.artifact.rebase()
-                    self._rebases += 1
-                    # Epoch-preserving and policy-independent: the response
-                    # must match on twins with different rebase histories,
-                    # so folded counts stay in ``cache_stats``.
-                    return {"ok": True, "op": op, "epoch": self.artifact.epoch}
-            raise RepairError(f"unknown op {op!r}")
-        except (RepairError, ValueError, KeyError, TypeError) as exc:
-            return {"ok": False, "op": op, "error": str(exc) or repr(exc)}
+            parsed = protocol.parse_request(request)
+        except ProtocolError as exc:
+            return exc.response.to_wire()
+        op = parsed.op
+        request = protocol.strip_envelope(request)
+        try:
+            if isinstance(parsed, (QueryRequest, StatsRequest)):
+                with self._lock.read():
+                    with tracer().span("serving.query", op=op) as span:
+                        key = result_cache_key(self.artifact.epoch, request)
+                        cached = self._cache_get(key)
+                        if cached is not None:
+                            span.set(cache_hit=True)
+                            return cached
+                        response = self._answer_read(parsed)
+                        self._cache_put(key, response)
+                        span.set(cache_hit=False)
+                        return response
+            if isinstance(parsed, DeltaRequest):
+                with self._lock.write():
+                    with tracer().span("serving.delta", op=op) as span:
+                        response = self._apply_delta(parsed, span)
+                        if self.write_hook is not None:
+                            # Durability before acknowledgment, inside the
+                            # writer critical section: journal order is
+                            # epoch order is ack order.
+                            self.write_hook(response)
+                        return response
+            if isinstance(parsed, RebaseRequest):
+                with self._lock.write():
+                    with tracer().span("serving.rebase"):
+                        self._overlay_folded += self.artifact.rebase()
+                        self._rebases += 1
+                        # Epoch-preserving and policy-independent: the
+                        # response must match on twins with different
+                        # rebase histories, so folded counts stay in
+                        # ``cache_stats``.
+                        return {"ok": True, "op": op, "epoch": self.artifact.epoch}
+            assert isinstance(parsed, ShutdownRequest)
+            return protocol.error_response(
+                "wire-only",
+                "op 'shutdown' only exists on a daemon socket",
+                op=op,
+            )
+        except RepairError as exc:
+            return {"ok": False, "op": op, "error": str(exc), "code": exc.code}
+        except (ValueError, KeyError, TypeError) as exc:
+            return {
+                "ok": False,
+                "op": op,
+                "error": str(exc) or repr(exc),
+                "code": "repair-failed",
+            }
 
     def serve_batch(self, requests: Sequence[Mapping]) -> List[Dict[str, object]]:
         """Answer a batch in order; deltas take effect for later requests."""
         return [self.query(request) for request in requests]
 
     # ------------------------------------------------------------- internals
-    def _answer_read(self, op: str, request: Mapping) -> Dict[str, object]:
+    def _answer_read(self, parsed) -> Dict[str, object]:
         artifact = self.artifact
+        op = parsed.op
         if op == "color":
-            u, v = int(request["u"]), int(request["v"])
-            return {"ok": True, "op": op, "color": artifact.color(u, v)}
+            return {"ok": True, "op": op, "color": artifact.color(parsed.u, parsed.v)}
         if op == "node_palette":
-            v = int(request["v"])
             return {
                 "ok": True,
                 "op": op,
-                "colors": artifact.node_colors(v),
-                "degree": artifact.graph.degree(v),
+                "colors": artifact.node_colors(parsed.v),
+                "degree": artifact.graph.degree(parsed.v),
             }
         if op == "schedule":
-            v = int(request["v"])
             return {
                 "ok": True,
                 "op": op,
-                "slots": [[c, w] for c, w in artifact.schedule(v)],
+                "slots": [[c, w] for c, w in artifact.schedule(parsed.v)],
             }
-        # op == "stats"
+        # op == "stats" (a bare session answer even when a scope was
+        # asked for — the daemon intercepts scope="daemon" before us).
         return {"ok": True, "op": op, **artifact.stats()}
 
-    def _apply_delta(self, op: str, request: Mapping, span=None) -> Dict[str, object]:
+    def _apply_delta(self, parsed: DeltaRequest, span=None) -> Dict[str, object]:
         artifact = self.artifact
-        u, v = int(request["u"]), int(request["v"])
+        op, u, v = parsed.op, parsed.u, parsed.v
         kwargs = {"path": self.repair_path, "radius_limit": self.radius_limit}
         if op == "insert":
             report = artifact.insert(u, v, **kwargs)
         elif op == "delete":
             report = artifact.delete(u, v, **kwargs)
         else:  # set_list
-            colors = request.get("colors")
-            report = artifact.set_list(u, v, colors, **kwargs)
+            report = artifact.set_list(u, v, parsed.colors, **kwargs)
         self._deltas_applied += 1
         self._touched_total += report.touched
         self._recolored_total += report.recolored

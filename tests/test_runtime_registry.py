@@ -121,6 +121,36 @@ class TestPerfGridDrift:
         problems = check_regressions(committed, regressed, tolerance=2.0, log=None)
         assert len(problems) == 1 and problems[0].startswith("E6")
 
+    def test_perf_gate_distinguishes_clients_cells(self):
+        # The E13 concurrent-clients cell shares (scenario, n, delta)
+        # with the kill/replay cell; the gate must match each against
+        # its own committed twin (keyed by the clients count), not let
+        # the dict collision pair the slow cell with the fast one.
+        repo_root = os.path.join(os.path.dirname(__file__), "..")
+        sys.path.insert(0, os.path.abspath(repo_root))
+        try:
+            from benchmarks.run_benchmarks import cell_key, check_regressions
+        finally:
+            sys.path.pop(0)
+
+        kill = {"scenario": "E13", "n": 200, "delta": 6, "wall_seconds": 0.8}
+        conc = {
+            "scenario": "E13",
+            "n": 200,
+            "delta": 6,
+            "clients": 4,
+            "wall_seconds": 0.08,
+        }
+        assert cell_key(kill) != cell_key(conc)
+        # Identical fresh rerun: must pass (the collision made this fail
+        # at ~x5 because both fresh cells matched the fast committed one).
+        assert check_regressions([kill, conc], [dict(kill), dict(conc)], 2.0, log=None) == []
+        # A real concurrency regression (the gate totals per scenario,
+        # so the slow cell must move the whole-scenario total past x2).
+        slow_conc = dict(conc, wall_seconds=2.0)
+        problems = check_regressions([kill, conc], [dict(kill), slow_conc], 2.0, log=None)
+        assert len(problems) == 1 and problems[0].startswith("E13")
+
     def test_grids_identical(self, legacy_cells):
         from repro.runtime.scenarios import PERF_SCENARIOS
 

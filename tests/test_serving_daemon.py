@@ -28,6 +28,7 @@ from repro.serving import (
 from repro.serving.daemon import (
     ColoringDaemon,
     DaemonClient,
+    connect,
     parse_address,
     spawn_daemon_process,
 )
@@ -333,3 +334,127 @@ class TestDaemonSubprocess:
         assert os.path.exists(journal_path(path))
         replayed = ColoringArtifact.load(path)
         assert replayed.epoch == 1 and replayed.graph.has_edge(iu, iv)
+
+
+# ------------------------------------------------------------------- rotation
+class TestJournalRotation:
+    """Online compact-and-rotate: bounded disk, bounded replay, no loss."""
+
+    def test_rotation_policy_validation(self):
+        from repro.serving import RotationPolicy, resolve_rotation
+
+        with pytest.raises(ValueError, match="max_bytes and/or max_records"):
+            RotationPolicy()
+        with pytest.raises(ValueError, match="max_records"):
+            RotationPolicy(max_records=0)
+        policy = RotationPolicy(max_records=3)
+        assert not policy.should_rotate("/nonexistent", 2)
+        assert policy.should_rotate("/nonexistent", 3)
+        assert resolve_rotation(None) is None
+        assert resolve_rotation("off") is None
+        assert resolve_rotation(policy) is policy
+        with pytest.raises(ValueError, match="unknown rotation"):
+            resolve_rotation("hourly")
+
+    def test_rotation_policy_byte_cap(self, tmp_path):
+        from repro.serving import RotationPolicy
+
+        target = tmp_path / "journal"
+        target.write_text("x" * 100)
+        policy = RotationPolicy(max_bytes=100)
+        assert policy.should_rotate(str(target), 0)
+        assert not RotationPolicy(max_bytes=101).should_rotate(str(target), 0)
+
+    def _churned_save(self, artifact, path, rotation, rounds):
+        """Absorb ``rounds`` toggles, journal-saving (with rotation) each."""
+        du, dv = sorted(artifact.colors)[0]
+        for _ in range(rounds):
+            artifact.delete(du, dv)
+            artifact.save(path, journal=True, rotation=rotation)
+            artifact.insert(du, dv)
+            artifact.save(path, journal=True, rotation=rotation)
+
+    def test_rotate_creates_prunes_and_replays_segments(self, tmp_path):
+        from repro.serving import RotationPolicy, segment_paths
+
+        path = saved_artifact(tmp_path)
+        artifact = ColoringArtifact.load(path)
+        rotation = RotationPolicy(max_records=2, keep_segments=2)
+        self._churned_save(artifact, path, rotation, rounds=5)
+
+        segments = segment_paths(path)
+        assert len(segments) == 2, "keep_segments must prune older segments"
+        # Segment numbering keeps ascending across prunes.
+        numbers = [int(p.rsplit(".", 1)[1]) for p in segments]
+        assert numbers == sorted(numbers) and numbers[-1] >= 4
+
+        # Replay (base + retained segments + active journal) lands on
+        # the live state: rotation folded first, so nothing is lost or
+        # double-applied.
+        recovered = ColoringArtifact.load(path)
+        assert recovered.epoch == artifact.epoch == 10
+        assert recovered.colors == artifact.colors
+        recovered.verify()
+
+    def test_full_save_clears_journal_and_segments(self, tmp_path):
+        from repro.serving import RotationPolicy, segment_paths
+
+        path = saved_artifact(tmp_path)
+        artifact = ColoringArtifact.load(path)
+        self._churned_save(
+            artifact, path, RotationPolicy(max_records=2), rounds=3
+        )
+        assert segment_paths(path)
+        artifact.save(path)  # full save supersedes journal + segments
+        assert not os.path.exists(journal_path(path))
+        assert segment_paths(path) == []
+        reloaded = ColoringArtifact.load(path)
+        assert reloaded.epoch == artifact.epoch
+        assert reloaded.colors == artifact.colors
+
+    def test_daemon_rotates_online_and_compacts_on_shutdown(self, tmp_path):
+        from repro.serving import segment_paths
+
+        path = saved_artifact(tmp_path)
+        twin = ServingSession(ColoringArtifact.load(path), rebase_policy=None)
+        batch = churn_batch(twin.artifact, rounds=8)
+        expected = twin.serve_batch(batch)
+
+        daemon = ColoringDaemon(path, journal_max_records=2, rebase_policy=None)
+        host, port = daemon.start()
+        try:
+            with connect((host, port)) as client:
+                got = client.request_many(batch)
+            assert segment_paths(path), "daemon never rotated online"
+            # Mid-life crash replay covers base + segments + active.
+            recovered = ColoringArtifact.load(path)
+            assert recovered.epoch == daemon.session.artifact.epoch
+            assert recovered.colors == daemon.session.artifact.colors
+        finally:
+            daemon.stop(compact=True)
+        assert got == expected
+        assert not os.path.exists(journal_path(path))
+        assert segment_paths(path) == []
+        final = ColoringArtifact.load(path)
+        assert final.epoch == twin.artifact.epoch
+        assert final.colors == twin.artifact.colors
+
+    def test_resolved_port_is_printed_and_nonzero(self, tmp_path):
+        path = saved_artifact(tmp_path)
+        daemon = ColoringDaemon(path, listen="127.0.0.1:0", journal=False)
+        host, port = daemon.start()
+        try:
+            assert host == "127.0.0.1" and port != 0
+        finally:
+            daemon.stop(compact=False)
+        # The subprocess driver depends on the exact stdout line; it
+        # parses "listening on HOST:PORT" with the *resolved* port.
+        process, shost, sport = spawn_daemon_process(path, listen="127.0.0.1:0")
+        try:
+            assert sport != 0
+            with connect((shost, sport)) as client:
+                stats = client.request({"op": "stats", "scope": "daemon"})
+            assert stats["ok"] and stats["proto"] == "repro-serving/v1"
+        finally:
+            process.kill()
+            process.wait(timeout=30)
